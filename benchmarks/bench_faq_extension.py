@@ -1,0 +1,179 @@
+"""E16 — §8: FAQ-SS queries over one semiring at decomposition-width cost.
+
+Paper claims (§8): the PANDA machinery "extends straightforwardly to proper
+conjunctive queries and to aggregate queries (FAQ-queries over one
+semiring)", with the width minimization restricted to *free-connex* tree
+decompositions.  The bench asserts the two shape claims that make the
+extension worthwhile:
+
+1. on the worst-case path instance, the free-connex message-passing plan's
+   intermediates scale like ``N`` while the brute-force ⊗-join materializes
+   ``N²`` — slope ≈ 1 vs slope ≈ 2;
+2. all three evaluators (brute force, InsideOut, decomposition plan) agree
+   across all four stock semirings.
+"""
+
+from repro.datalog import parse_query
+from repro.faq import (
+    BOOLEAN,
+    COUNTING,
+    MAX_PRODUCT,
+    MIN_PLUS,
+    FAQQuery,
+    faq_decomposition_plan,
+    free_connex_decompositions,
+    variable_elimination,
+)
+from repro.instances import random_database
+from repro.relational import Database, Relation
+
+from conftest import loglog_slope, print_table
+
+SEMIRINGS = (BOOLEAN, COUNTING, MIN_PLUS, MAX_PRODUCT)
+
+
+def _star_path_db(n: int) -> Database:
+    """The Example 1.10-style worst case for the 3-path: full join is N²."""
+    column = [(i, 0) for i in range(n)]
+    row = [(0, i) for i in range(n)]
+    return Database(
+        [
+            Relation.from_pairs("R", "A", "B", column),
+            Relation.from_pairs("S", "B", "C", row),
+            Relation.from_pairs("T", "C", "D", [(i, i) for i in range(n)]),
+        ]
+    )
+
+
+def _count_query(free=("A",)) -> FAQQuery:
+    body = parse_query("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)").body
+    return FAQQuery(tuple(free), body, COUNTING, name="count")
+
+
+def test_faq_plan_is_output_bound_on_worst_case(benchmark):
+    sizes = (32, 64, 128, 256)
+    naive_cost, plan_cost, rows = [], [], []
+    for n in sizes:
+        db = _star_path_db(n)
+        query = _count_query()
+        naive = query.evaluate_naive(db)
+        plan = faq_decomposition_plan(query, db)
+        assert plan.result == naive
+        # Brute-force cost proxy: the materialized full ⊗-join is N·N = N².
+        naive_cost.append(n * n)
+        plan_cost.append(max(plan.max_intermediate, 1))
+        rows.append([n, n * n, plan.max_intermediate, len(plan.result)])
+    naive_slope = loglog_slope(list(map(float, sizes)), list(map(float, naive_cost)))
+    plan_slope = loglog_slope(list(map(float, sizes)), list(map(float, plan_cost)))
+    print_table(
+        "§8: FAQ group-by count on the 3-path worst case (free = {A})",
+        ["N", "full-join tuples", "plan max intermediate", "|output|"],
+        rows,
+    )
+    print(
+        f"slopes: naive {naive_slope:.2f} (paper shape: 2), "
+        f"plan {plan_slope:.2f} (paper shape: 1)"
+    )
+    assert naive_slope > 1.8
+    assert plan_slope < 1.3
+
+    benchmark(lambda: faq_decomposition_plan(_count_query(), _star_path_db(64)))
+
+
+def test_faq_semiring_agreement(benchmark):
+    schema = [("R", ("A", "B")), ("S", ("B", "C")), ("T", ("C", "D"))]
+    db = random_database(schema, size=40, domain=9, seed=29)
+    body = parse_query("Q(A,D) :- R(A,B), S(B,C), T(C,D)").body
+    rows = []
+    for semiring in SEMIRINGS:
+        query = FAQQuery(("A", "D"), body, semiring)
+        naive = query.evaluate_naive(db)
+        elim = variable_elimination(query, db)
+        plan = faq_decomposition_plan(query, db)
+        assert elim.result == naive
+        assert plan.result == naive
+        rows.append(
+            [semiring.name, len(naive), elim.max_intermediate,
+             plan.max_intermediate]
+        )
+    print_table(
+        "§8: three evaluators agree across semirings (3-path, group-by A,D)",
+        ["semiring", "|output|", "InsideOut max med.", "plan max med."],
+        rows,
+    )
+
+    query = FAQQuery(("A", "D"), body, COUNTING)
+    benchmark(lambda: variable_elimination(query, db))
+
+
+def test_free_connex_family_sizes(benchmark):
+    """Free-connex decompositions are a strict sub-family of all TDs."""
+    from repro.decompositions import tree_decompositions
+
+    cases = [
+        ("Q(A1) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)", ("A1",)),
+        ("Q(A1,A2) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)",
+         ("A1", "A2")),
+        ("Q(A1,A3) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)",
+         ("A1", "A3")),
+    ]
+    rows = []
+    for text, free in cases:
+        h = parse_query(text).hypergraph()
+        all_tds = tree_decompositions(h)
+        connex = free_connex_decompositions(h, free)
+        assert connex, f"no free-connex decomposition for free={free}"
+        best_all = min(td.max_bag_size() for td in all_tds)
+        best_connex = min(td.max_bag_size() for td in connex)
+        # Restricting the min can only increase the width.
+        assert best_connex >= best_all
+        rows.append(
+            [",".join(free), len(all_tds), len(connex), best_all, best_connex]
+        )
+    print_table(
+        "§8: free-connex restriction of the decomposition family (4-cycle)",
+        ["free vars", "|TD|", "|free-connex TD|", "min bag (all)",
+         "min bag (connex)"],
+        rows,
+    )
+
+    h4 = parse_query(cases[2][0]).hypergraph()
+    benchmark(lambda: free_connex_decompositions(h4, ("A1", "A3")))
+
+
+def test_free_connex_width_restriction(benchmark):
+    """§8 widths: restricting min to free-connex TDs can cost adaptivity.
+
+    On the 4-cycle with free = {A1, A3} only one decomposition is connex, so
+    fc-da-subw = 2·logN while the unrestricted da-subw = 3/2·logN; adjacent
+    free pairs keep both decompositions and lose nothing.
+    """
+    from fractions import Fraction
+
+    from repro.core.constraints import ConstraintSet, cardinality
+    from repro.faq import free_connex_dafhtw, free_connex_dasubw
+    from repro.instances import cycle_query
+    from repro.widths import degree_aware_fhtw, degree_aware_subw
+
+    h = cycle_query(4).hypergraph()
+    cons = ConstraintSet(
+        cardinality(e, 16)
+        for e in [("A1", "A2"), ("A2", "A3"), ("A3", "A4"), ("A4", "A1")]
+    )
+    da_f = degree_aware_fhtw(h, cons)
+    da_s = degree_aware_subw(h, cons)
+    rows = [["(unrestricted)", str(da_f), str(da_s)]]
+    for free in [("A1",), ("A1", "A2"), ("A1", "A3")]:
+        fc_f = free_connex_dafhtw(h, free, cons)
+        fc_s = free_connex_dasubw(h, free, cons)
+        assert fc_f >= da_f and fc_s >= da_s
+        rows.append([",".join(free), str(fc_f), str(fc_s)])
+    print_table(
+        "§8 widths over free-connex decompositions (4-cycle, logN = 4)",
+        ["free vars", "fc-da-fhtw", "fc-da-subw"],
+        rows,
+    )
+    assert free_connex_dasubw(h, ("A1", "A3"), cons) == Fraction(8)
+    assert free_connex_dasubw(h, ("A1", "A2"), cons) == Fraction(6) == da_s
+
+    benchmark(lambda: free_connex_dasubw(h, ("A1", "A3"), cons))

@@ -1,0 +1,119 @@
+"""E8+E9 — Figure 9 / Prop. 3.2 / Prop. 7.3 / Cor. 7.5: the bound hierarchy.
+
+Paper claims: the 3-D grid of bounds is monotone along all three axes
+(function class Γ*n ⊂ Γn ⊂ SAn; constraints H_DC ⊂ H_CC ⊂ ED·logN ⊂ VD·logN;
+plan sophistication size-bound >= minimax >= maximin), and the classical
+identities hold:
+
+    VB, ρ·logN >= AGM;  tw+1 >= ghtw >= fhtw >= subw >= adw (Cor. 7.5).
+
+The bench computes the whole grid for the 4-cycle (the paper's Figure 9
+subject) and asserts every dominance relation.
+"""
+
+from fractions import Fraction
+
+from repro.bounds import (
+    agm_log_bound,
+    edge_dominated_constraints,
+    integral_edge_cover_log_bound,
+    log_size_bound,
+    vertex_dominated_constraints,
+    vertex_log_bound,
+)
+from repro.bounds.polymatroid import constraints_to_log
+from repro.core import Hypergraph, cardinality
+from repro.core.constraints import ConstraintSet
+from repro.decompositions import tree_decompositions
+from repro.widths import (
+    adaptive_width,
+    fractional_hypertree_width,
+    generalized_hypertree_width,
+    maximin_width,
+    minimax_width,
+    submodular_width,
+    treewidth,
+)
+
+from conftest import print_table
+
+N = 16
+LOG_N = Fraction(4)
+EDGES = [("A1", "A2"), ("A2", "A3"), ("A3", "A4"), ("A1", "A4")]
+H = Hypergraph.from_edges(EDGES)
+CC = ConstraintSet(cardinality(e, N) for e in EDGES)
+TDS = tree_decompositions(H)
+FULL = frozenset(H.vertices)
+
+CONSTRAINT_AXIS = [
+    ("VD·logN", vertex_dominated_constraints(H, LOG_N)),
+    ("ED·logN", edge_dominated_constraints(H, LOG_N)),
+    ("H_CC", constraints_to_log(CC)),
+]
+CLASS_AXIS = ["subadditive", "polymatroid", "polymatroid+zy"]
+
+
+def _grid():
+    grid = {}
+    for y_label, rows in CONSTRAINT_AXIS:
+        for cls in CLASS_AXIS:
+            grid[("size", y_label, cls)] = log_size_bound(
+                H.vertices, FULL, rows, function_class=cls
+            ).log_value
+            grid[("minimax", y_label, cls)] = minimax_width(H, TDS, rows, cls)
+            grid[("maximin", y_label, cls)] = maximin_width(H, TDS, rows, cls)
+    return grid
+
+
+def test_figure9_grid(benchmark):
+    grid = benchmark(_grid)
+    rows = []
+    for z in ("size", "minimax", "maximin"):
+        for y_label, _ in CONSTRAINT_AXIS:
+            rows.append(
+                [z, y_label]
+                + [str(grid[(z, y_label, cls)]) for cls in CLASS_AXIS]
+            )
+    print_table(
+        "Figure 9 grid for the 4-cycle, logN = 4 (values in log2 units)",
+        ["Z (plan)", "Y (constraints)"] + CLASS_AXIS,
+        rows,
+    )
+
+    # Z-axis: size >= minimax >= maximin, pointwise.
+    for y_label, _ in CONSTRAINT_AXIS:
+        for cls in CLASS_AXIS:
+            assert grid[("size", y_label, cls)] >= grid[("minimax", y_label, cls)]
+            assert grid[("minimax", y_label, cls)] >= grid[("maximin", y_label, cls)]
+    # Y-axis: tighter constraint sets give smaller bounds.
+    order = [label for label, _ in CONSTRAINT_AXIS]
+    for z in ("size", "minimax", "maximin"):
+        for cls in CLASS_AXIS:
+            for coarse, fine in zip(order[:-1], order[1:]):
+                assert grid[(z, coarse, cls)] >= grid[(z, fine, cls)]
+    # X-axis: smaller function classes give smaller bounds.
+    for z in ("size", "minimax", "maximin"):
+        for y_label, _ in CONSTRAINT_AXIS:
+            assert grid[(z, y_label, "subadditive")] >= grid[(z, y_label, "polymatroid")]
+            assert grid[(z, y_label, "polymatroid")] >= grid[(z, y_label, "polymatroid+zy")]
+
+
+def test_classical_identities(benchmark):
+    sizes = {frozenset(e): N for e in EDGES}
+    assert vertex_log_bound(H, N) >= integral_edge_cover_log_bound(H, sizes)
+    assert integral_edge_cover_log_bound(H, sizes) >= agm_log_bound(H, sizes)
+    # Corollary 7.5 chain on the normalized widths.
+    tw1 = Fraction(treewidth(H, TDS) + 1)
+    ghtw = Fraction(generalized_hypertree_width(H, TDS))
+    fhtw = fractional_hypertree_width(H, TDS)
+    subw = submodular_width(H, TDS)
+    adw = adaptive_width(H, TDS)
+    print_table(
+        "Corollary 7.5 width chain on the 4-cycle",
+        ["tw+1", "ghtw", "fhtw", "subw", "adw"],
+        [[str(tw1), str(ghtw), str(fhtw), str(subw), str(adw)]],
+    )
+    assert tw1 >= ghtw >= fhtw >= subw >= adw
+    assert subw == Fraction(3, 2) and fhtw == 2
+
+    benchmark(lambda: submodular_width(H, TDS))

@@ -1,0 +1,177 @@
+"""E12 — Theorem 5.9 / Appendix B: proof-sequence constructions and lengths.
+
+Paper claims: every Shannon-flow inequality has a proof sequence; the
+Theorem 5.9 construction gives length <= D(3‖σ‖₁ + ‖δ‖₁ + ‖μ‖₁), and the
+Appendix B flow-network construction (Algorithm 2, with the B.1 witness
+bounds) is polynomial in 2^n.  The bench builds both constructions for the
+flow inequalities behind a family of query bounds, verifies them, and
+compares lengths against the Theorem 5.9 budget.
+"""
+
+from fractions import Fraction
+
+from repro.bounds import log_size_bound
+from repro.core import cardinality, functional_dependency
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+from repro.flows import (
+    common_denominator,
+    construct_proof_sequence,
+    construct_via_max_flow,
+    flow_from_bound,
+    reduce_conditioned_mu,
+    witness_norms,
+)
+from repro.flows.flow_network import construct_via_flow_network
+from repro.instances import cycle_edges, path_rule
+
+from conftest import print_table
+
+N = 16
+
+
+def _cases():
+    f = frozenset
+    cases = {}
+
+    vars4 = ("A1", "A2", "A3", "A4")
+    cc3 = ConstraintSet(
+        cardinality(e, N) for e in [("A1", "A2"), ("A2", "A3"), ("A3", "A4")]
+    )
+    cases["Ex1.4 rule"] = log_size_bound(
+        vars4, [f(("A1", "A2", "A3")), f(("A2", "A3", "A4"))], cc3
+    )
+
+    cc4 = ConstraintSet(cardinality(e, N) for e in cycle_edges(4))
+    cases["4-cycle CC"] = log_size_bound(vars4, f(vars4), cc4)
+
+    cases["4-cycle FD"] = log_size_bound(
+        vars4,
+        f(vars4),
+        cc4.with_constraints(
+            [functional_dependency(("A1",), ("A2",)),
+             functional_dependency(("A2",), ("A1",))]
+        ),
+    )
+
+    cases["4-cycle DC"] = log_size_bound(
+        vars4,
+        f(vars4),
+        cc4.with_constraints(
+            [DegreeConstraint.make(("A1",), ("A1", "A2"), 2),
+             DegreeConstraint.make(("A2",), ("A1", "A2"), 2)]
+        ),
+    )
+
+    vars3 = ("A", "B", "C")
+    cc_tri = ConstraintSet(
+        cardinality(e, N) for e in [("A", "B"), ("B", "C"), ("A", "C")]
+    )
+    cases["triangle CC"] = log_size_bound(vars3, f(vars3), cc_tri)
+
+    cc5 = ConstraintSet(cardinality(e, N) for e in cycle_edges(5))
+    vars5 = tuple(f"A{i}" for i in range(1, 6))
+    cases["5-cycle CC"] = log_size_bound(vars5, f(vars5), cc5)
+    return cases
+
+
+def test_proof_sequence_constructions(benchmark):
+    cases = _cases()
+    rows = []
+    for name, bound in cases.items():
+        ineq, witness, _ = flow_from_bound(bound)
+        d = common_denominator(ineq.lam, ineq.delta, witness.sigma, witness.mu)
+        sigma_norm = sum(witness.sigma.values(), Fraction(0))
+        mu_norm = sum(witness.mu.values(), Fraction(0))
+        delta_norm = ineq.delta_norm
+        budget = d * (3 * sigma_norm + delta_norm + mu_norm)
+
+        thm59 = construct_proof_sequence(ineq, witness)
+        thm59.verify(ineq)
+        flownet = construct_via_flow_network(ineq, witness)
+        flownet.verify(ineq)
+        rows.append(
+            [name, str(bound.log_value), d, len(thm59), len(flownet),
+             str(budget)]
+        )
+        # Batched Theorem 5.9 length stays well within the unit-step budget.
+        assert len(thm59) <= budget
+    print_table(
+        "Theorem 5.9 vs Algorithm 2 proof sequences (N = 16)",
+        ["case", "bound", "D", "Thm 5.9 len", "Alg 2 len", "D(3σ+δ+μ) budget"],
+        rows,
+    )
+
+    ineq, witness, _ = flow_from_bound(cases["4-cycle FD"])
+    benchmark(lambda: construct_proof_sequence(ineq, witness))
+
+
+def test_algorithm3_and_witness_reduction(benchmark):
+    """Appendix B.1/B.2: reduced witnesses and max-flow batched sequences.
+
+    Shape claims: (i) after the Lemma B.3 reduction the conditioned-μ mass
+    is <= ‖λ‖₁ (Cor. B.4); (ii) Algorithm 3's length is independent of the
+    denominator D (Theorem B.12's point: polynomial in the *support*, not in
+    D), while the unit-step Theorem 5.9 budget grows linearly with D.
+    """
+    cases = _cases()
+    rows = []
+    for name, bound in cases.items():
+        ineq, witness, _ = flow_from_bound(bound)
+        norms_before = witness_norms(ineq, witness)
+        reduced_ineq, reduced_witness = reduce_conditioned_mu(ineq, witness)
+        norms_after = witness_norms(reduced_ineq, reduced_witness)
+        assert norms_after.mu_conditioned <= norms_after.lam
+        alg3 = construct_via_max_flow(ineq, witness, reduce_witness=False)
+        alg3.verify(ineq)
+        rows.append(
+            [name, str(norms_before.mu_conditioned),
+             str(norms_after.mu_conditioned), str(norms_after.lam),
+             len(alg3)]
+        )
+    # The exact-LP duals happen to carry no conditioned μ; a hand-built
+    # witness (the Lemma B.3 case-3 shape) shows the reduction acting.
+    from repro.flows import FlowInequality, Witness
+
+    f2 = frozenset
+    a, ab, ac, abc = f2("A"), f2(("A", "B")), f2(("A", "C")), f2(("A", "B", "C"))
+    hand_ineq = FlowInequality(("A", "B", "C"), {a: Fraction(1)},
+                               {(f2(), ac): Fraction(1)})
+    hand_witness = Witness(sigma={(ab, ac): Fraction(1)},
+                           mu={(ab, abc): Fraction(1)})
+    before = witness_norms(hand_ineq, hand_witness)
+    reduced_ineq, reduced_witness = reduce_conditioned_mu(hand_ineq, hand_witness)
+    after = witness_norms(reduced_ineq, reduced_witness)
+    # Cor. B.4 is a *per-X* guarantee: before, X = {A,B} carries μ mass 1
+    # with λ_{A,B} = 0; after, every X's conditioned mass is <= λ_X.
+    assert any(x == ab for (x, _y) in hand_witness.mu)
+    per_x = {}
+    for (x, _y), v in reduced_witness.mu.items():
+        if x:
+            per_x[x] = per_x.get(x, Fraction(0)) + v
+    assert all(total <= reduced_ineq.lam.get(x, Fraction(0))
+               for x, total in per_x.items())
+    rows.append(["hand σ-drain", "1 @ X={A,B} (λ_X=0)",
+                 str(after.mu_conditioned) + " (per-X <= λ_X)",
+                 str(after.lam), "-"])
+    print_table(
+        "Appendix B: witness reduction (Cor. B.4) and Algorithm 3 lengths",
+        ["case", "cond-μ before", "cond-μ after", "‖λ‖₁", "Alg 3 len"],
+        rows,
+    )
+
+    # (ii): scale N (hence D's magnitude) and check the length is flat.
+    lengths = []
+    f = frozenset
+    vars4 = ("A1", "A2", "A3", "A4")
+    for n in (16, 256, 4096):
+        cc = ConstraintSet(cardinality(e, n) for e in cycle_edges(4))
+        bound = log_size_bound(vars4, f(vars4), cc)
+        ineq, witness, _ = flow_from_bound(bound)
+        sequence = construct_via_max_flow(ineq, witness, reduce_witness=False)
+        sequence.verify(ineq)
+        lengths.append(len(sequence))
+    print(f"Algorithm 3 lengths across N = 16/256/4096: {lengths}")
+    assert len(set(lengths)) == 1
+
+    ineq, witness, _ = flow_from_bound(cases["4-cycle FD"])
+    benchmark(lambda: construct_via_max_flow(ineq, witness))

@@ -1,0 +1,77 @@
+"""E5 — Table 1 (CC+FD rows), Theorem 1.3, Figure 5: the Zhang–Yeung gap.
+
+Paper claims: on the Zhang–Yeung query (Eq. 49) with cardinality + FD
+constraints the polymatroid bound is N^4 while the entropic bound is at most
+N^{43/11} ≈ N^{3.909} — the polymatroid bound is NOT tight, and taking ``s``
+variable-disjoint copies amplifies the gap to N^{s/11}.
+
+The bench reproduces both numbers by exact LP (the ZY-outer LP optimizes
+over *all* instantiations, so it may be slightly tighter than the paper's
+single-certificate 43/11) and verifies the Figure 5 polymatroid witness.
+"""
+
+from fractions import Fraction
+
+from repro.bounds import polymatroid_vs_entropic_gap
+from repro.core.setfunctions import SetFunction
+from repro.entropy import violates_zhang_yeung
+from repro.instances import zhang_yeung_query
+
+from conftest import print_table
+
+
+def _gap():
+    query, constraints = zhang_yeung_query(2)  # logN = 1 units
+    universe = tuple(sorted(query.variable_set))
+    return polymatroid_vs_entropic_gap(universe, frozenset(universe), constraints)
+
+
+def _figure5():
+    f = frozenset
+    closed = {
+        f(("A", "B", "X", "Y", "C")): Fraction(4),
+        f(("A", "X")): Fraction(3),
+        f(("B", "X")): Fraction(3),
+        f(("X", "Y")): Fraction(3),
+        f(("A", "Y")): Fraction(3),
+        f(("B", "Y")): Fraction(3),
+        f(("X",)): Fraction(2),
+        f(("A",)): Fraction(2),
+        f(("B",)): Fraction(2),
+        f(("Y",)): Fraction(2),
+        f(("C",)): Fraction(2),
+        f(()): Fraction(0),
+    }
+    return SetFunction.from_closure_table(("A", "B", "C", "X", "Y"), closed)
+
+
+def test_theorem_1_3_zhang_yeung_gap(benchmark):
+    gap = benchmark(_gap)
+    print_table(
+        "Theorem 1.3: polymatroid vs entropic bound on the ZY query (logN units)",
+        ["bound", "paper", "measured"],
+        [
+            ["polymatroid", "4", str(gap.polymatroid.log_value)],
+            ["entropic outer", "<= 43/11 ≈ 3.909", f"{gap.zy_outer.log_value} ≈ {float(gap.zy_outer.log_value):.4f}"],
+            ["gap", "> 0 (not tight!)", str(gap.log_gap)],
+        ],
+    )
+    assert gap.polymatroid.log_value == 4
+    assert gap.zy_outer.log_value <= Fraction(43, 11)
+    assert gap.has_gap
+
+    # The Figure 5 polymatroid achieves 4·logN and violates ZY — the witness
+    # that the gap is real on the polymatroid side.
+    h = _figure5()
+    assert h.is_polymatroid()
+    assert h(("A", "B", "C", "X", "Y")) == 4
+    witness = violates_zhang_yeung(h)
+    assert witness is not None
+    print(f"Figure 5 polymatroid violates ZY at instantiation {witness}")
+
+    # Gap amplification (Theorem 1.3): s disjoint copies multiply both
+    # bounds, so the ratio grows like N^{s·gap}.
+    s = 3
+    amplified = s * gap.log_gap
+    print(f"amplified gap for s={s} copies: N^{float(amplified):.3f}")
+    assert amplified >= s * Fraction(1, 11) * Fraction(1, 2)

@@ -1,0 +1,110 @@
+"""E14 — §2.1.1: worst-case optimal joins vs binary join plans.
+
+Paper background claim: Generic-Join-style algorithms run in O~(AGM) [42,43]
+while any binary join plan is Ω(N²) on the AGM-tight triangle instance whose
+output (and AGM bound) is N^{3/2}.  The bench sweeps N, fits both exponents,
+and checks the outputs agree.
+"""
+
+from repro.instances import agm_tight_triangle, skew_triangle, triangle_query
+from repro.relational import (
+    binary_join_plan,
+    generic_join,
+    leapfrog_triejoin,
+    work_counter,
+)
+
+from conftest import loglog_slope, print_table
+
+QUERY = triangle_query()
+
+
+def test_generic_join_vs_binary_plan(benchmark):
+    """Skew instance [43]: output Θ(N) but every pairwise join is Θ(N²)."""
+    sizes = [32, 64, 128, 256]  # m; relation sizes are 2m - 1
+    gj_works, bj_works = [], []
+    rows = []
+    for m in sizes:
+        db = skew_triangle(m)
+        relations = [atom.bind(db) for atom in QUERY.body]
+
+        work_counter.reset()
+        gj = generic_join(relations)
+        gj_work = work_counter.total
+
+        work_counter.reset()
+        bj = binary_join_plan(relations)
+        bj_work = work_counter.total
+
+        assert gj == bj
+        gj_works.append(gj_work)
+        bj_works.append(bj_work)
+        n = len(db["R"])
+        rows.append([n, int(n**1.5), n * n, len(gj), gj_work, bj_work])
+    print_table(
+        "Triangle on the skew instance: Generic Join vs binary plan",
+        ["N", "AGM=N^1.5", "N^2", "output", "generic-join work", "binary-plan work"],
+        rows,
+    )
+    gj_slope = loglog_slope(sizes, gj_works)
+    bj_slope = loglog_slope(sizes, bj_works)
+    print(f"exponents: generic join {gj_slope:.2f} (<= AGM's 1.5), "
+          f"binary plan {bj_slope:.2f} (paper 2.0)")
+    assert gj_slope < 1.5
+    assert bj_slope > 1.8
+
+    benchmark(
+        lambda: generic_join(
+            [atom.bind(skew_triangle(256)) for atom in QUERY.body]
+        )
+    )
+
+
+def test_generic_join_respects_agm_on_tight_instance(benchmark):
+    """On the AGM-tight grid instance the output equals the AGM bound and
+    Generic Join emits exactly that many tuples."""
+    n = 256
+    db = agm_tight_triangle(n)
+    relations = [atom.bind(db) for atom in QUERY.body]
+    work_counter.reset()
+    out = generic_join(relations)
+    assert len(out) == int(n**1.5)
+    print(f"AGM-tight triangle: output {len(out)} = N^1.5, "
+          f"work {work_counter.total}")
+
+    benchmark(lambda: generic_join(relations))
+
+
+def test_leapfrog_triejoin_is_worst_case_optimal(benchmark):
+    """Both WCOJ baselines ([42, 43] and [47]) stay sub-quadratic together.
+
+    Same skew instance as above: output Θ(N), every pairwise join Θ(N²).
+    Leapfrog Triejoin must agree with Generic Join on the output and keep a
+    work exponent below the binary plan's 2.0.
+    """
+    sizes = [32, 64, 128, 256]
+    lf_works, rows = [], []
+    for m in sizes:
+        db = skew_triangle(m)
+        relations = [atom.bind(db) for atom in QUERY.body]
+        work_counter.reset()
+        lf = leapfrog_triejoin(relations)
+        lf_work = work_counter.total
+        assert lf == generic_join(relations)
+        lf_works.append(lf_work)
+        n = len(db["R"])
+        rows.append([n, int(n**1.5), len(lf), lf_work])
+    print_table(
+        "Triangle on the skew instance: Leapfrog Triejoin [47]",
+        ["N", "AGM=N^1.5", "output", "LFTJ work"],
+        rows,
+    )
+    lf_slope = loglog_slope(sizes, lf_works)
+    print(f"exponent: leapfrog triejoin {lf_slope:.2f} (<= AGM's 1.5)")
+    assert lf_slope < 1.5
+
+    benchmark(
+        lambda: leapfrog_triejoin(
+            [atom.bind(skew_triangle(256)) for atom in QUERY.body]
+        )
+    )

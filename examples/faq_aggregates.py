@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Aggregate (FAQ-SS) queries over semirings — the §8 extension.
+
+The paper's algorithmic results "extend straightforwardly to proper
+conjunctive queries and to aggregate queries (FAQ-queries over one
+semiring)".  This example exercises that extension on a small road network:
+
+1. count 4-cycles per starting node (counting semiring, group-by);
+2. find cheapest 3-hop routes (min-plus / tropical semiring);
+3. compare the brute-force, variable-elimination, and free-connex
+   decomposition-plan evaluators — identical answers, very different
+   intermediate sizes.
+
+Run:  python examples/faq_aggregates.py
+"""
+
+import random
+
+from repro.datalog import parse_query
+from repro.faq import (
+    COUNTING,
+    MIN_PLUS,
+    FAQQuery,
+    faq_decomposition_plan,
+    free_connex_decompositions,
+    variable_elimination,
+)
+from repro.relational import Database, Relation
+
+
+def road_network(nodes: int = 40, edges: int = 160, seed: int = 7):
+    """A random directed multigraph with integer edge costs."""
+    rng = random.Random(seed)
+    pairs = set()
+    while len(pairs) < edges:
+        a, b = rng.randrange(nodes), rng.randrange(nodes)
+        if a != b:
+            pairs.add((a, b))
+    costs = {pair: rng.randint(1, 20) for pair in pairs}
+    return sorted(pairs), costs
+
+
+def main() -> None:
+    pairs, costs = road_network()
+    db = Database(
+        [
+            Relation.from_pairs("E1", "A", "B", pairs),
+            Relation.from_pairs("E2", "B", "C", pairs),
+            Relation.from_pairs("E3", "C", "D", pairs),
+            Relation.from_pairs("E4", "D", "A", pairs),
+        ]
+    )
+
+    # -------------------------------------------------- counting: 4-cycles
+    print("=" * 72)
+    print("1. Count 4-cycles through each node (counting semiring)")
+    print("=" * 72)
+    body = parse_query("Q(A) :- E1(A,B), E2(B,C), E3(C,D), E4(D,A)").body
+    count_query = FAQQuery(("A",), body, COUNTING, name="cycles")
+    per_node = variable_elimination(count_query, db)
+    top = sorted(per_node.result.items(), key=lambda kv: -kv[1])[:5]
+    total = per_node.result.marginalize([]).scalar()
+    print(f"4-cycles in the network: {total}")
+    print("busiest nodes:", ", ".join(f"{a[0]}×{c}" for a, c in top))
+    print(f"elimination order: {per_node.order}, "
+          f"induced width {per_node.induced_width}")
+
+    # -------------------------------------------- tropical: cheapest routes
+    print()
+    print("=" * 72)
+    print("2. Cheapest 3-hop routes (min-plus semiring)")
+    print("=" * 72)
+    weights = {
+        name: {pair: costs[pair] for pair in pairs}
+        for name in ("E1", "E2", "E3")
+    }
+    route_body = parse_query("Q(A,D) :- E1(A,B), E2(B,C), E3(C,D)").body
+    route_query = FAQQuery(("A", "D"), route_body, MIN_PLUS, name="routes")
+    routes = variable_elimination(route_query, db, annotations=weights)
+    cheapest = sorted(routes.result.items(), key=lambda kv: kv[1])[:5]
+    print(f"3-hop connected pairs: {len(routes.result)}")
+    print("cheapest routes:",
+          ", ".join(f"{a}->{d} cost {c}" for (a, d), c in cheapest))
+
+    # ------------------------------- free-connex decomposition comparison
+    print()
+    print("=" * 72)
+    print("3. Three evaluators, one answer (free-connex decompositions)")
+    print("=" * 72)
+    tds = free_connex_decompositions(route_query.hypergraph(), ("A", "D"))
+    print(f"free-connex decompositions of the 3-hop query: {len(tds)}")
+    naive = route_query.evaluate_naive(db, annotations=weights)
+    plan = faq_decomposition_plan(route_query, db, annotations=weights)
+    print(f"decomposition used: {plan.decomposition}")
+    print(f"  brute force   : {len(naive)} answers "
+          f"(materializes the full join)")
+    print(f"  message pass  : {len(plan.result)} answers, "
+          f"max intermediate {plan.max_intermediate}, "
+          f"{plan.messages} messages")
+    assert plan.result == naive
+    assert routes.result == naive
+    print("all evaluators agree ✓")
+
+
+if __name__ == "__main__":
+    main()

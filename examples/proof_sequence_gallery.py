@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Proof sequences three ways: Theorem 5.9, Algorithm 2, Algorithm 3.
+
+Reproduces the Figure 1 derivation for Example 1.4/1.8 — the disjunctive
+rule
+
+    T123(A1,A2,A3) ∨ T234(A2,A3,A4) <- R12(A1,A2), R23(A2,A3), R34(A3,A4)
+
+whose polymatroid bound is N^{3/2} — and then builds a proof sequence for
+the same Shannon-flow inequality with all three constructions in the paper:
+
+* the Theorem 5.9 induction (the one PANDA executes),
+* Algorithm 2 (Appendix B: augmenting paths on the flow network),
+* Algorithm 3 (Appendix B.2: Edmonds–Karp batched max flow).
+
+It also shows the Appendix B.1 witness normalization and the norms that
+bound each construction's length.
+
+Run:  python examples/proof_sequence_gallery.py
+"""
+
+from repro.bounds import log_size_bound
+from repro.core import ConstraintSet, cardinality
+from repro.flows import (
+    construct_proof_sequence,
+    construct_via_max_flow,
+    flow_from_bound,
+    normalize_witness,
+    witness_norms,
+)
+from repro.flows.flow_network import construct_via_flow_network
+
+
+def fmt_set(s):
+    return "{" + ",".join(sorted(s)) + "}" if s else "∅"
+
+
+def main() -> None:
+    n = 64
+    targets = [
+        frozenset(("A1", "A2", "A3")),
+        frozenset(("A2", "A3", "A4")),
+    ]
+    constraints = ConstraintSet(
+        cardinality(edge, n)
+        for edge in [("A1", "A2"), ("A2", "A3"), ("A3", "A4")]
+    )
+
+    print("=" * 72)
+    print("1. The Example 1.4 bound and its Shannon-flow inequality")
+    print("=" * 72)
+    bound = log_size_bound(("A1", "A2", "A3", "A4"), targets, constraints)
+    print(f"LogSizeBound = {bound.log_value}  (paper: 3/2·log N = {1.5 * 6})")
+    ineq, witness, _ = flow_from_bound(bound)
+    lam = " + ".join(f"{w}·h({fmt_set(b)})" for b, w in sorted(
+        ineq.lam.items(), key=lambda kv: sorted(kv[0])))
+    delta = " + ".join(
+        f"{w}·h({fmt_set(y)}|{fmt_set(x)})"
+        for (x, y), w in sorted(ineq.delta.items(),
+                                key=lambda kv: (sorted(kv[0][0]), sorted(kv[0][1])))
+    )
+    print(f"inequality:  {lam}  <=  {delta}")
+
+    print()
+    print("=" * 72)
+    print("2. Witness norms and the B.1 normalization")
+    print("=" * 72)
+    norms = witness_norms(ineq, witness)
+    print(f"‖λ‖₁ = {norms.lam},  ‖δ‖₁ = {norms.delta},  "
+          f"‖σ‖₁ = {norms.sigma},  ‖μ‖₁ = {norms.mu}")
+    print(f"Theorem 5.9 length budget 3‖σ‖+‖δ‖+‖μ‖ = {norms.theorem_5_9_length}")
+    _, _, reduced = normalize_witness(ineq, witness)
+    print(f"after Lemma B.3 reduction: conditioned-μ mass = "
+          f"{reduced.mu_conditioned} (<= ‖λ‖₁ = {reduced.lam}, Cor. B.4)")
+
+    print()
+    print("=" * 72)
+    print("3. Three constructions of a proof sequence (Figure 1)")
+    print("=" * 72)
+    builders = [
+        ("Theorem 5.9 induction", lambda: construct_proof_sequence(ineq, witness)),
+        ("Algorithm 2 (flow network)", lambda: construct_via_flow_network(ineq, witness)),
+        ("Algorithm 3 (max flow)", lambda: construct_via_max_flow(
+            ineq, witness, reduce_witness=False)),
+    ]
+    for name, builder in builders:
+        sequence = builder()
+        sequence.verify(ineq)
+        counts = sequence.counts_by_kind()
+        print(f"\n{name}: {len(sequence)} steps "
+              f"({', '.join(f'{k}×{v}' for k, v in sorted(counts.items()))})")
+        for ws in sequence:
+            print(f"    {ws}")
+    print("\nAll three sequences verify δ-bag rewriting down to λ ✓")
+    print("(PANDA interprets each step as: submodularity = bookkeeping, ")
+    print(" monotonicity = projection, decomposition = heavy/light partition,")
+    print(" composition = join — see Figure 1 and examples/quickstart.py.)")
+
+
+if __name__ == "__main__":
+    main()

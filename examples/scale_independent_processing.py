@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Scale-independent query processing with degree constraints (§1.1).
+
+The PIQL / SCADS line of work (Armbrust et al.) bounds query cost *before*
+execution using developer-declared degree constraints, so an app's pages stay
+fast no matter how large the database grows.  Improved output-size bounds
+translate directly into more queries admissible under a latency SLO.
+
+This example models a small social app:
+
+    Follows(user, friend)        -- each user follows <= K others
+    Posts(user, post)            -- each user has <= P recent posts
+    Likes(post, liker)           -- unbounded fan-in!
+
+and the feed query
+
+    Feed(u, f, p) :- Follows(u, f), Posts(f, p)
+
+plus a "likers of my feed" 4-atom extension.  It compares the AGM bound
+(cardinalities only) with the degree-aware polymatroid bound, showing how the
+declared constraints turn an unbounded-looking query into a scale-independent
+one — and validates the bound by brute force on generated data.
+
+Run:  python examples/scale_independent_processing.py
+"""
+
+import random
+
+from repro.bounds import log_size_bound
+from repro.core import ConstraintSet, DegreeConstraint, cardinality
+from repro.datalog import parse_query
+from repro.relational import Database, Relation
+
+
+def build_database(users: int, k: int, p: int, seed: int = 0) -> Database:
+    rng = random.Random(seed)
+    follows = set()
+    for u in range(users):
+        for f in rng.sample(range(users), k):
+            follows.add((u, f))
+    posts = {(u, u * 100 + i) for u in range(users) for i in range(p)}
+    likes = set()
+    for (u, post) in posts:
+        for _ in range(rng.randint(0, 3)):
+            likes.add((post, rng.randrange(users)))
+    return Database(
+        [
+            Relation.from_pairs("Follows", "U", "F", follows),
+            Relation.from_pairs("Posts", "F", "P", posts),
+            Relation.from_pairs("Likes", "P", "L", likes),
+        ]
+    )
+
+
+def main() -> None:
+    users, k, p = 64, 4, 2
+    db = build_database(users, k, p)
+    n_follows = len(db["Follows"])
+    n_posts = len(db["Posts"])
+    n_likes = len(db["Likes"])
+
+    feed = parse_query("Feed(U,F,P) :- Follows(U,F), Posts(F,P)")
+    likers = parse_query(
+        "Likers(U,F,P,L) :- Follows(U,F), Posts(F,P), Likes(P,L)"
+    )
+
+    cardinalities = ConstraintSet(
+        [
+            cardinality(("U", "F"), n_follows),
+            cardinality(("F", "P"), n_posts),
+            cardinality(("P", "L"), n_likes),
+        ]
+    )
+    declared = cardinalities.with_constraints(
+        [
+            # PIQL-style developer contracts:
+            DegreeConstraint.make(("U",), ("U", "F"), k),   # follows <= K
+            DegreeConstraint.make(("F",), ("F", "P"), p),   # posts <= P
+            # one user per (U,F) pair and one author per post:
+            DegreeConstraint.make(("P",), ("F", "P"), 1),
+        ]
+    )
+
+    print(f"database: |Follows|={n_follows}, |Posts|={n_posts}, |Likes|={n_likes}")
+    print(f"declared: deg(F|U) <= {k}, deg(P|F) <= {p}, author(P) unique")
+    print()
+
+    for query in (feed, likers):
+        variables = tuple(sorted(query.variable_set))
+        scope = frozenset(variables)
+        in_scope = lambda cs: ConstraintSet(c for c in cs if c.y <= scope)
+        agm = log_size_bound(variables, scope, in_scope(cardinalities))
+        aware = log_size_bound(variables, scope, in_scope(declared))
+        actual = len(query.evaluate_naive(db))
+        print(f"query: {query}")
+        print(f"  AGM bound (cardinalities only): {agm.value:>12.0f}")
+        print(f"  degree-aware polymatroid bound: {aware.value:>12.0f}")
+        print(f"  actual output:                  {actual:>12}")
+        assert actual <= aware.value + 1e-6, "bound violated!"
+        # Exponent certificate: which constraints the dual actually charges.
+        charged = {
+            str(aware.constraint_for_pair[pair].origin): str(weight)
+            for pair, weight in aware.delta.items()
+            if weight
+        }
+        print(f"  dual certificate: {charged}")
+        print()
+
+    print("Scale-independence check: doubling the user base leaves the")
+    print("degree-aware *per-user* feed bound unchanged (K·P), while the AGM")
+    print("bound grows with the relation sizes:")
+    for scale in (1, 2, 4):
+        db_s = build_database(users * scale, k, p, seed=scale)
+        cc = ConstraintSet(
+            [
+                cardinality(("U", "F"), len(db_s["Follows"])),
+                cardinality(("F", "P"), len(db_s["Posts"])),
+            ]
+        )
+        dc = cc.with_constraints(
+            [
+                DegreeConstraint.make(("U",), ("U", "F"), k),
+                DegreeConstraint.make(("F",), ("F", "P"), p),
+            ]
+        )
+        # Feed restricted to a single user: add |σ_U| = 1 via deg(U|∅) <= 1.
+        per_user = dc.with_constraint(DegreeConstraint.make((), ("U",), 1))
+        variables = ("F", "P", "U")
+        agm = log_size_bound(variables, frozenset(variables), cc)
+        fixed = log_size_bound(variables, frozenset(variables), per_user)
+        print(
+            f"  users={users * scale:>4}: AGM={agm.value:>10.0f}   "
+            f"per-user degree-aware={fixed.value:>6.0f} (= K·P = {k * p})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+``pip install -e . --no-build-isolation`` path on offline machines without
+the ``wheel`` package (PEP 660 editable installs need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of Abo Khamis, Ngo & Suciu, PODS 2017 (PANDA).
+
+Public API highlights (see README.md for the architecture):
+
+* :mod:`repro.bounds` — AGM / polymatroid / entropic-outer size bounds;
+* :mod:`repro.datalog` — conjunctive queries and disjunctive datalog rules;
+* :func:`repro.core.panda.panda` — the PANDA algorithm (Algorithm 1);
+* :mod:`repro.core.query_plans` — full/Boolean CQ evaluation at DAPB,
+  da-fhtw, and da-subw runtimes (Corollaries 7.10/7.11/7.13, Theorem 1.9);
+* :mod:`repro.widths` — tw / ghtw / fhtw / subw / adw and degree-aware widths;
+* :mod:`repro.flows` — Shannon-flow inequalities and proof sequences;
+* :mod:`repro.instances` — the paper's worst-case and group-system instances.
+"""
+
+from repro.bounds import agm_bound, log_size_bound
+from repro.core.constraints import (
+    ConstraintSet,
+    DegreeConstraint,
+    cardinality,
+    functional_dependency,
+)
+from repro.core.hypergraph import Hypergraph
+from repro.core.panda import PandaResult, panda
+from repro.core.query_plans import (
+    dafhtw_plan,
+    dasubw_plan,
+    panda_full_query,
+    tree_decomposition_plan,
+)
+from repro.core.setfunctions import SetFunction
+from repro.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    DisjunctiveRule,
+    parse_query,
+    parse_rule,
+)
+from repro.relational import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "ConstraintSet",
+    "Database",
+    "DegreeConstraint",
+    "DisjunctiveRule",
+    "Hypergraph",
+    "PandaResult",
+    "Relation",
+    "SetFunction",
+    "agm_bound",
+    "cardinality",
+    "dafhtw_plan",
+    "dasubw_plan",
+    "functional_dependency",
+    "log_size_bound",
+    "panda",
+    "panda_full_query",
+    "parse_query",
+    "parse_rule",
+    "tree_decomposition_plan",
+    "__version__",
+]

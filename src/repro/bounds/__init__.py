@@ -1,0 +1,42 @@
+"""Output-size bounds: edge covers, polymatroid LPs, entropic outer bounds."""
+
+from repro.bounds.edge_covers import (
+    agm_bound,
+    agm_log_bound,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    integral_edge_cover_log_bound,
+    vertex_log_bound,
+)
+from repro.bounds.entropic import (
+    GapResult,
+    entropic_outer_bound,
+    polymatroid_vs_entropic_gap,
+)
+from repro.bounds.polymatroid import (
+    BoundResult,
+    LogConstraint,
+    PolymatroidProgram,
+    constraints_to_log,
+    edge_dominated_constraints,
+    log_size_bound,
+    vertex_dominated_constraints,
+)
+
+__all__ = [
+    "BoundResult",
+    "GapResult",
+    "LogConstraint",
+    "PolymatroidProgram",
+    "agm_bound",
+    "agm_log_bound",
+    "constraints_to_log",
+    "edge_dominated_constraints",
+    "entropic_outer_bound",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "integral_edge_cover_log_bound",
+    "log_size_bound",
+    "polymatroid_vs_entropic_gap",
+    "vertex_dominated_constraints",
+]

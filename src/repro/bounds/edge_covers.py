@@ -1,0 +1,141 @@
+"""Edge-cover output-size bounds (§2.1.1, Eqs. 28–35).
+
+The classic hierarchy for a natural join query ``Q`` with relation sizes
+``N_F``:
+
+    |Q| <= VB(Q) = N^n                          (vertex bound)
+    |Q| <= 2^{ρ(Q, N)}                          (integral edge cover)
+    |Q| <= AGM(Q, N) = 2^{ρ*(Q, N)}             (fractional edge cover / AGM)
+
+``ρ*`` is a small LP over one λ-variable per edge; ``ρ`` is its integer
+version, computed by brute force over multiplicity vectors (query-complexity
+is allowed to be exponential, Prop. 3.2's discussion).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Mapping, Sequence
+
+from repro.core.constraints import log2_fraction
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import LPError, QueryError
+from repro.lp import LPModel
+
+__all__ = [
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "integral_edge_cover_log_bound",
+    "agm_log_bound",
+    "agm_bound",
+    "vertex_log_bound",
+]
+
+
+def _edge_log_sizes(
+    hypergraph: Hypergraph, sizes: Mapping[frozenset, int] | None
+) -> list[Fraction]:
+    """Per-edge ``log2 N_F``; ``sizes=None`` means all edges have size 2 (log 1)."""
+    logs = []
+    for edge in hypergraph.edges:
+        if sizes is None:
+            logs.append(Fraction(1))
+        else:
+            try:
+                logs.append(log2_fraction(sizes[edge]))
+            except KeyError:
+                raise QueryError(f"no size given for edge {sorted(edge)}") from None
+    return logs
+
+
+def fractional_edge_cover(
+    hypergraph: Hypergraph,
+    sizes: Mapping[frozenset, int] | None = None,
+    backend: str = "exact",
+) -> tuple[Fraction, dict[int, Fraction]]:
+    """Minimize ``sum_F λ_F log N_F`` over fractional edge covers (Eq. 33).
+
+    Returns:
+        ``(ρ*(Q, N), λ)`` where λ maps *edge index* (atom position) to weight.
+        With ``sizes=None`` this is the normalized cover number ρ*(Q) (Eq. 35).
+    """
+    logs = _edge_log_sizes(hypergraph, sizes)
+    # Minimize via max of the negation: max -sum λ_F n_F s.t. -sum_{F∋v} λ_F <= -1.
+    model = LPModel()
+    for idx in range(len(hypergraph.edges)):
+        model.add_variable(("λ", idx), objective=-logs[idx])
+    for v in hypergraph.vertices:
+        coeffs = {
+            ("λ", idx): -1
+            for idx, edge in enumerate(hypergraph.edges)
+            if v in edge
+        }
+        if not coeffs:
+            raise QueryError(f"vertex {v!r} is covered by no edge")
+        model.add_le_constraint(("cover", v), coeffs, Fraction(-1))
+    solution = model.maximize(backend=backend)
+    cover = {
+        idx: solution.values[("λ", idx)]
+        for idx in range(len(hypergraph.edges))
+        if solution.values[("λ", idx)]
+    }
+    return -solution.objective, cover
+
+
+def fractional_edge_cover_number(
+    hypergraph: Hypergraph, backend: str = "exact"
+) -> Fraction:
+    """``ρ*(Q)`` of Eq. (35): the size-independent fractional cover number."""
+    value, _ = fractional_edge_cover(hypergraph, sizes=None, backend=backend)
+    return value
+
+
+def integral_edge_cover_log_bound(
+    hypergraph: Hypergraph, sizes: Mapping[frozenset, int] | None = None
+) -> Fraction:
+    """``ρ(Q, N)`` of Eq. (32): best integral edge cover, brute force.
+
+    Edge multiplicities beyond 1 never help an integral cover, so the search
+    is over subsets of distinct edges that cover all vertices.
+    """
+    logs = _edge_log_sizes(hypergraph, sizes)
+    edges = list(hypergraph.edges)
+    best: Fraction | None = None
+    vertex_set = hypergraph.vertex_set
+    for selector in product((0, 1), repeat=len(edges)):
+        covered: set = set()
+        total = Fraction(0)
+        for idx, chosen in enumerate(selector):
+            if chosen:
+                covered |= edges[idx]
+                total += logs[idx]
+        if frozenset(covered) >= vertex_set and (best is None or total < best):
+            best = total
+    if best is None:
+        raise LPError("hypergraph has no integral edge cover")
+    return best
+
+
+def agm_log_bound(
+    hypergraph: Hypergraph,
+    sizes: Mapping[frozenset, int],
+    backend: str = "exact",
+) -> Fraction:
+    """``log2 AGM(Q, (N_F))`` (Eq. 30) = ρ*(Q, (N_F))."""
+    value, _ = fractional_edge_cover(hypergraph, sizes, backend=backend)
+    return value
+
+
+def agm_bound(
+    hypergraph: Hypergraph,
+    sizes: Mapping[frozenset, int],
+    backend: str = "exact",
+) -> float:
+    """The AGM bound itself, ``2^{ρ*}``."""
+    return 2.0 ** float(agm_log_bound(hypergraph, sizes, backend=backend))
+
+
+def vertex_log_bound(hypergraph: Hypergraph, domain_size: int) -> Fraction:
+    """``log2 VB(Q) = n · log2 N`` (Eq. 28)."""
+    return Fraction(hypergraph.n) * log2_fraction(domain_size)

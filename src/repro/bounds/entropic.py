@@ -1,0 +1,78 @@
+"""Outer bounds on the entropic region and the Theorem 1.3 / Lemma 4.5 gaps.
+
+The true entropic bound ``LogSizeBound_{cl(Γ*n) ∩ H_DC}`` is not computable —
+``cl(Γ*n)`` needs infinitely many non-Shannon inequalities [41] — but it is
+sandwiched:
+
+    (anything entropic achieves)  <=  entropic bound  <=  ZY-outer bound
+                                                      <=  polymatroid bound.
+
+The *ZY-outer bound* adds every Zhang–Yeung instantiation to the polymatroid
+LP, exactly as the paper does to prove the polymatroid bound non-tight.  This
+module packages those comparisons, including the paper's two showcase gaps:
+
+* the **Zhang–Yeung query** (Eq. 49): polymatroid = 4·logN, ZY-outer
+  <= 43/11·logN (Theorem 1.3);
+* the **15-target disjunctive rule** (Eq. 65): polymatroid >= 4·logN,
+  entropic <= 330/85·logN (Lemma 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.bounds.polymatroid import BoundResult, log_size_bound
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+
+__all__ = ["GapResult", "entropic_outer_bound", "polymatroid_vs_entropic_gap"]
+
+
+@dataclass(frozen=True)
+class GapResult:
+    """Side-by-side polymatroid vs ZY-tightened bounds.
+
+    Attributes:
+        polymatroid: the Γn ∩ H_DC bound result.
+        zy_outer: the (Γn ∩ ZY) ∩ H_DC bound result.
+        log_gap: ``polymatroid.log_value - zy_outer.log_value`` (>= 0).
+    """
+
+    polymatroid: BoundResult
+    zy_outer: BoundResult
+
+    @property
+    def log_gap(self) -> Fraction:
+        return self.polymatroid.log_value - self.zy_outer.log_value
+
+    @property
+    def has_gap(self) -> bool:
+        """True when the polymatroid bound is *provably* not tight."""
+        return self.log_gap > 0
+
+
+def entropic_outer_bound(
+    universe: Sequence[str],
+    targets: Sequence[frozenset] | frozenset,
+    constraints: ConstraintSet | Iterable[DegreeConstraint],
+    backend: str = "exact",
+) -> BoundResult:
+    """``LogSizeBound`` over Γn tightened with all ZY instantiations."""
+    return log_size_bound(
+        universe, targets, constraints, function_class="polymatroid+zy", backend=backend
+    )
+
+
+def polymatroid_vs_entropic_gap(
+    universe: Sequence[str],
+    targets: Sequence[frozenset] | frozenset,
+    constraints: ConstraintSet | Iterable[DegreeConstraint],
+    backend: str = "exact",
+) -> GapResult:
+    """Compute both bounds and report the (Theorem 1.3-style) gap."""
+    poly = log_size_bound(
+        universe, targets, constraints, function_class="polymatroid", backend=backend
+    )
+    zy = entropic_outer_bound(universe, targets, constraints, backend=backend)
+    return GapResult(polymatroid=poly, zy_outer=zy)

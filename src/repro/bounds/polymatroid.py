@@ -1,0 +1,345 @@
+"""Polymatroid (and relaxed/strengthened) size bounds via linear programming.
+
+This module realizes ``LogSizeBound_F(P)`` of Eq. (7) for the function classes
+of Figure 3:
+
+* ``F = Γn ∩ H_DC``   — the *polymatroid bound* (Eq. 9), via elemental Shannon
+  inequalities;
+* ``F = Γn ∩ H_DC ∩ ZY`` — the Zhang–Yeung-tightened outer bound on the
+  *entropic bound* (Eq. 8), the device of Theorem 1.3;
+* ``F = SAn ∩ H_DC``  — the subadditive relaxation (Prop. 3.2, Eq. 43);
+* ``F = Mn ∩ H_DC``   — the modular restriction (Lemma 3.1, Prop. 7.3).
+
+For a single target ``B`` the bound is a plain LP ``max h(B)``; for a
+disjunctive rule with targets ``B`` the maximin objective ``max min_B h(B)``
+is linearized as ``max w : w <= h(B)`` (Eq. 71), and the dual values of the
+``w``-rows are exactly the λ-weights of Lemma 5.2/5.3.  The dual values of the
+degree-constraint, submodularity, and monotonicity rows are the ``(δ, σ, μ)``
+that witness the Shannon-flow inequality (Prop. 5.4) consumed by
+:mod:`repro.flows`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+from repro.core.hypergraph import Hypergraph, powerset
+from repro.core.setfunctions import SetFunction, elemental_inequalities
+from repro.exceptions import LPError
+from repro.lp import LPModel
+
+__all__ = [
+    "LogConstraint",
+    "BoundResult",
+    "PolymatroidProgram",
+    "log_size_bound",
+    "constraints_to_log",
+    "edge_dominated_constraints",
+    "vertex_dominated_constraints",
+    "FUNCTION_CLASSES",
+]
+
+FUNCTION_CLASSES = ("polymatroid", "polymatroid+zy", "subadditive", "modular")
+
+
+@dataclass(frozen=True, order=True)
+class LogConstraint:
+    """A log-space degree constraint row ``h(Y) - h(X) <= log_bound``.
+
+    Attributes:
+        x_key / y_key: sorted variable tuples for ``X ⊂ Y``.
+        log_bound: ``n_{Y|X}`` as an exact rational.
+        origin: the integer-bound :class:`DegreeConstraint` it came from, if
+            any (ED/VD normalizations have no integer origin).
+    """
+
+    x_key: tuple[str, ...]
+    y_key: tuple[str, ...]
+    log_bound: Fraction
+    origin: DegreeConstraint | None = field(default=None, compare=False)
+
+    @property
+    def x(self) -> frozenset:
+        return frozenset(self.x_key)
+
+    @property
+    def y(self) -> frozenset:
+        return frozenset(self.y_key)
+
+    @property
+    def pair(self) -> tuple[frozenset, frozenset]:
+        return (self.x, self.y)
+
+    def __str__(self) -> str:
+        x = ",".join(self.x_key) or "∅"
+        return f"h({','.join(self.y_key)}|{x}) <= {self.log_bound}"
+
+
+def constraints_to_log(constraints: ConstraintSet | Iterable[DegreeConstraint]) -> list[LogConstraint]:
+    """Convert integer degree constraints to log-space rows."""
+    return [
+        LogConstraint(c.x_key, c.y_key, c.log_bound, origin=c) for c in constraints
+    ]
+
+
+def edge_dominated_constraints(
+    hypergraph: Hypergraph, scale: Fraction = Fraction(1)
+) -> list[LogConstraint]:
+    """The normalized ``scale · ED`` constraints ``h(F) <= scale`` (Def. 2.4)."""
+    return [
+        LogConstraint((), tuple(sorted(edge)), Fraction(scale))
+        for edge in hypergraph.distinct_edges()
+    ]
+
+
+def vertex_dominated_constraints(
+    hypergraph: Hypergraph, scale: Fraction = Fraction(1)
+) -> list[LogConstraint]:
+    """The normalized ``scale · VD`` constraints ``h({v}) <= scale``."""
+    return [
+        LogConstraint((), (v,), Fraction(scale)) for v in hypergraph.vertices
+    ]
+
+
+@dataclass(frozen=True)
+class BoundResult:
+    """The value and certificates of a ``LogSizeBound`` LP.
+
+    Attributes:
+        log_value: the optimal ``max_h min_B h(B)`` in log2 units.
+        h_values: an optimal (relaxed-class) set function, by subset.
+        lambda_weights: λ_B per target (Lemma 5.2); ``{B: 1}`` for one target.
+        delta: dual values ``δ_{Y|X}`` keyed by ``(X, Y)`` pairs.
+        sigma: dual values ``σ_{I,J}`` of the (elemental) submodularity rows.
+        mu: dual values ``μ_{X,Y}`` of the (elemental) monotonicity rows.
+        constraint_for_pair: the :class:`LogConstraint` behind each δ key.
+        targets: the target sets, in LP order.
+    """
+
+    log_value: Fraction
+    h_values: dict[frozenset, Fraction]
+    lambda_weights: dict[frozenset, Fraction]
+    delta: dict[tuple[frozenset, frozenset], Fraction]
+    sigma: dict[tuple[frozenset, frozenset], Fraction]
+    mu: dict[tuple[frozenset, frozenset], Fraction]
+    constraint_for_pair: dict[tuple[frozenset, frozenset], LogConstraint]
+    targets: tuple[frozenset, ...]
+
+    @property
+    def value(self) -> float:
+        """The bound itself, ``2^{log_value}``."""
+        return float(2 ** self.log_value) if self.log_value.denominator == 1 else 2.0 ** float(self.log_value)
+
+    def optimal_set_function(self, universe: Sequence[str]) -> SetFunction:
+        """The optimal ``h`` as a :class:`SetFunction`."""
+        return SetFunction(
+            tuple(universe), {s: v for s, v in self.h_values.items() if s}
+        )
+
+    def dual_certificate_value(self) -> Fraction:
+        """``sum δ_{Y|X} · n_{Y|X}`` — must equal ``log_value`` (strong duality)."""
+        total = Fraction(0)
+        for pair, coefficient in self.delta.items():
+            if coefficient:
+                total += coefficient * self.constraint_for_pair[pair].log_bound
+        return total
+
+
+class PolymatroidProgram:
+    """Builder/solver for set-function LPs over a fixed universe and class."""
+
+    def __init__(
+        self,
+        universe: Sequence[str],
+        log_constraints: Iterable[LogConstraint],
+        function_class: str = "polymatroid",
+    ) -> None:
+        if function_class not in FUNCTION_CLASSES:
+            raise LPError(
+                f"unknown function class {function_class!r}; pick from {FUNCTION_CLASSES}"
+            )
+        self.universe = tuple(universe)
+        self.function_class = function_class
+        self.log_constraints = list(log_constraints)
+        full = frozenset(self.universe)
+        for constraint in self.log_constraints:
+            if not constraint.y <= full:
+                raise LPError(
+                    f"constraint {constraint} outside universe {self.universe}"
+                )
+
+    # -- model construction -----------------------------------------------------------
+
+    def _build(self, targets: Sequence[frozenset]) -> LPModel:
+        model = LPModel()
+        subsets = [s for s in powerset(self.universe) if s]
+        maximin = len(targets) > 1
+        if maximin:
+            model.add_variable("w", objective=1)
+        for subset in subsets:
+            model.add_variable(subset, objective=0)
+        if maximin:
+            for target in targets:
+                model.add_le_constraint(
+                    ("target", target), {"w": 1, target: -1}, 0
+                )
+        else:
+            model.set_objective(targets[0], 1)
+
+        self._add_class_rows(model)
+
+        for constraint in self.log_constraints:
+            coeffs: dict = {constraint.y: Fraction(1)}
+            if constraint.x:
+                coeffs[constraint.x] = Fraction(-1)
+            model.add_le_constraint(
+                ("dc", constraint.x, constraint.y), coeffs, constraint.log_bound
+            )
+        return model
+
+    def _add_class_rows(self, model: LPModel) -> None:
+        if self.function_class in ("polymatroid", "polymatroid+zy"):
+            for ineq in elemental_inequalities(self.universe):
+                name = (
+                    "submod" if ineq.kind == "submodularity" else "mono",
+                    ineq.i,
+                    ineq.j,
+                )
+                model.add_le_constraint(name, ineq.as_dict(), 0)
+            if self.function_class == "polymatroid+zy":
+                from repro.entropy.nonshannon import zhang_yeung_rows
+
+                for tup, coeffs in zhang_yeung_rows(self.universe):
+                    model.add_le_constraint(("zy", tup), coeffs, 0)
+        elif self.function_class == "subadditive":
+            self._add_subadditive_rows(model)
+        elif self.function_class == "modular":
+            self._add_modular_rows(model)
+
+    def _add_subadditive_rows(self, model: LPModel) -> None:
+        """Monotonicity (single-element steps) + subadditivity (disjoint pairs)."""
+        subsets = [s for s in powerset(self.universe) if s]
+        for subset in subsets:
+            for v in self.universe:
+                if v in subset:
+                    continue
+                bigger = subset | {v}
+                model.add_le_constraint(
+                    ("mono", subset, bigger), {subset: 1, bigger: -1}, 0
+                )
+        for x in subsets:
+            for y in subsets:
+                if x & y or tuple(sorted(x)) > tuple(sorted(y)):
+                    continue
+                union = x | y
+                model.add_le_constraint(
+                    ("subadd", x, y), {union: 1, x: -1, y: -1}, 0
+                )
+
+    def _add_modular_rows(self, model: LPModel) -> None:
+        """``h(S) = sum_v h({v})`` via paired inequalities."""
+        for subset in powerset(self.universe):
+            if len(subset) < 2:
+                continue
+            singles = {frozenset((v,)): Fraction(-1) for v in subset}
+            model.add_le_constraint(
+                ("modular+", subset), {subset: Fraction(1), **singles}, 0
+            )
+            singles_pos = {frozenset((v,)): Fraction(1) for v in subset}
+            model.add_le_constraint(
+                ("modular-", subset), {subset: Fraction(-1), **singles_pos}, 0
+            )
+
+    # -- solving ------------------------------------------------------------------------
+
+    def maximize(
+        self,
+        targets: Sequence[frozenset] | frozenset,
+        backend: str = "exact",
+    ) -> BoundResult:
+        """Compute ``max_{h in F ∩ H} min_{B in targets} h(B)``.
+
+        Args:
+            targets: one target set or a sequence of target sets.
+            backend: ``"exact"`` or ``"scipy"``.
+        """
+        if isinstance(targets, frozenset):
+            target_list: list[frozenset] = [targets]
+        else:
+            target_list = [frozenset(t) for t in targets]
+        if not target_list:
+            raise LPError("at least one target required")
+        model = self._build(target_list)
+        solution = model.maximize(backend=backend)
+
+        h_values = {
+            s: v for s, v in solution.values.items() if isinstance(s, frozenset)
+        }
+        h_values[frozenset()] = Fraction(0)
+
+        delta: dict[tuple[frozenset, frozenset], Fraction] = {}
+        sigma: dict[tuple[frozenset, frozenset], Fraction] = {}
+        mu: dict[tuple[frozenset, frozenset], Fraction] = {}
+        lambda_weights: dict[frozenset, Fraction] = {}
+        constraint_for_pair: dict[tuple[frozenset, frozenset], LogConstraint] = {
+            c.pair: c for c in self.log_constraints
+        }
+        for name, value in solution.duals.items():
+            kind = name[0]
+            if kind == "dc":
+                delta[(name[1], name[2])] = value
+            elif kind == "submod":
+                sigma[(name[1], name[2])] = value
+            elif kind == "mono":
+                mu[(name[1], name[2])] = value
+            elif kind == "target":
+                lambda_weights[name[1]] = value
+        if len(target_list) == 1:
+            lambda_weights = {target_list[0]: Fraction(1)}
+        return BoundResult(
+            log_value=solution.objective,
+            h_values=h_values,
+            lambda_weights=lambda_weights,
+            delta=delta,
+            sigma=sigma,
+            mu=mu,
+            constraint_for_pair=constraint_for_pair,
+            targets=tuple(target_list),
+        )
+
+
+def log_size_bound(
+    universe: Sequence[str],
+    targets: Sequence[frozenset] | frozenset,
+    constraints: ConstraintSet | Iterable[DegreeConstraint] | Iterable[LogConstraint],
+    function_class: str = "polymatroid",
+    backend: str = "exact",
+) -> BoundResult:
+    """``LogSizeBound_{F ∩ H_DC}`` (Eq. 7) — the module's main entry point.
+
+    Args:
+        universe: the query variables.
+        targets: target set(s) — ``[n]`` for a full CQ, the head sets ``B``
+            for a disjunctive rule.
+        constraints: degree constraints (integer or log-space).
+        function_class: one of :data:`FUNCTION_CLASSES`.
+        backend: LP backend.
+    """
+    rows: list[LogConstraint] = []
+    for constraint in constraints:
+        if isinstance(constraint, LogConstraint):
+            rows.append(constraint)
+        else:
+            rows.append(
+                LogConstraint(
+                    constraint.x_key,
+                    constraint.y_key,
+                    constraint.log_bound,
+                    origin=constraint,
+                )
+            )
+    program = PolymatroidProgram(universe, rows, function_class)
+    return program.maximize(targets, backend=backend)

@@ -1,0 +1,23 @@
+"""Core: hypergraphs, constraints, set functions, PANDA, and query plans."""
+
+from repro.core.constraints import (
+    ConstraintSet,
+    DegreeConstraint,
+    cardinality,
+    functional_dependency,
+    log2_fraction,
+)
+from repro.core.hypergraph import Hypergraph, powerset
+from repro.core.setfunctions import SetFunction, elemental_inequalities
+
+__all__ = [
+    "ConstraintSet",
+    "DegreeConstraint",
+    "Hypergraph",
+    "SetFunction",
+    "cardinality",
+    "elemental_inequalities",
+    "functional_dependency",
+    "log2_fraction",
+    "powerset",
+]

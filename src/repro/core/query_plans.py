@@ -1,0 +1,398 @@
+"""PANDA-based query evaluation (Corollaries 7.10, 7.11, 7.13 / Theorem 1.9).
+
+Three PANDA drivers plus the traditional baseline:
+
+* :func:`panda_full_query` — a full (or Boolean) CQ at the degree-aware
+  polymatroid bound DAPB (Cor. 7.10): single-target PANDA, then semijoin
+  reduction with every input atom, which makes the superset exact;
+* :func:`dafhtw_plan` — the best tree decomposition under degree constraints;
+  every bag materialized by single-target PANDA, then Yannakakis (Cor. 7.11);
+* :func:`dasubw_plan` — the adaptive algorithm of Cor. 7.13: one disjunctive
+  rule per bag-selector image, PANDA on each, per-bag unions, semijoin
+  reduction, then Yannakakis on every candidate decomposition, with results
+  unioned (or OR-ed for Boolean queries);
+* :func:`tree_decomposition_plan` — the non-adaptive baseline of Example
+  1.10: pick ONE decomposition, materialize every bag by a worst-case-optimal
+  join of the restricted atoms, then Yannakakis.  On the 4-cycle's worst-case
+  instance this pays ``Θ(N²)`` while :func:`dasubw_plan` stays at
+  ``O~(N^{3/2})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.constraints import ConstraintSet
+from repro.core.panda import PandaResult, panda
+from repro.datalog.conjunctive import ConjunctiveQuery
+from repro.datalog.rule import DisjunctiveRule
+from repro.decompositions.enumeration import tree_decompositions
+from repro.decompositions.selectors import selector_images
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.operators import project, semijoin, union
+from repro.relational.relation import Relation
+from repro.relational.wcoj import generic_join
+from repro.relational.yannakakis import acyclic_boolean, acyclic_join, join_tree_from_bags
+
+__all__ = [
+    "PlanResult",
+    "panda_full_query",
+    "dafhtw_plan",
+    "dasubw_plan",
+    "proper_query_plan",
+    "tree_decomposition_plan",
+]
+
+
+@dataclass
+class PlanResult:
+    """Outcome of a query plan.
+
+    Attributes:
+        relation: the query answer (empty-schema relation for Boolean).
+        boolean: the Boolean answer (non-emptiness).
+        panda_runs: the PANDA invocations performed, for inspection.
+        decompositions_used: the tree decompositions joined at the end.
+    """
+
+    relation: Relation
+    boolean: bool
+    panda_runs: list[PandaResult] = field(default_factory=list)
+    decompositions_used: list[TreeDecomposition] = field(default_factory=list)
+
+
+def _check_query(query: ConjunctiveQuery) -> None:
+    if not (query.is_full or query.is_boolean):
+        raise QueryError(
+            "the paper's drivers cover full and Boolean conjunctive queries "
+            "(§8 sketches the general case); project the full result instead"
+        )
+
+
+def _boolean_result(query: ConjunctiveQuery, non_empty: bool) -> Relation:
+    return Relation(query.name, (), [()] if non_empty else [])
+
+
+def panda_full_query(
+    query: ConjunctiveQuery,
+    database: Database,
+    constraints: ConstraintSet | None = None,
+    backend: str = "exact",
+) -> PlanResult:
+    """Corollary 7.10: evaluate a full/Boolean CQ in ``O~(N + 2^{DAPB})``."""
+    _check_query(query)
+    variables = tuple(sorted(query.variable_set))
+    rule = DisjunctiveRule((frozenset(variables),), query.body, name=query.name)
+    result = panda(rule, database, constraints=constraints, backend=backend)
+    table = result.model.tables[0]
+    for atom in query.body:
+        table = semijoin(table, atom.bind(database))
+    answer = table.renamed(query.name)
+    if query.is_boolean:
+        return PlanResult(
+            relation=_boolean_result(query, not answer.is_empty()),
+            boolean=not answer.is_empty(),
+            panda_runs=[result],
+        )
+    return PlanResult(relation=answer, boolean=not answer.is_empty(), panda_runs=[result])
+
+
+def _bag_atoms(query: ConjunctiveQuery, bag: frozenset, database: Database) -> list[Relation]:
+    """The restricted atoms ``Π_{F ∩ B}(R_F)`` of the bag query on ``H_B``."""
+    relations = []
+    for atom in query.body:
+        overlap = atom.variable_set & bag
+        if overlap:
+            relations.append(project(atom.bind(database), overlap))
+    return relations
+
+
+def tree_decomposition_plan(
+    query: ConjunctiveQuery,
+    database: Database,
+    decomposition: TreeDecomposition,
+) -> PlanResult:
+    """The non-adaptive baseline: one decomposition, bags via Generic Join.
+
+    This is the classic fhtw-style strategy (§2.1.3): each bag is fully
+    materialized — worst-case ``N^{ρ*(bag)}`` — then Yannakakis finishes.
+    """
+    _check_query(query)
+    bag_tables = []
+    for bag in decomposition.bags:
+        atoms = _bag_atoms(query, bag, database)
+        table = generic_join(atoms, name=f"T_{''.join(sorted(bag))}")
+        bag_tables.append(table)
+    tree = join_tree_from_bags(bag_tables)
+    if query.is_boolean:
+        answer = acyclic_boolean(tree)
+        return PlanResult(
+            relation=_boolean_result(query, answer),
+            boolean=answer,
+            decompositions_used=[decomposition],
+        )
+    joined = acyclic_join(tree, name=query.name)
+    return PlanResult(
+        relation=joined,
+        boolean=not joined.is_empty(),
+        decompositions_used=[decomposition],
+    )
+
+
+def dafhtw_plan(
+    query: ConjunctiveQuery,
+    database: Database,
+    constraints: ConstraintSet | None = None,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> PlanResult:
+    """Corollary 7.11: evaluate at the degree-aware fractional hypertree width.
+
+    Picks the decomposition minimizing the worst bag's polymatroid bound,
+    materializes every bag with single-target PANDA, semijoin-reduces, and
+    runs Yannakakis.
+    """
+    _check_query(query)
+    if constraints is None:
+        constraints = database.extract_cardinalities()
+    hypergraph = query.hypergraph()
+    if decompositions is None:
+        decompositions = tree_decompositions(hypergraph)
+
+    # Choose the da-fhtw-optimal decomposition by its worst bag bound.
+    from repro.bounds.polymatroid import constraints_to_log, PolymatroidProgram
+
+    program = PolymatroidProgram(
+        hypergraph.vertices, constraints_to_log(constraints), "polymatroid"
+    )
+    cache: dict[frozenset, object] = {}
+
+    def bag_cost(bag: frozenset):
+        if bag not in cache:
+            cache[bag] = program.maximize(bag, backend=backend).log_value
+        return cache[bag]
+
+    best = min(decompositions, key=lambda td: max(bag_cost(b) for b in td.bags))
+
+    runs: list[PandaResult] = []
+    bag_tables: list[Relation] = []
+    for bag in best.bags:
+        rule = DisjunctiveRule((bag,), query.body, name=f"P_{''.join(sorted(bag))}")
+        result = panda(rule, database, constraints=constraints, backend=backend)
+        runs.append(result)
+        table = result.model.tables[0]
+        for atom in query.body:
+            if atom.variable_set <= bag:
+                table = semijoin(table, atom.bind(database))
+        bag_tables.append(table)
+
+    tree = join_tree_from_bags(bag_tables)
+    if query.is_boolean:
+        answer = acyclic_boolean(tree)
+        return PlanResult(
+            relation=_boolean_result(query, answer),
+            boolean=answer,
+            panda_runs=runs,
+            decompositions_used=[best],
+        )
+    joined = acyclic_join(tree, name=query.name)
+    # Bags only see atoms fully inside them; a final semijoin sweep enforces
+    # the straddling atoms.
+    for atom in query.body:
+        joined = semijoin(joined, atom.bind(database))
+    return PlanResult(
+        relation=joined.renamed(query.name),
+        boolean=not joined.is_empty(),
+        panda_runs=runs,
+        decompositions_used=[best],
+    )
+
+
+def dasubw_plan(
+    query: ConjunctiveQuery,
+    database: Database,
+    constraints: ConstraintSet | None = None,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> PlanResult:
+    """Corollary 7.13 / Theorem 1.9: evaluate at the degree-aware submodular width.
+
+    For every bag-selector image ``B``, PANDA answers the disjunctive rule
+    whose targets are the image's bags.  The per-bag tables are unioned across
+    images, semijoin-reduced against all inputs, and finally every
+    decomposition associated with some choice tuple is evaluated by Yannakakis
+    and the results combined.
+    """
+    _check_query(query)
+    if constraints is None:
+        constraints = database.extract_cardinalities()
+    hypergraph = query.hypergraph()
+    if decompositions is None:
+        decompositions = tree_decompositions(hypergraph)
+    images = selector_images(decompositions)
+
+    # Step 1: one PANDA disjunctive rule per selector image.
+    runs: list[PandaResult] = []
+    produced: dict[frozenset, Relation] = {}
+    image_targets: list[list[frozenset]] = []
+    for image in images:
+        targets = sorted(image, key=lambda b: tuple(sorted(b)))
+        image_targets.append(targets)
+        rule = DisjunctiveRule(tuple(targets), query.body, name="P_image")
+        result = panda(rule, database, constraints=constraints, backend=backend)
+        runs.append(result)
+        for table in result.model.tables:
+            bag = table.attributes
+            if bag in produced:
+                produced[bag] = union(produced[bag], table, name=table.name)
+            else:
+                produced[bag] = table
+
+    # Step 2: semijoin-reduce every bag table with every input relation.
+    for bag, table in list(produced.items()):
+        for atom in query.body:
+            table = semijoin(table, atom.bind(database))
+        produced[bag] = table
+
+    # Step 3: evaluate the decompositions.  The paper iterates the choice
+    # tuples of ∏_i B_i and locates each tuple's associated decomposition
+    # (Claims 1/2 of Cor. 7.13) — a proof device that is exponential in the
+    # number of selector images.  Evaluating *every* decomposition is an
+    # equivalent superset: by Claim 2 each output tuple is fully contained in
+    # some decomposition's bags, and each decomposition's (semijoin-reduced)
+    # Yannakakis result is a subset of the true answer because every atom
+    # fits inside one of its bags.  |TD| is a query-complexity quantity, so
+    # the runtime bound of Theorem 1.9 is unaffected.
+    used: dict[frozenset, TreeDecomposition] = {
+        td.bag_set: td for td in decompositions
+    }
+
+    answer: Relation | None = None
+    boolean = False
+    for decomposition in used.values():
+        bag_tables = [
+            produced[bag].renamed(f"T_{''.join(sorted(bag))}")
+            for bag in decomposition.bags
+        ]
+        tree = join_tree_from_bags(bag_tables)
+        if query.is_boolean:
+            boolean = boolean or acyclic_boolean(tree)
+            if boolean:
+                break
+            continue
+        part = acyclic_join(tree, name=query.name)
+        for atom in query.body:
+            part = semijoin(part, atom.bind(database))
+        answer = part if answer is None else union(answer, part, name=query.name)
+
+    if query.is_boolean:
+        return PlanResult(
+            relation=_boolean_result(query, boolean),
+            boolean=boolean,
+            panda_runs=runs,
+            decompositions_used=list(used.values()),
+        )
+    if answer is None:
+        answer = Relation(query.name, tuple(sorted(query.variable_set)))
+    return PlanResult(
+        relation=answer.renamed(query.name),
+        boolean=not answer.is_empty(),
+        panda_runs=runs,
+        decompositions_used=list(used.values()),
+    )
+
+
+def proper_query_plan(
+    query: ConjunctiveQuery,
+    database: Database,
+    constraints: ConstraintSet | None = None,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> PlanResult:
+    """§8: evaluate a *proper* CQ over free-connex decompositions.
+
+    The §8 recipe for heads strictly between ∅ and all variables: restrict
+    the Cor. 7.11 minimization to *free-connex* decompositions, materialize
+    every bag with single-target PANDA, semijoin-reduce, then project bound
+    variables away below the connex core by Boolean-semiring message passing
+    (never above it, so intermediates stay bag- and output-bounded).
+
+    Full and Boolean queries are the degenerate cases (every decomposition is
+    free-connex for them) and are also accepted.
+
+    Raises:
+        DecompositionError: if no free-connex decomposition exists among the
+            candidates.
+    """
+    from repro.datalog.atoms import Atom
+    from repro.exceptions import DecompositionError
+    from repro.faq.annotated import AnnotatedRelation
+    from repro.faq.freeconnex import free_connex_decompositions, is_free_connex
+    from repro.faq.plans import faq_decomposition_plan
+    from repro.faq.query import FAQQuery
+    from repro.faq.semiring import BOOLEAN
+
+    head = tuple(query.head)
+    hypergraph = query.hypergraph()
+    if constraints is None:
+        constraints = database.extract_cardinalities()
+    if decompositions is None:
+        decompositions = free_connex_decompositions(hypergraph, head)
+    else:
+        decompositions = [
+            td for td in decompositions if is_free_connex(td, head)
+        ]
+    if not decompositions:
+        raise DecompositionError(
+            f"no free-connex decomposition for head {head}"
+        )
+
+    # da-fhtw-optimal free-connex decomposition by its worst bag bound.
+    from repro.bounds.polymatroid import PolymatroidProgram, constraints_to_log
+
+    program = PolymatroidProgram(
+        hypergraph.vertices, constraints_to_log(constraints), "polymatroid"
+    )
+    cache: dict[frozenset, object] = {}
+
+    def bag_cost(bag: frozenset):
+        if bag not in cache:
+            cache[bag] = program.maximize(bag, backend=backend).log_value
+        return cache[bag]
+
+    best = min(decompositions, key=lambda td: max(bag_cost(b) for b in td.bags))
+
+    # PANDA per bag + semijoin reduction (every atom has a home bag, so the
+    # join of the reduced bag tables equals the full join exactly).
+    runs: list[PandaResult] = []
+    bag_tables: list[Relation] = []
+    for index, bag in enumerate(best.bags):
+        rule = DisjunctiveRule((bag,), query.body, name=f"P_{''.join(sorted(bag))}")
+        result = panda(rule, database, constraints=constraints, backend=backend)
+        runs.append(result)
+        table = result.model.tables[0]
+        for atom in query.body:
+            if atom.variable_set <= bag:
+                table = semijoin(table, atom.bind(database))
+        bag_tables.append(table.renamed(f"B{index}"))
+
+    # Project to the head along the free-connex structure: a Boolean-semiring
+    # FAQ whose factors are the bag tables and whose decomposition is `best`.
+    bag_db = Database(bag_tables)
+    body = tuple(Atom(t.name, t.schema) for t in bag_tables)
+    faq = FAQQuery(head, body, BOOLEAN, name=query.name)
+    faq_plan = faq_decomposition_plan(faq, bag_db, decomposition=best)
+    support = faq_plan.result.support()
+    positions = tuple(support.schema.index(a) for a in head)
+    answer = Relation(
+        query.name, head, (tuple(row[p] for p in positions) for row in support)
+    )
+    return PlanResult(
+        relation=answer,
+        boolean=not answer.is_empty(),
+        panda_runs=runs,
+        decompositions_used=[best],
+    )

@@ -1,0 +1,16 @@
+"""Datalog layer: conjunctive queries and single disjunctive datalog rules."""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.conjunctive import ConjunctiveQuery
+from repro.datalog.parser import parse_atom, parse_query, parse_rule
+from repro.datalog.rule import DisjunctiveRule, TargetModel
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "DisjunctiveRule",
+    "TargetModel",
+    "parse_atom",
+    "parse_query",
+    "parse_rule",
+]

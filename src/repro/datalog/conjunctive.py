@@ -1,0 +1,113 @@
+"""Conjunctive queries (Eq. 1): full, Boolean, and proper.
+
+``Q(A_H) <- /\\_F R_F(A_F)`` with head variables ``H``:
+
+* *full*    — ``H`` = all body variables (a natural join);
+* *Boolean* — ``H = ∅`` (existence check);
+* *proper*  — anything in between (§8; supported for evaluation via its full
+  core plus a final projection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.hypergraph import Hypergraph
+from repro.datalog.atoms import Atom
+from repro.exceptions import QueryError
+from repro.relational.database import Database
+from repro.relational.operators import project
+from repro.relational.relation import Relation
+from repro.relational.wcoj import generic_join
+
+__all__ = ["ConjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query with explicit head variables.
+
+    Attributes:
+        head: ordered head (free) variables; empty tuple means Boolean.
+        body: the body atoms.
+        name: display name for the output relation.
+    """
+
+    head: tuple[str, ...]
+    body: tuple[Atom, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise QueryError("conjunctive query needs at least one body atom")
+        body_vars = self.variable_set
+        missing = frozenset(self.head) - body_vars
+        if missing:
+            raise QueryError(
+                f"head variables {sorted(missing)} do not occur in the body"
+            )
+        if len(set(self.head)) != len(self.head):
+            raise QueryError(f"duplicate head variables in {self.head}")
+
+    @classmethod
+    def full(cls, body: Iterable[Atom], name: str = "Q") -> "ConjunctiveQuery":
+        """The full CQ over the given atoms (head = all variables, sorted)."""
+        atoms = tuple(body)
+        all_vars: set[str] = set()
+        for atom in atoms:
+            all_vars |= atom.variable_set
+        return cls(tuple(sorted(all_vars)), atoms, name)
+
+    @classmethod
+    def boolean(cls, body: Iterable[Atom], name: str = "Q") -> "ConjunctiveQuery":
+        """The Boolean CQ over the given atoms."""
+        return cls((), tuple(body), name)
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def variable_set(self) -> frozenset:
+        out: set[str] = set()
+        for atom in self.body:
+            out |= atom.variable_set
+        return frozenset(out)
+
+    @property
+    def is_full(self) -> bool:
+        return frozenset(self.head) == self.variable_set
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def hypergraph(self) -> Hypergraph:
+        """The query's multi-hypergraph (vertex order: sorted variables)."""
+        return Hypergraph(
+            tuple(sorted(self.variable_set)),
+            tuple(atom.variable_set for atom in self.body),
+        )
+
+    # -- naive evaluation (the test oracle) ------------------------------------------
+
+    def evaluate_naive(self, database: Database) -> Relation:
+        """Reference evaluation: Generic Join of the body, then project.
+
+        This is the semantics oracle the optimized plans are tested against;
+        for Boolean queries the result has the empty schema and is non-empty
+        iff the query is true.
+        """
+        body_join = generic_join(
+            [atom.bind(database) for atom in self.body], name=self.name
+        )
+        if self.is_full:
+            return body_join
+        if self.is_boolean:
+            rows = [()] if len(body_join) else []
+            return Relation(self.name, (), rows)
+        return project(body_join, self.head, name=self.name)
+
+    def __str__(self) -> str:
+        head = ",".join(self.head)
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.name}({head}) :- {body}"

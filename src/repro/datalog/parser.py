@@ -1,0 +1,103 @@
+"""A small text syntax for conjunctive queries and disjunctive rules.
+
+Grammar (whitespace-insensitive)::
+
+    cq     :=  NAME '(' vars? ')' ':-' atoms
+    rule   :=  head_disjunct ('|' head_disjunct)* ':-' atoms
+    atoms  :=  atom (',' atom)*
+    atom   :=  NAME '(' vars ')'
+    vars   :=  VAR (',' VAR)*
+
+Examples::
+
+    parse_query("Q(A1,A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)")
+    parse_rule("T123(A1,A2,A3) | T234(A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4)")
+
+Boolean queries are written with an empty head: ``Q() :- ...``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datalog.atoms import Atom
+from repro.datalog.conjunctive import ConjunctiveQuery
+from repro.datalog.rule import DisjunctiveRule
+from repro.exceptions import QueryError
+
+__all__ = ["parse_atom", "parse_query", "parse_rule"]
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom like ``R12(A1, A2)``."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise QueryError(f"cannot parse atom: {text!r}")
+    name, inner = match.group(1), match.group(2)
+    variables = tuple(v.strip() for v in inner.split(",") if v.strip())
+    return Atom(name, variables)
+
+
+def _split_atoms(text: str) -> list[str]:
+    """Split a comma-separated atom list (commas inside parens don't count)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise QueryError(f"unbalanced parentheses in {text!r}")
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _split_head_body(text: str) -> tuple[str, str]:
+    if ":-" not in text:
+        raise QueryError(f"missing ':-' in {text!r}")
+    head, body = text.split(":-", 1)
+    if not body.strip():
+        raise QueryError(f"empty body in {text!r}")
+    return head.strip(), body.strip()
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query; the head atom's name becomes the query name."""
+    head_text, body_text = _split_head_body(text)
+    head_atoms = _split_atoms(head_text)
+    if len(head_atoms) != 1:
+        raise QueryError(f"conjunctive query needs exactly one head atom: {text!r}")
+    match = _ATOM_RE.fullmatch(head_atoms[0])
+    if not match:
+        raise QueryError(f"cannot parse head: {head_atoms[0]!r}")
+    name = match.group(1)
+    head_vars = tuple(
+        v.strip() for v in match.group(2).split(",") if v.strip()
+    )
+    body = tuple(parse_atom(part) for part in _split_atoms(body_text))
+    return ConjunctiveQuery(head_vars, body, name)
+
+
+def parse_rule(text: str, name: str = "P") -> DisjunctiveRule:
+    """Parse a disjunctive rule; ``|`` (or ``∨``) separates head disjuncts."""
+    head_text, body_text = _split_head_body(text)
+    disjunct_texts = re.split(r"\||∨", head_text)
+    targets = []
+    for disjunct in disjunct_texts:
+        atom = parse_atom(disjunct)
+        targets.append(atom.variable_set)
+    body = tuple(parse_atom(part) for part in _split_atoms(body_text))
+    return DisjunctiveRule(tuple(targets), body, name)

@@ -1,0 +1,18 @@
+"""Tree decompositions: validity, enumeration, and bag selectors."""
+
+from repro.decompositions.enumeration import (
+    decomposition_from_order,
+    prune_dominated,
+    tree_decompositions,
+)
+from repro.decompositions.selectors import associated_decomposition, selector_images
+from repro.decompositions.tree_decomposition import TreeDecomposition
+
+__all__ = [
+    "TreeDecomposition",
+    "associated_decomposition",
+    "decomposition_from_order",
+    "prune_dominated",
+    "selector_images",
+    "tree_decompositions",
+]

@@ -1,0 +1,117 @@
+"""Enumerating tree decompositions (Prop. 2.9).
+
+Every non-dominated non-redundant tree decomposition arises from a vertex
+elimination ordering [2], and there are at most ``n!`` orderings, each giving
+at most ``n`` bags.  This module builds the decomposition of an ordering
+(eliminate ``v``: bag = ``{v} ∪ current-neighbours(v)``, then clique the
+neighbours), deduplicates across orderings, and prunes decompositions
+dominated by another (a dominated decomposition is pointwise at least as good
+for every monotone width, so the *dominating* ones are redundant in
+min-over-TD computations).
+
+For the ``n <= 8`` hypergraphs of the paper's examples full enumeration takes
+well under a second; larger families (Example 7.4 at big ``m``) pass explicit
+candidate decompositions instead.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Sequence
+
+from repro.core.hypergraph import Hypergraph
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.exceptions import DecompositionError
+
+__all__ = [
+    "decomposition_from_order",
+    "tree_decompositions",
+    "prune_dominated",
+]
+
+
+def decomposition_from_order(
+    hypergraph: Hypergraph, order: Sequence[str]
+) -> TreeDecomposition:
+    """The tree decomposition induced by a vertex elimination ordering."""
+    if set(order) != set(hypergraph.vertices):
+        raise DecompositionError(
+            f"order {order} does not match vertices {hypergraph.vertices}"
+        )
+    # Moral graph: every hyperedge becomes a clique.
+    adjacency: dict[str, set[str]] = {v: set() for v in hypergraph.vertices}
+    for edge in hypergraph.edges:
+        for a in edge:
+            adjacency[a] |= edge - {a}
+
+    bags: list[frozenset] = []
+    for v in order:
+        neighbours = adjacency.pop(v)
+        bags.append(frozenset(neighbours | {v}))
+        for a in neighbours:
+            adjacency[a] |= neighbours - {a}
+            adjacency[a].discard(v)
+
+    # Remove redundant bags (contained in a later-created bag).
+    kept: list[frozenset] = []
+    for bag in bags:
+        if not any(bag <= other for other in bags if other is not bag and (len(other) > len(bag) or (len(other) == len(bag) and other != bag))):
+            kept.append(bag)
+    # Deduplicate equal bags.
+    return TreeDecomposition.from_bags(kept)
+
+
+def prune_dominated(
+    decompositions: Iterable[TreeDecomposition],
+) -> list[TreeDecomposition]:
+    """Drop every decomposition dominated by a different one (§2.1.3).
+
+    If ``T1`` is dominated by ``T2`` (every bag of T1 fits in a bag of T2)
+    then ``T2`` never improves a min-over-TD, so ``T2`` is removed.
+    """
+    items = list(decompositions)
+    kept: list[TreeDecomposition] = []
+    for candidate in items:
+        redundant = False
+        for other in items:
+            if other.bag_set == candidate.bag_set:
+                continue
+            if other.is_dominated_by(candidate):
+                # `other` fits inside `candidate`, so `candidate` is redundant.
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return kept
+
+
+def tree_decompositions(
+    hypergraph: Hypergraph,
+    max_vertices_for_full_enumeration: int = 8,
+) -> list[TreeDecomposition]:
+    """The canonical set ``TD(H)``: non-redundant, mutually non-dominated.
+
+    Enumerate all elimination orderings (``n!``), deduplicate by bag set, and
+    prune dominated decompositions.
+
+    Raises:
+        DecompositionError: if the hypergraph is too large for full
+            enumeration; pass explicit decompositions to the width functions
+            instead.
+    """
+    n = hypergraph.n
+    if n > max_vertices_for_full_enumeration:
+        raise DecompositionError(
+            f"{n} vertices exceed the full-enumeration cap "
+            f"({max_vertices_for_full_enumeration}); supply candidate "
+            "decompositions explicitly"
+        )
+    seen: dict[frozenset, TreeDecomposition] = {}
+    for order in permutations(hypergraph.vertices):
+        decomposition = decomposition_from_order(hypergraph, order)
+        seen.setdefault(decomposition.bag_set, decomposition)
+    pruned = prune_dominated(seen.values())
+    return sorted(
+        pruned,
+        key=lambda td: tuple(sorted((len(b), tuple(sorted(b))) for b in td.bags)),
+    )

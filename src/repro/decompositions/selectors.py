@@ -1,0 +1,73 @@
+"""Bag selectors and their images (Lemma 7.12, Eq. 105).
+
+The submodular width swaps ``min_{(T,χ)} max_t`` into ``max_β min_B`` over
+*bag selectors* β — maps choosing one bag from every tree decomposition.  The
+collection ``B`` of selector *images* (Eq. 105) is what both the width LPs and
+the PANDA-based algorithm of Corollary 7.13 iterate over: each image becomes
+the target set of one disjunctive datalog rule.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.exceptions import DecompositionError
+
+__all__ = ["selector_images", "associated_decomposition"]
+
+
+def selector_images(
+    decompositions: Sequence[TreeDecomposition],
+    max_images: int = 100_000,
+) -> list[frozenset]:
+    """All distinct images ``{β(T, χ) : (T, χ)}`` of bag selectors.
+
+    Each image is a frozenset of bags (each bag a frozenset of variables).
+    Images are deduplicated; the count is bounded by ``prod |bags|``.
+
+    Raises:
+        DecompositionError: if the selector space exceeds ``max_images``
+            before deduplication (pathological inputs).
+    """
+    if not decompositions:
+        return []
+    total = 1
+    for decomposition in decompositions:
+        total *= len(decomposition.bags)
+        if total > max_images:
+            raise DecompositionError(
+                f"selector space exceeds {max_images}; restrict the "
+                "decomposition set"
+            )
+    images: dict[frozenset, None] = {}
+    for choice in product(*(d.bags for d in decompositions)):
+        images.setdefault(frozenset(choice), None)
+    return sorted(
+        images, key=lambda img: tuple(sorted(tuple(sorted(b)) for b in img))
+    )
+
+
+def associated_decomposition(
+    decompositions: Sequence[TreeDecomposition],
+    chosen: Iterable[frozenset],
+) -> TreeDecomposition:
+    """Claim 1 of Corollary 7.13: a decomposition all of whose bags are chosen.
+
+    Given one chosen bag per selector image, some decomposition must have all
+    its bags among the chosen ones — otherwise the "missed bags" would
+    themselves form a selector image none of whose bags was chosen.
+
+    Raises:
+        DecompositionError: if no such decomposition exists (caller passed an
+            invalid choice).
+    """
+    chosen_set = frozenset(chosen)
+    for decomposition in decompositions:
+        if all(bag in chosen_set for bag in decomposition.bags):
+            return decomposition
+    raise DecompositionError(
+        "no decomposition has all bags among the chosen ones "
+        "(violates Claim 1 of Cor. 7.13)"
+    )

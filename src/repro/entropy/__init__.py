@@ -1,0 +1,16 @@
+"""Entropy substrate: empirical entropy functions and non-Shannon inequalities."""
+
+from repro.entropy.empirical import distribution_entropy, uniform_entropy
+from repro.entropy.nonshannon import (
+    violates_zhang_yeung,
+    zhang_yeung_coefficients,
+    zhang_yeung_rows,
+)
+
+__all__ = [
+    "distribution_entropy",
+    "uniform_entropy",
+    "violates_zhang_yeung",
+    "zhang_yeung_coefficients",
+    "zhang_yeung_rows",
+]

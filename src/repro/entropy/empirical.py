@@ -1,0 +1,83 @@
+"""Empirical entropy of distributions over relations (§1.1, §4.1).
+
+The upper-bound proofs associate to every database/output a joint
+distribution on the query variables (uniform over the output tuples, Lemma
+4.1) and read off its marginal entropies.  This module computes that entropy
+set function for
+
+* a uniform distribution over a relation's tuples, and
+* an arbitrary weighted distribution over tuples.
+
+Entropy values are generally irrational; they are stored as tight rational
+approximations (``limit_denominator(10^9)``), which keeps
+:class:`~repro.core.setfunctions.SetFunction`'s exact predicates meaningful
+up to that precision.  Group-system instances with ``p = 2`` have exactly
+integral entropies and suffer no approximation at all.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.setfunctions import SetFunction
+from repro.relational.relation import Relation
+
+__all__ = ["uniform_entropy", "distribution_entropy"]
+
+_LIMIT = 10**9
+
+
+def _entropy_bits(probabilities: list[float]) -> Fraction:
+    total = 0.0
+    for p in probabilities:
+        if p > 0:
+            total -= p * math.log2(p)
+    if abs(total - round(total)) < 1e-12:
+        return Fraction(round(total))
+    return Fraction(total).limit_denominator(_LIMIT)
+
+
+def uniform_entropy(relation: Relation) -> SetFunction:
+    """The entropy function of the uniform distribution over ``relation``.
+
+    ``h(A_S)`` is the entropy of the marginal on the ``S``-columns.  This is
+    the construction of the entropic-bound proofs: for the Lemma 4.1 scan
+    model, ``h(B) = log |T|`` for every target ``B``.
+    """
+    size = len(relation)
+    if size == 0:
+        raise ValueError("cannot take the entropy of an empty relation")
+    weights = {row: 1.0 / size for row in relation}
+    return distribution_entropy(relation, weights)
+
+
+def distribution_entropy(
+    relation: Relation, weights: Mapping[tuple, float]
+) -> SetFunction:
+    """The entropy function of an arbitrary distribution over the tuples.
+
+    Args:
+        relation: supplies the schema (variable names / positions).
+        weights: probability of each tuple; must sum to ~1.
+
+    Returns:
+        The :class:`SetFunction` ``S -> H(A_S)`` over the relation's schema.
+    """
+    total = sum(weights.values())
+    if not math.isclose(total, 1.0, rel_tol=1e-9):
+        raise ValueError(f"weights sum to {total}, expected 1")
+
+    def h(subset: frozenset) -> Fraction:
+        if not subset:
+            return Fraction(0)
+        attrs = tuple(sorted(subset))
+        positions = tuple(relation.position(a) for a in attrs)
+        marginal: dict[tuple, float] = {}
+        for row, weight in weights.items():
+            key = tuple(row[p] for p in positions)
+            marginal[key] = marginal.get(key, 0.0) + weight
+        return _entropy_bits(list(marginal.values()))
+
+    return SetFunction.from_callable(relation.schema, h)

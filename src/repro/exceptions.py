@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so callers
+can catch a single base class.  Sub-hierarchies mirror the package layout:
+LP-solver failures, schema/relational errors, and theory-level failures
+(invalid proof sequences, witness violations, infeasible bounds).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class LPError(ReproError):
+    """Base class for linear-programming errors."""
+
+
+class InfeasibleError(LPError):
+    """The linear program has no feasible solution."""
+
+
+class UnboundedError(LPError):
+    """The linear program's objective is unbounded."""
+
+
+class SchemaError(ReproError):
+    """A relational operation was attempted on incompatible schemas."""
+
+
+class QueryError(ReproError):
+    """A query or datalog rule is malformed."""
+
+
+class ConstraintError(ReproError):
+    """A degree constraint is malformed or has no guard."""
+
+
+class ProofSequenceError(ReproError):
+    """A proof sequence is invalid (negativity, or does not reach lambda)."""
+
+
+class WitnessError(ReproError):
+    """A claimed witness violates the inflow constraints of Prop. 5.6."""
+
+
+class PandaError(ReproError):
+    """The PANDA algorithm reached an inconsistent internal state."""
+
+
+class DecompositionError(ReproError):
+    """A tree decomposition is invalid for the given hypergraph."""

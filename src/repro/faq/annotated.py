@@ -1,0 +1,203 @@
+"""Semiring-annotated relations (K-relations) for FAQ evaluation (§8).
+
+An :class:`AnnotatedRelation` is a finite map from tuples over a schema to
+non-``zero`` semiring values — the "factors" of an FAQ query.  The two
+FAQ-relevant operations are the ⊗-join (natural join whose matched
+annotations multiply) and ⊕-marginalization (project away variables, adding
+the annotations of collapsing tuples).  Over the Boolean semiring these
+degrade to the ordinary join and projection, which the tests exploit as an
+oracle bridge to the relational engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import SchemaError
+from repro.faq.semiring import Semiring
+from repro.relational.relation import Relation
+
+__all__ = ["AnnotatedRelation"]
+
+
+class AnnotatedRelation:
+    """A finite map ``tuples over schema -> semiring values``.
+
+    Attributes:
+        name: display name.
+        schema: ordered attribute names.
+        semiring: the annotation domain.
+    """
+
+    __slots__ = ("name", "schema", "semiring", "_data", "_positions")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Iterable[str],
+        semiring: Semiring,
+        annotations: Mapping[tuple, object] | Iterable[tuple] = (),
+    ) -> None:
+        self.name = name
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise SchemaError(f"duplicate attributes in schema {self.schema}")
+        self.semiring = semiring
+        self._positions = {attr: i for i, attr in enumerate(self.schema)}
+        arity = len(self.schema)
+        data: dict[tuple, object] = {}
+        items = (
+            annotations.items()
+            if isinstance(annotations, Mapping)
+            else ((tuple(row), semiring.one) for row in annotations)
+        )
+        for row, value in items:
+            row = tuple(row)
+            if len(row) != arity:
+                raise SchemaError(
+                    f"tuple {row} has arity {len(row)}, schema {self.schema} "
+                    f"expects {arity}"
+                )
+            if value == semiring.zero:
+                continue
+            if row in data:
+                value = semiring.add(data[row], value)
+                if value == semiring.zero:
+                    del data[row]
+                    continue
+            data[row] = value
+        self._data = data
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, semiring: Semiring, weight=None
+    ) -> "AnnotatedRelation":
+        """Lift a set relation: every tuple annotated ``one`` (or ``weight(t)``)."""
+        if weight is None:
+            annotations = {row: semiring.one for row in relation}
+        else:
+            annotations = {row: weight(row) for row in relation}
+        return cls(relation.name, relation.schema, semiring, annotations)
+
+    # -- basic protocol -----------------------------------------------------------
+
+    @property
+    def attributes(self) -> frozenset:
+        return frozenset(self.schema)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._data)
+
+    def items(self):
+        return self._data.items()
+
+    def annotation(self, row: tuple) -> object:
+        """The value of ``row`` (``zero`` for absent tuples)."""
+        return self._data.get(tuple(row), self.semiring.zero)
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the same attribute set (order-insensitive)."""
+        if not isinstance(other, AnnotatedRelation):
+            return NotImplemented
+        if self.attributes != other.attributes or len(self) != len(other):
+            return False
+        if self.schema == other.schema:
+            return self._data == other._data
+        positions = tuple(other._positions[a] for a in self.schema)
+        realigned = {
+            tuple(row[p] for p in positions): value
+            for row, value in other._data.items()
+        }
+        return self._data == realigned
+
+    def __hash__(self):  # pragma: no cover - mutable-map semantics
+        raise TypeError("AnnotatedRelation is not hashable")
+
+    def support(self) -> Relation:
+        """The underlying set relation (tuples with non-zero annotation)."""
+        return Relation(self.name, self.schema, self._data.keys())
+
+    def scalar(self) -> object:
+        """The value of a nullary (fully aggregated) result."""
+        if self.schema:
+            raise SchemaError(
+                f"scalar() needs an empty schema, have {self.schema}"
+            )
+        return self._data.get((), self.semiring.zero)
+
+    # -- FAQ operations -----------------------------------------------------------
+
+    def multiply(
+        self, other: "AnnotatedRelation", name: str | None = None
+    ) -> "AnnotatedRelation":
+        """The ⊗-join: match on shared attributes, multiply annotations.
+
+        Hash join on the smaller operand's shared-key index; the output
+        schema is ``self.schema`` followed by ``other``'s fresh attributes.
+        """
+        if self.semiring is not other.semiring:
+            raise SchemaError(
+                f"cannot join over different semirings "
+                f"({self.semiring} vs {other.semiring})"
+            )
+        shared = [a for a in self.schema if a in other._positions]
+        fresh = [a for a in other.schema if a not in self._positions]
+        out_schema = self.schema + tuple(fresh)
+        left_key = tuple(self._positions[a] for a in shared)
+        right_key = tuple(other._positions[a] for a in shared)
+        fresh_pos = tuple(other._positions[a] for a in fresh)
+
+        index: dict[tuple, list[tuple[tuple, object]]] = {}
+        for row, value in other._data.items():
+            index.setdefault(tuple(row[p] for p in right_key), []).append(
+                (row, value)
+            )
+        mul = self.semiring.mul
+        out: dict[tuple, object] = {}
+        for row, value in self._data.items():
+            key = tuple(row[p] for p in left_key)
+            for match, match_value in index.get(key, ()):
+                out_row = row + tuple(match[p] for p in fresh_pos)
+                out[out_row] = mul(value, match_value)
+        return AnnotatedRelation(
+            name or f"({self.name}⊗{other.name})",
+            out_schema,
+            self.semiring,
+            out,
+        )
+
+    def marginalize(
+        self, keep: Iterable[str], name: str | None = None
+    ) -> "AnnotatedRelation":
+        """⊕-out every attribute not in ``keep`` (the FAQ ``Σ`` operator)."""
+        keep_set = frozenset(keep)
+        if not keep_set <= self.attributes:
+            raise SchemaError(
+                f"cannot keep {sorted(keep_set)}: schema is {self.schema}"
+            )
+        out_schema = tuple(a for a in self.schema if a in keep_set)
+        positions = tuple(self._positions[a] for a in out_schema)
+        add = self.semiring.add
+        zero = self.semiring.zero
+        out: dict[tuple, object] = {}
+        for row, value in self._data.items():
+            short = tuple(row[p] for p in positions)
+            if short in out:
+                out[short] = add(out[short], value)
+            else:
+                out[short] = value
+        out = {row: value for row, value in out.items() if value != zero}
+        return AnnotatedRelation(
+            name or f"Σ[{self.name}]", out_schema, self.semiring, out
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}({', '.join(self.schema)}) over {self.semiring}: "
+            f"{len(self)} tuples"
+        )

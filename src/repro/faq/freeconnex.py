@@ -1,0 +1,186 @@
+"""Free-connex tree decompositions (§8; [2, 13, 45]).
+
+A tree decomposition ``(T, χ)`` is *F-connex* for free variables ``F`` when
+some connected subtree ``T'`` has ``∪_{t∈T'} χ(t) = F`` — the "connex core".
+Then bound variables can be ⊕-aggregated away strictly below the core, and
+the core itself evaluates like an acyclic query over ``F``, which is what
+lets the §8 extension hit the da-fhtw/da-subw runtimes for proper CQs and
+FAQ-SS queries.
+
+Construction follows the paper: run a GYO/variable-elimination ordering that
+eliminates all *bound* variables before any free one.  The bags created in
+the free phase mention only free variables and their union is exactly ``F``;
+crucially they are *kept* even when contained in a mixed bag (pruning them —
+as the non-redundant enumeration does — can destroy connexity, e.g. on
+``R(x, f1, f2)`` with ``F = {f1, f2}``).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable
+
+from repro.core.hypergraph import Hypergraph
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.exceptions import DecompositionError
+
+__all__ = [
+    "connex_core",
+    "free_connex_decomposition_from_order",
+    "free_connex_decompositions",
+    "is_free_connex",
+]
+
+
+def connex_core(
+    decomposition: TreeDecomposition, free: Iterable[str]
+) -> frozenset | None:
+    """The connex core: bag indices of a connected subtree whose union is ``F``.
+
+    Returns ``None`` when the decomposition is not F-connex.  For ``F = ∅``
+    the empty core is returned (every decomposition is ∅-connex: aggregate
+    everything).  Candidate bags are exactly those contained in ``F``; within
+    the junction tree their induced components are examined, and a component
+    whose bags union to ``F`` is the core.
+    """
+    free_set = frozenset(free)
+    if not free_set:
+        return frozenset()
+    bags = decomposition.bags
+    parent = decomposition.junction_tree()
+    candidates = {i for i, bag in enumerate(bags) if bag <= free_set}
+    if not candidates:
+        return None
+
+    # Connected components of the candidate-induced subforest.
+    adjacency: dict[int, set[int]] = {i: set() for i in candidates}
+    for i in candidates:
+        p = parent[i]
+        if p >= 0 and p in candidates:
+            adjacency[i].add(p)
+            adjacency[p].add(i)
+    unseen = set(candidates)
+    while unseen:
+        start = unseen.pop()
+        component = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in component:
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        unseen -= component
+        union = frozenset().union(*(bags[i] for i in component))
+        if union == free_set:
+            return frozenset(component)
+    return None
+
+
+def is_free_connex(
+    decomposition: TreeDecomposition, free: Iterable[str]
+) -> bool:
+    """Whether ``decomposition`` is F-connex for the given free variables."""
+    return connex_core(decomposition, free) is not None
+
+
+def free_connex_decomposition_from_order(
+    hypergraph: Hypergraph, free: Iterable[str], order: Iterable[str]
+) -> TreeDecomposition:
+    """The decomposition of a bound-variables-first elimination ordering.
+
+    Args:
+        hypergraph: the query hypergraph.
+        free: the free variables ``F``.
+        order: a permutation of all vertices eliminating every bound
+            variable before any free one.
+
+    Raises:
+        DecompositionError: if the order interleaves bound after free, or
+            does not cover the vertices.
+    """
+    order = tuple(order)
+    free_set = frozenset(free)
+    if set(order) != set(hypergraph.vertices):
+        raise DecompositionError(
+            f"order {order} does not match vertices {hypergraph.vertices}"
+        )
+    seen_free = False
+    for v in order:
+        if v in free_set:
+            seen_free = True
+        elif seen_free:
+            raise DecompositionError(
+                f"bound variable {v!r} eliminated after a free one"
+            )
+
+    # Moral graph; every hyperedge becomes a clique.
+    adjacency: dict[str, set[str]] = {v: set() for v in hypergraph.vertices}
+    for edge in hypergraph.edges:
+        for a in edge:
+            adjacency[a] |= edge - {a}
+
+    bound_bags: list[frozenset] = []
+    free_bags: list[frozenset] = []
+    for v in order:
+        neighbours = adjacency.pop(v)
+        bag = frozenset(neighbours | {v})
+        (free_bags if v in free_set else bound_bags).append(bag)
+        for a in neighbours:
+            adjacency[a] |= neighbours - {a}
+            adjacency[a].discard(v)
+
+    # Prune redundant bags *within* each phase only: a free-phase bag must
+    # never be absorbed into a mixed bag (see module docstring).
+    def prune(bags: list[frozenset]) -> list[frozenset]:
+        kept: list[frozenset] = []
+        for i, bag in enumerate(bags):
+            absorbed = any(
+                (bag < other) or (bag == other and i < j)
+                for j, other in enumerate(bags)
+                if j != i
+            )
+            if not absorbed:
+                kept.append(bag)
+        return kept
+
+    return TreeDecomposition.from_bags(prune(bound_bags) + prune(free_bags))
+
+
+def free_connex_decompositions(
+    hypergraph: Hypergraph,
+    free: Iterable[str],
+    max_vertices_for_full_enumeration: int = 8,
+) -> list[TreeDecomposition]:
+    """All distinct free-connex decompositions from bound-first orderings.
+
+    §8's Minimax/Maximin widths for proper CQs range ``min_{(T,χ)}`` over
+    exactly this family.  Deduplicated by bag set; every result satisfies
+    :func:`is_free_connex`.
+    """
+    free_set = frozenset(free)
+    vertices = hypergraph.vertices
+    if len(vertices) > max_vertices_for_full_enumeration:
+        raise DecompositionError(
+            f"{len(vertices)} vertices exceed the full-enumeration cap "
+            f"({max_vertices_for_full_enumeration}); pass explicit orders"
+        )
+    bound = sorted(set(vertices) - free_set)
+    free_sorted = sorted(free_set)
+    out: list[TreeDecomposition] = []
+    seen: set[frozenset] = set()
+    for bound_order in permutations(bound):
+        for free_order in permutations(free_sorted):
+            td = free_connex_decomposition_from_order(
+                hypergraph, free_set, bound_order + free_order
+            )
+            if td.bag_set in seen:
+                continue
+            seen.add(td.bag_set)
+            # A bound-first order yields free-phase bags with union F, but
+            # when the free part is disconnected the stored junction tree
+            # may scatter them; such decompositions are skipped (the strict
+            # Def. requires one connected core).
+            if is_free_connex(td, free_set):
+                out.append(td)
+    return out

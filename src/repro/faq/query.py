@@ -1,0 +1,129 @@
+"""FAQ-SS queries: sum-product form over one semiring (§8; [2]).
+
+An FAQ-SS query over hypergraph ``H = ([n], E)`` with free variables
+``F ⊆ [n]`` computes
+
+    φ(A_F) = ⊕_{A_{[n]−F}} ⊗_{S∈E} R_S(A_S)
+
+where each input ``R_S`` is a semiring-annotated relation.  ``F = ∅`` gives a
+scalar (e.g. a Boolean query or a total count), ``F = [n]`` an annotated full
+join, and anything in between a "proper" aggregate query with group-by
+columns ``A_F``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.hypergraph import Hypergraph
+from repro.datalog.atoms import Atom
+from repro.datalog.conjunctive import ConjunctiveQuery
+from repro.exceptions import QueryError
+from repro.faq.annotated import AnnotatedRelation
+from repro.faq.semiring import Semiring
+from repro.relational.database import Database
+
+__all__ = ["FAQQuery"]
+
+
+@dataclass(frozen=True)
+class FAQQuery:
+    """An FAQ-SS query: free variables + body atoms + semiring.
+
+    Attributes:
+        free: ordered free (group-by) variables; empty means scalar output.
+        body: atoms naming the annotated input factors.
+        semiring: the single semiring of the query.
+        name: display name for the output.
+    """
+
+    free: tuple[str, ...]
+    body: tuple[Atom, ...]
+    semiring: Semiring
+    name: str = "φ"
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise QueryError("FAQ query needs at least one body atom")
+        missing = frozenset(self.free) - self.variable_set
+        if missing:
+            raise QueryError(
+                f"free variables {sorted(missing)} do not occur in the body"
+            )
+        if len(set(self.free)) != len(self.free):
+            raise QueryError(f"duplicate free variables in {self.free}")
+
+    @classmethod
+    def from_conjunctive(
+        cls, query: ConjunctiveQuery, semiring: Semiring
+    ) -> "FAQQuery":
+        """Lift a conjunctive query: its head becomes the free variables."""
+        return cls(query.head, query.body, semiring, query.name)
+
+    @property
+    def variable_set(self) -> frozenset:
+        out: set[str] = set()
+        for atom in self.body:
+            out |= atom.variable_set
+        return frozenset(out)
+
+    @property
+    def bound(self) -> frozenset:
+        """The aggregated-away variables ``[n] − F``."""
+        return self.variable_set - frozenset(self.free)
+
+    def hypergraph(self) -> Hypergraph:
+        return Hypergraph(
+            tuple(sorted(self.variable_set)),
+            [atom.variable_set for atom in self.body],
+        )
+
+    def bind(
+        self,
+        database: Database,
+        annotations: Mapping[str, Mapping[tuple, object]] | None = None,
+    ) -> list[AnnotatedRelation]:
+        """Resolve body atoms to annotated factors.
+
+        Args:
+            database: supplies each atom's set relation.
+            annotations: optional per-relation-name tuple weights; relations
+                not listed get the all-``one`` lifting.
+        """
+        factors = []
+        for atom in self.body:
+            relation = atom.bind(database)
+            weights = (annotations or {}).get(relation.name)
+            if weights is None:
+                factor = AnnotatedRelation.from_relation(relation, self.semiring)
+            else:
+                factor = AnnotatedRelation(
+                    relation.name,
+                    relation.schema,
+                    self.semiring,
+                    {tuple(row): weights[tuple(row)] for row in relation},
+                )
+            factors.append(factor)
+        return factors
+
+    def evaluate_naive(
+        self,
+        database: Database,
+        annotations: Mapping[str, Mapping[tuple, object]] | None = None,
+    ) -> AnnotatedRelation:
+        """Brute force: materialize the full ⊗-join, then ⊕-out bound vars.
+
+        The oracle for every smarter evaluator; exponential in the worst
+        case.
+        """
+        factors = self.bind(database, annotations)
+        product = factors[0]
+        for factor in factors[1:]:
+            product = product.multiply(factor)
+        return product.marginalize(self.free, name=self.name)
+
+    def __str__(self) -> str:
+        head = ", ".join(self.free)
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{self.name}({head}) = ⊕[{self.semiring}] {body}"

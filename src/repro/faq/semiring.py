@@ -1,0 +1,129 @@
+"""Commutative semirings for FAQ-SS queries (§8; [2], [5]).
+
+A commutative semiring ``(D, ⊕, ⊗, 0, 1)`` supplies the aggregation (⊕) and
+combination (⊗) operations of an aggregate query.  The four stock instances
+cover the paper's motivating applications:
+
+=============  =======================  ==================================
+semiring       (⊕, ⊗)                   query it models
+=============  =======================  ==================================
+``BOOLEAN``    (or, and)                Boolean conjunctive query
+``COUNTING``   (+, ×)                   ``COUNT(*)`` / ``SUM`` aggregates
+``MIN_PLUS``   (min, +)                 lightest matching assignment
+``MAX_PRODUCT``(max, ×)                 maximum-likelihood inference (MAP)
+=============  =======================  ==================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["Semiring", "BOOLEAN", "COUNTING", "MIN_PLUS", "MAX_PRODUCT"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring ``(D, ⊕, ⊗, 0, 1)``.
+
+    Attributes:
+        name: display name.
+        zero: the ⊕-identity (also ⊗-annihilating).
+        one: the ⊗-identity.
+        add: the aggregation ``⊕``.
+        mul: the combination ``⊗``.
+        idempotent_add: whether ``a ⊕ a = a`` (lets evaluators deduplicate).
+    """
+
+    name: str
+    zero: object
+    one: object
+    add: Callable[[object, object], object]
+    mul: Callable[[object, object], object]
+    idempotent_add: bool = False
+
+    def sum(self, values: Iterable) -> object:
+        """``⊕`` over an iterable (``zero`` when empty)."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def product(self, values: Iterable) -> object:
+        """``⊗`` over an iterable (``one`` when empty)."""
+        total = self.one
+        for value in values:
+            total = self.mul(total, value)
+        return total
+
+    def check_axioms(self, samples: Iterable) -> None:
+        """Assert the semiring axioms on a sample of domain values.
+
+        Checks associativity and commutativity of both operations,
+        identities, distributivity, and annihilation.  Raises
+        :class:`ValueError` on the first violation — used by tests and by
+        users defining custom semirings.
+        """
+        items = list(samples)
+        for a in items:
+            if self.add(a, self.zero) != a:
+                raise ValueError(f"{self.name}: 0 is not a ⊕-identity on {a!r}")
+            if self.mul(a, self.one) != a:
+                raise ValueError(f"{self.name}: 1 is not a ⊗-identity on {a!r}")
+            if self.mul(a, self.zero) != self.zero:
+                raise ValueError(f"{self.name}: 0 does not annihilate {a!r}")
+        for a in items:
+            for b in items:
+                if self.add(a, b) != self.add(b, a):
+                    raise ValueError(f"{self.name}: ⊕ not commutative on {a!r},{b!r}")
+                if self.mul(a, b) != self.mul(b, a):
+                    raise ValueError(f"{self.name}: ⊗ not commutative on {a!r},{b!r}")
+                for c in items:
+                    if self.add(self.add(a, b), c) != self.add(a, self.add(b, c)):
+                        raise ValueError(f"{self.name}: ⊕ not associative")
+                    if self.mul(self.mul(a, b), c) != self.mul(a, self.mul(b, c)):
+                        raise ValueError(f"{self.name}: ⊗ not associative")
+                    lhs = self.mul(a, self.add(b, c))
+                    rhs = self.add(self.mul(a, b), self.mul(a, c))
+                    if lhs != rhs:
+                        raise ValueError(f"{self.name}: ⊗ does not distribute over ⊕")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BOOLEAN = Semiring(
+    name="boolean",
+    zero=False,
+    one=True,
+    add=lambda a, b: a or b,
+    mul=lambda a, b: a and b,
+    idempotent_add=True,
+)
+
+COUNTING = Semiring(
+    name="counting",
+    zero=0,
+    one=1,
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+)
+
+MIN_PLUS = Semiring(
+    name="min-plus",
+    zero=math.inf,
+    one=0,
+    add=min,
+    mul=lambda a, b: a + b,
+    idempotent_add=True,
+)
+
+MAX_PRODUCT = Semiring(
+    name="max-product",
+    zero=0.0,
+    one=1.0,
+    add=max,
+    mul=lambda a, b: a * b,
+    idempotent_add=True,
+)

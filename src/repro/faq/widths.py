@@ -1,0 +1,76 @@
+"""Width parameters restricted to free-connex decompositions (§8).
+
+For proper CQs and FAQ-SS queries the paper's change to Definition 7.1 is
+that ``min_{(T,χ)}`` ranges only over *free-connex* tree decompositions.
+These wrappers instantiate the Definition 7.6 widths over that family:
+
+    fc-da-fhtw(Q, F)  = Minimaxwidth over free-connex TDs,
+    fc-da-subw(Q, F)  = Maximinwidth over free-connex TDs.
+
+Restricting the min can only increase the widths — the 4-cycle with free
+variables ``{A1, A3}`` has fc-da-subw = 2·logN against da-subw = 3/2·logN,
+because only one of its two decompositions is free-connex and adaptivity is
+lost (the E16 bench reports this).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.hypergraph import Hypergraph
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.exceptions import DecompositionError
+from repro.faq.freeconnex import free_connex_decompositions, is_free_connex
+from repro.widths.degree_aware import degree_aware_fhtw, degree_aware_subw
+
+__all__ = ["free_connex_dafhtw", "free_connex_dasubw"]
+
+
+def _connex_tds(
+    hypergraph: Hypergraph,
+    free: Iterable[str],
+    decompositions: Sequence[TreeDecomposition] | None,
+) -> list[TreeDecomposition]:
+    free = tuple(free)
+    if decompositions is None:
+        candidates = free_connex_decompositions(hypergraph, free)
+    else:
+        candidates = [td for td in decompositions if is_free_connex(td, free)]
+    if not candidates:
+        raise DecompositionError(
+            f"no free-connex decomposition for free variables {sorted(free)}"
+        )
+    return candidates
+
+
+def free_connex_dafhtw(
+    hypergraph: Hypergraph,
+    free: Iterable[str],
+    constraints,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """``da-fhtw`` over free-connex decompositions only (§8), in log₂ units."""
+    return degree_aware_fhtw(
+        hypergraph,
+        constraints,
+        decompositions=_connex_tds(hypergraph, free, decompositions),
+        backend=backend,
+    )
+
+
+def free_connex_dasubw(
+    hypergraph: Hypergraph,
+    free: Iterable[str],
+    constraints,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """``da-subw`` over free-connex decompositions only (§8), in log₂ units."""
+    return degree_aware_subw(
+        hypergraph,
+        constraints,
+        decompositions=_connex_tds(hypergraph, free, decompositions),
+        backend=backend,
+    )

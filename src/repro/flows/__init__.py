@@ -1,0 +1,61 @@
+"""Shannon-flow inequalities, witnesses, and proof sequences (§5, Appendix B)."""
+
+from repro.flows.inequality import (
+    FlowInequality,
+    Witness,
+    common_denominator,
+    flow_from_bound,
+    inflow,
+)
+from repro.flows.inequality import tighten, verify_witness
+from repro.flows.witness_reduction import (
+    WitnessNorms,
+    normalize_witness,
+    reduce_conditioned_mu,
+    witness_norms,
+)
+from repro.flows.polysize import (
+    ExtendedFlowNetwork,
+    MaxFlowResult,
+    construct_via_max_flow,
+)
+from repro.flows.shearer import find_witness, shearer_inequality
+from repro.flows.proof_sequence import (
+    COMPOSITION,
+    DECOMPOSITION,
+    MONOTONICITY,
+    SUBMODULARITY,
+    ProofSequence,
+    ProofStep,
+    WeightedStep,
+    construct_proof_sequence,
+    truncate,
+)
+
+__all__ = [
+    "COMPOSITION",
+    "DECOMPOSITION",
+    "MONOTONICITY",
+    "SUBMODULARITY",
+    "ExtendedFlowNetwork",
+    "FlowInequality",
+    "MaxFlowResult",
+    "ProofSequence",
+    "ProofStep",
+    "WeightedStep",
+    "Witness",
+    "WitnessNorms",
+    "common_denominator",
+    "construct_proof_sequence",
+    "construct_via_max_flow",
+    "find_witness",
+    "flow_from_bound",
+    "inflow",
+    "normalize_witness",
+    "reduce_conditioned_mu",
+    "shearer_inequality",
+    "tighten",
+    "truncate",
+    "verify_witness",
+    "witness_norms",
+]

@@ -1,0 +1,199 @@
+"""Flow-network proof-sequence construction (Appendix B, Algorithm 2 / Thm B.8).
+
+An alternative to the Theorem 5.9 induction: view ``(λ, δ, σ, μ)`` as a flow
+network ``G`` on ``2^[n]`` with
+
+* *up arcs* ``(X, Y)`` of capacity ``δ_{Y|X}`` (compositions), and
+* *down arcs* ``(Y, X)`` for every ``X ⊂ Y`` of infinite capacity
+  (decompositions),
+
+and repeatedly push flow from ``∅`` along shortest paths — either directly to
+a target ``B`` with ``λ_B > 0`` (Case 1), or to the ``I`` side of a *good
+pair* ``(I, J)`` with ``σ_{I,J} > 0`` whose union is not yet reachable
+(Case 2), converting the submodularity into fresh up-arc capacity
+``δ_{I∪J|J}``.  Each pushed path emits the corresponding composition /
+decomposition steps.
+
+Paths are pushed with their bottleneck capacity rather than the paper's unit
+``w = 1/D``, which shortens sequences further; trivial steps (``c_{∅,·}``,
+``d_{·,∅}``) are suppressed as in :mod:`repro.flows.proof_sequence`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.hypergraph import powerset
+from repro.exceptions import ProofSequenceError, WitnessError
+from repro.flows.inequality import FlowInequality, Witness, verify_witness
+from repro.flows.proof_sequence import (
+    COMPOSITION,
+    DECOMPOSITION,
+    SUBMODULARITY,
+    ProofSequence,
+    ProofStep,
+)
+
+__all__ = ["construct_via_flow_network"]
+
+_ZERO = Fraction(0)
+_EMPTY = frozenset()
+
+
+def _reachable(delta: dict, start: frozenset) -> dict[frozenset, tuple]:
+    """BFS over up/down arcs; returns ``node -> (predecessor, arc_kind)``."""
+    parents: dict[frozenset, tuple] = {start: (None, None)}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop(0)
+        # Up arcs out of `node`.
+        for (x, y), value in delta.items():
+            if x == node and value > _ZERO and y not in parents:
+                parents[y] = (node, "up")
+                frontier.append(y)
+        # Down arcs to every proper subset.
+        for sub in powerset(node):
+            if sub != node and sub not in parents:
+                parents[sub] = (node, "down")
+                frontier.append(sub)
+    return parents
+
+
+def _path_to(parents: dict, end: frozenset) -> list[tuple[frozenset, frozenset, str]]:
+    """The arc list ``(from, to, kind)`` of the BFS path ``∅ -> end``."""
+    arcs: list[tuple[frozenset, frozenset, str]] = []
+    node = end
+    while True:
+        pred, kind = parents[node]
+        if pred is None:
+            break
+        arcs.append((pred, node, kind))
+        node = pred
+    arcs.reverse()
+    return arcs
+
+
+def _push_path(
+    sequence: ProofSequence,
+    delta: dict,
+    arcs: list[tuple[frozenset, frozenset, str]],
+    amount: Fraction,
+) -> None:
+    """Emit the steps of a pushed path and update δ accordingly."""
+    for source, dest, kind in arcs:
+        if kind == "up":
+            if source != _EMPTY:
+                sequence.append(amount, ProofStep(COMPOSITION, source, dest))
+            delta[(source, dest)] = delta.get((source, dest), _ZERO) - amount
+            if delta[(source, dest)] < _ZERO:
+                raise ProofSequenceError("flow push exceeded up-arc capacity")
+        else:  # down arc: dest ⊂ source
+            if dest != _EMPTY:
+                sequence.append(amount, ProofStep(DECOMPOSITION, source, dest))
+                delta[(dest, source)] = delta.get((dest, source), _ZERO) + amount
+            # d_{Y,∅} is the identity; no conditional mass appears.
+
+
+def _path_capacity(
+    delta: dict, arcs: list[tuple[frozenset, frozenset, str]]
+) -> Fraction | None:
+    capacity: Fraction | None = None
+    for source, dest, kind in arcs:
+        if kind == "up":
+            available = delta.get((source, dest), _ZERO)
+            if capacity is None or available < capacity:
+                capacity = available
+    return capacity
+
+
+def construct_via_flow_network(
+    ineq: FlowInequality, witness: Witness, max_iterations: int = 100_000
+) -> ProofSequence:
+    """Algorithm 2: build a proof sequence for ``⟨λ,h⟩ <= ⟨δ,h⟩``.
+
+    Raises:
+        WitnessError: if the witness is invalid or the network gets stuck
+            (no reachable target and no good pair).
+    """
+    verify_witness(ineq, witness)
+    lam = dict(ineq.lam)
+    delta = dict(ineq.delta)
+    sigma = dict(witness.sigma)
+    sequence = ProofSequence()
+
+    # Pre-pay targets directly coverable from δ_{B|∅} (Algorithm 2 lines 2-3).
+    for target in sorted(lam, key=lambda s: tuple(sorted(s))):
+        direct = min(lam[target], delta.get((_EMPTY, target), _ZERO))
+        if direct > _ZERO:
+            lam[target] -= direct
+            delta[(_EMPTY, target)] -= direct
+
+    iterations = 0
+    while any(v > _ZERO for v in lam.values()):
+        iterations += 1
+        if iterations > max_iterations:
+            raise ProofSequenceError(
+                f"flow-network construction exceeded {max_iterations} iterations"
+            )
+        parents = _reachable(delta, _EMPTY)
+
+        # Case 1: a target with remaining λ is reachable.
+        target = next(
+            (
+                b
+                for b in sorted(lam, key=lambda s: tuple(sorted(s)))
+                if lam[b] > _ZERO and b in parents
+            ),
+            None,
+        )
+        if target is not None:
+            arcs = _path_to(parents, target)
+            capacity = _path_capacity(delta, arcs)
+            amount = lam[target] if capacity is None else min(lam[target], capacity)
+            if amount <= _ZERO:
+                raise ProofSequenceError("zero-capacity augmenting path")
+            _push_path(sequence, delta, arcs, amount)
+            lam[target] -= amount
+            delta[(_EMPTY, target)] = (
+                delta.get((_EMPTY, target), _ZERO) + amount
+            )
+            # The pushed mass lands at (∅, target) and immediately pays λ.
+            delta[(_EMPTY, target)] -= amount
+            continue
+
+        # Case 2: spend a good-pair submodularity to open new capacity.
+        good = None
+        for (i, j), value in sorted(
+            sigma.items(), key=lambda kv: tuple(sorted(tuple(sorted(s)) for s in kv[0]))
+        ):
+            if value <= _ZERO:
+                continue
+            for first, second in ((i, j), (j, i)):
+                if first in parents and (first | second) not in parents:
+                    good = ((i, j), first, second, value)
+                    break
+            if good:
+                break
+        if good is None:
+            raise WitnessError(
+                "flow network stuck: no reachable target and no good pair"
+            )
+        (i, j), first, second, value = good
+        arcs = _path_to(parents, first)
+        capacity = _path_capacity(delta, arcs)
+        amount = value if capacity is None else min(value, capacity)
+        if amount <= _ZERO:
+            raise ProofSequenceError("zero-capacity path to good pair")
+        _push_path(sequence, delta, arcs, amount)
+        # The pushed mass sits at (∅, first); decompose + submodularity.
+        meet = first & second
+        if meet:
+            sequence.append(amount, ProofStep(DECOMPOSITION, first, meet))
+            delta[(_EMPTY, meet)] = delta.get((_EMPTY, meet), _ZERO) + amount
+        sequence.append(amount, ProofStep(SUBMODULARITY, first, second))
+        sigma[(i, j)] -= amount
+        delta[(second, first | second)] = (
+            delta.get((second, first | second), _ZERO) + amount
+        )
+
+    return sequence

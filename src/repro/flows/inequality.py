@@ -1,0 +1,232 @@
+"""Shannon-flow inequalities, inflow, and witnesses (§5.1, Def. 5.1).
+
+A *Shannon-flow inequality* is ``⟨λ, h⟩ <= ⟨δ, h⟩`` over all polymatroids
+``h``, where ``λ`` is supported on unconditioned coordinates ``(∅, B)`` (the
+targets) and ``δ`` on conditional coordinates ``(X, Y)`` with ``X ⊂ Y``.
+
+Proposition 5.4/5.6: the inequality holds iff there exist ``σ`` (submodularity
+multipliers) and ``μ`` (monotonicity multipliers) such that for every
+``∅ != Z ⊆ [n]`` the *inflow* (Eq. 74)
+
+    inflow(Z) = Σ_X δ_{Z|X} − Σ_Y δ_{Y|Z}
+              + Σ_{I⊥J, I∩J=Z} σ_{I,J} + Σ_{I⊥J, I∪J=Z} σ_{I,J} − Σ_{J⊥Z} σ_{Z,J}
+              − Σ_{X⊂Z} μ_{X,Z} + Σ_{Y⊃Z} μ_{Z,Y}
+
+satisfies ``inflow(Z) >= λ_Z``.  Such a ``(σ, μ)`` is a *witness*; it is
+*tight* when equality holds everywhere (Def. 5.10).
+
+In this implementation witnesses come from the exact dual solutions of the
+bound LPs (:mod:`repro.bounds.polymatroid`), whose submodularity rows are
+elemental — a special case of the general form, hence always valid here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.bounds.polymatroid import BoundResult, LogConstraint
+from repro.core.setfunctions import SetFunction
+from repro.exceptions import WitnessError
+
+__all__ = ["FlowInequality", "Witness", "flow_from_bound", "common_denominator"]
+
+_ZERO = Fraction(0)
+
+Pair = tuple[frozenset, frozenset]
+
+
+def _clean(mapping: Mapping[Pair, Fraction]) -> dict[Pair, Fraction]:
+    """Drop zero entries; convert values to Fraction."""
+    return {k: Fraction(v) for k, v in mapping.items() if Fraction(v) != _ZERO}
+
+
+def common_denominator(*mappings: Mapping) -> int:
+    """The least common denominator ``D`` of all values in the mappings."""
+    d = 1
+    for mapping in mappings:
+        for value in mapping.values():
+            value = Fraction(value)
+            d = d * value.denominator // _gcd(d, value.denominator)
+    return d
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+@dataclass
+class FlowInequality:
+    """``⟨λ, h⟩ <= ⟨δ, h⟩`` over a fixed universe.
+
+    Attributes:
+        universe: the query variables.
+        lam: λ values keyed by target set ``B`` (coordinates ``(∅, B)``).
+        delta: δ values keyed by ``(X, Y)`` pairs with ``X ⊂ Y``.
+    """
+
+    universe: tuple[str, ...]
+    lam: dict[frozenset, Fraction]
+    delta: dict[Pair, Fraction]
+
+    def __post_init__(self) -> None:
+        self.lam = {k: Fraction(v) for k, v in self.lam.items() if Fraction(v) != _ZERO}
+        self.delta = _clean(self.delta)
+        for (x, y) in self.delta:
+            if not x < y:
+                raise WitnessError(f"delta key must have X ⊂ Y, got {sorted(x)}, {sorted(y)}")
+
+    @property
+    def lam_norm(self) -> Fraction:
+        """``‖λ‖₁``."""
+        return sum(self.lam.values(), _ZERO)
+
+    @property
+    def delta_norm(self) -> Fraction:
+        return sum(self.delta.values(), _ZERO)
+
+    def evaluate_on(self, h: SetFunction) -> tuple[Fraction, Fraction]:
+        """``(⟨λ, h⟩, ⟨δ, h⟩)`` — the inequality requires lhs <= rhs."""
+        lhs = sum((w * h(b) for b, w in self.lam.items()), _ZERO)
+        rhs = sum(
+            (w * (h(y) - h(x)) for (x, y), w in self.delta.items()), _ZERO
+        )
+        return lhs, rhs
+
+    def holds_on(self, h: SetFunction) -> bool:
+        lhs, rhs = self.evaluate_on(h)
+        return lhs <= rhs
+
+
+@dataclass
+class Witness:
+    """A ``(σ, μ)`` pair certifying a flow inequality (Prop. 5.6)."""
+
+    sigma: dict[Pair, Fraction] = field(default_factory=dict)
+    mu: dict[Pair, Fraction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sigma = _clean(self.sigma)
+        self.mu = _clean(self.mu)
+        for (i, j) in self.sigma:
+            if i <= j or j <= i:
+                raise WitnessError(
+                    f"sigma key must be incomparable, got {sorted(i)}, {sorted(j)}"
+                )
+        for (x, y) in self.mu:
+            if not x < y:
+                raise WitnessError(f"mu key must have X ⊂ Y, got {sorted(x)}, {sorted(y)}")
+
+    def copy(self) -> "Witness":
+        return Witness(dict(self.sigma), dict(self.mu))
+
+
+def inflow(
+    z: frozenset,
+    delta: Mapping[Pair, Fraction],
+    sigma: Mapping[Pair, Fraction],
+    mu: Mapping[Pair, Fraction],
+) -> Fraction:
+    """Eq. (74): the net flow into coordinate ``Z`` (``Z != ∅``)."""
+    total = _ZERO
+    for (x, y), value in delta.items():
+        if y == z:
+            total += value
+        if x == z:
+            total -= value
+    for (i, j), value in sigma.items():
+        # The submodularity multiplier is symmetric in {I, J}: it feeds I∩J
+        # and I∪J, and drains both I and J (the LP row has -1 on each).
+        if i & j == z or i | j == z:
+            total += value
+        if i == z or j == z:
+            total -= value
+    for (x, y), value in mu.items():
+        if y == z:
+            total -= value
+        if x == z:
+            total += value
+    return total
+
+
+def verify_witness(ineq: FlowInequality, witness: Witness) -> None:
+    """Raise :class:`WitnessError` unless ``inflow(Z) >= λ_Z`` for all Z.
+
+    Only coordinates appearing in (λ, δ, σ, μ) can have non-zero inflow or
+    λ, so the check enumerates those instead of all ``2^n``.
+    """
+    coordinates: set[frozenset] = set(ineq.lam)
+    for (x, y) in ineq.delta:
+        coordinates |= {x, y}
+    for (i, j) in witness.sigma:
+        coordinates |= {i, j, i & j, i | j}
+    for (x, y) in witness.mu:
+        coordinates |= {x, y}
+    coordinates.discard(frozenset())
+    for z in coordinates:
+        flow = inflow(z, ineq.delta, witness.sigma, witness.mu)
+        lam_z = ineq.lam.get(z, _ZERO)
+        if flow < lam_z:
+            raise WitnessError(
+                f"inflow({sorted(z)}) = {flow} < λ = {lam_z}: witness invalid"
+            )
+
+
+def tighten(ineq: FlowInequality, witness: Witness) -> Witness:
+    """Make the witness tight (Def. 5.10): ``inflow(Z) = λ_Z`` everywhere.
+
+    Any surplus ``inflow(Z) − λ_Z`` is drained by raising ``μ_{∅,Z}``, which
+    subtracts from ``inflow(Z)`` and touches nothing else (inflow(∅) is not
+    constrained).
+    """
+    verify_witness(ineq, witness)
+    result = witness.copy()
+    coordinates: set[frozenset] = set(ineq.lam)
+    for (x, y) in ineq.delta:
+        coordinates |= {x, y}
+    for (i, j) in witness.sigma:
+        coordinates |= {i, j, i & j, i | j}
+    for (x, y) in witness.mu:
+        coordinates |= {x, y}
+    coordinates.discard(frozenset())
+    empty = frozenset()
+    for z in sorted(coordinates, key=lambda s: (len(s), tuple(sorted(s)))):
+        surplus = inflow(z, ineq.delta, result.sigma, result.mu) - ineq.lam.get(z, _ZERO)
+        if surplus > _ZERO:
+            key = (empty, z)
+            result.mu[key] = result.mu.get(key, _ZERO) + surplus
+    return result
+
+
+def flow_from_bound(result: BoundResult) -> tuple[FlowInequality, Witness, dict[Pair, LogConstraint]]:
+    """Extract the flow inequality + witness from a bound LP's dual solution.
+
+    Returns:
+        ``(inequality, witness, supports)`` where ``supports`` maps each
+        positive δ-pair to the :class:`LogConstraint` guarding it (the initial
+        degree-support invariant of §6.1).
+    """
+    universe: set[str] = set()
+    for target in result.targets:
+        universe |= target
+    for (x, y) in result.delta:
+        universe |= y
+    lam = {b: w for b, w in result.lambda_weights.items() if w > _ZERO}
+    delta = _clean(result.delta)
+    ineq = FlowInequality(tuple(sorted(universe)), lam, delta)
+    witness = Witness(_clean(result.sigma), _clean(result.mu))
+    verify_witness(ineq, witness)
+    supports = {
+        pair: result.constraint_for_pair[pair]
+        for pair in delta
+        if pair in result.constraint_for_pair
+    }
+    missing = [pair for pair in delta if pair not in supports]
+    if missing:
+        raise WitnessError(
+            f"no supporting degree constraint for δ pairs {missing}"
+        )
+    return ineq, witness, supports

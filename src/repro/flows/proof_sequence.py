@@ -1,0 +1,525 @@
+"""Proof sequences for Shannon-flow inequalities (Def. 5.7, Thm. 5.9, Lem. 5.11).
+
+A proof sequence rewrites the right-hand side bag ``δ`` of a Shannon-flow
+inequality into (a superset of) the left-hand side bag ``λ`` using the four
+rules (Eqs. 13–16 / 77–80), each of which can only *decrease* ``⟨·, h⟩`` on
+polymatroids:
+
+    submodularity   s_{I,J} :  h(I | I∩J)        ->  h(I∪J | J)
+    monotonicity    m_{X,Y} :  h(Y)              ->  h(X)             (X ⊂ Y)
+    composition     c_{X,Y} :  h(X) + h(Y|X)     ->  h(Y)             (X ⊂ Y)
+    decomposition   d_{Y,X} :  h(Y)              ->  h(X) + h(Y|X)    (X ⊂ Y)
+
+PANDA interprets the steps as relational operations: bookkeeping, projection,
+join, and heavy/light partition respectively.
+
+Two constructions are provided:
+
+* :func:`construct_proof_sequence` — the Theorem 5.9 induction, run greedily
+  with *batched* weights (each move transfers the largest feasible amount, so
+  the length is polynomial in the witness support rather than in ``D``);
+* :mod:`repro.flows.flow_network` — the Appendix B Algorithm 2 construction
+  via augmenting paths (shorter sequences; used for cross-validation).
+
+:func:`truncate` implements Lemma 5.11, the restart device of PANDA Case 4b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+from repro.core.setfunctions import SetFunction
+from repro.exceptions import ProofSequenceError, WitnessError
+from repro.flows.inequality import FlowInequality, Pair, Witness, inflow
+
+__all__ = [
+    "ProofStep",
+    "WeightedStep",
+    "ProofSequence",
+    "construct_proof_sequence",
+    "truncate",
+]
+
+_ZERO = Fraction(0)
+_EMPTY = frozenset()
+
+SUBMODULARITY = "submodularity"
+MONOTONICITY = "monotonicity"
+COMPOSITION = "composition"
+DECOMPOSITION = "decomposition"
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One rewrite rule application.
+
+    Attributes:
+        kind: one of the four rule names.
+        first / second: the step's set parameters —
+            ``s_{I,J}``: first=I, second=J (incomparable);
+            ``m_{X,Y}``: first=X, second=Y (X ⊂ Y);
+            ``c_{X,Y}``: first=X, second=Y (X ⊂ Y);
+            ``d_{Y,X}``: first=Y, second=X (X ⊂ Y; note the paper's order).
+    """
+
+    kind: str
+    first: frozenset
+    second: frozenset
+
+    def __post_init__(self) -> None:
+        if self.kind == SUBMODULARITY:
+            if self.first <= self.second or self.second <= self.first:
+                raise ProofSequenceError("s_{I,J} needs incomparable I, J")
+        elif self.kind in (MONOTONICITY, COMPOSITION):
+            if not self.first < self.second:
+                raise ProofSequenceError(f"{self.kind} needs X ⊂ Y")
+            if self.kind == COMPOSITION and not self.first:
+                raise ProofSequenceError(
+                    "c_{∅,Y} is the identity h(∅) + h(Y|∅) -> h(Y); "
+                    "trivial steps are not emitted"
+                )
+        elif self.kind == DECOMPOSITION:
+            if not self.second < self.first:
+                raise ProofSequenceError("d_{Y,X} needs X ⊂ Y")
+            if not self.second:
+                raise ProofSequenceError(
+                    "d_{Y,∅} is the identity h(Y) -> h(∅) + h(Y|∅); "
+                    "trivial steps are not emitted"
+                )
+        else:
+            raise ProofSequenceError(f"unknown step kind {self.kind!r}")
+
+    def vector(self) -> dict[Pair, int]:
+        """The step as a conditional-polymatroid vector (δ += weight · vector)."""
+        if self.kind == SUBMODULARITY:
+            i, j = self.first, self.second
+            return {(i & j, i): -1, (j, i | j): +1}
+        if self.kind == MONOTONICITY:
+            x, y = self.first, self.second
+            if not x:
+                # m_{∅,Y} simply drops the h(Y) term (h(∅) = 0).
+                return {(_EMPTY, y): -1}
+            return {(_EMPTY, y): -1, (_EMPTY, x): +1}
+        if self.kind == COMPOSITION:
+            x, y = self.first, self.second
+            return {(_EMPTY, x): -1, (x, y): -1, (_EMPTY, y): +1}
+        # DECOMPOSITION
+        y, x = self.first, self.second
+        return {(_EMPTY, y): -1, (_EMPTY, x): +1, (x, y): +1}
+
+    def holds_on(self, h: SetFunction) -> bool:
+        """``⟨step, h⟩ <= 0`` — true for every polymatroid (Eqs. 77–80)."""
+        total = _ZERO
+        for (x, y), coef in self.vector().items():
+            total += coef * (h(y) - h(x))
+        return total <= _ZERO
+
+    def __str__(self) -> str:
+        fmt = lambda s: "{" + ",".join(sorted(s)) + "}" if s else "∅"
+        symbol = {
+            SUBMODULARITY: "s",
+            MONOTONICITY: "m",
+            COMPOSITION: "c",
+            DECOMPOSITION: "d",
+        }[self.kind]
+        return f"{symbol}[{fmt(self.first)},{fmt(self.second)}]"
+
+
+@dataclass(frozen=True)
+class WeightedStep:
+    """A proof step with its weight ``w > 0``."""
+
+    weight: Fraction
+    step: ProofStep
+
+    def __str__(self) -> str:
+        return f"{self.weight}·{self.step}"
+
+
+class ProofSequence:
+    """An ordered list of weighted proof steps (Def. 5.7)."""
+
+    def __init__(self, steps: list[WeightedStep] | None = None) -> None:
+        self.steps: list[WeightedStep] = list(steps or [])
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[WeightedStep]:
+        return iter(self.steps)
+
+    def append(self, weight: Fraction, step: ProofStep) -> None:
+        if weight <= _ZERO:
+            raise ProofSequenceError(f"step weight must be positive, got {weight}")
+        self.steps.append(WeightedStep(Fraction(weight), step))
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for ws in self.steps:
+            out[ws.step.kind] = out.get(ws.step.kind, 0) + 1
+        return out
+
+    def apply(self, delta: dict[Pair, Fraction]) -> dict[Pair, Fraction]:
+        """Apply all steps to ``delta``; raise on any intermediate negativity."""
+        current = {k: Fraction(v) for k, v in delta.items()}
+        for index, ws in enumerate(self.steps):
+            for pair, coef in ws.step.vector().items():
+                current[pair] = current.get(pair, _ZERO) + ws.weight * coef
+                if current[pair] < _ZERO:
+                    raise ProofSequenceError(
+                        f"step {index} ({ws}) drives δ{pair} negative "
+                        f"({current[pair]})"
+                    )
+        return {k: v for k, v in current.items() if v != _ZERO}
+
+    def verify(self, ineq: FlowInequality) -> None:
+        """Def. 5.7 conditions (3)+(4): non-negativity and ``δ_ℓ >= λ``.
+
+        Raises:
+            ProofSequenceError: if the sequence is not a valid proof of ``ineq``.
+        """
+        final = self.apply(dict(ineq.delta))
+        for target, lam_value in ineq.lam.items():
+            if final.get((_EMPTY, target), _ZERO) < lam_value:
+                raise ProofSequenceError(
+                    f"final δ({sorted(target)}|∅) = "
+                    f"{final.get((_EMPTY, target), _ZERO)} < λ = {lam_value}"
+                )
+
+    def __str__(self) -> str:
+        return " ; ".join(str(ws) for ws in self.steps)
+
+
+class _FlowState:
+    """Mutable (λ, δ, σ, μ) with batched Theorem 5.9 moves."""
+
+    def __init__(self, ineq: FlowInequality, witness: Witness):
+        self.lam = dict(ineq.lam)
+        self.delta = dict(ineq.delta)
+        self.sigma = dict(witness.sigma)
+        self.mu = dict(witness.mu)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def bump(self, table: dict, key, amount: Fraction) -> None:
+        value = table.get(key, _ZERO) + amount
+        if value < _ZERO:
+            raise ProofSequenceError(f"negative coordinate at {key}: {value}")
+        if value == _ZERO:
+            table.pop(key, None)
+        else:
+            table[key] = value
+
+    def inflow(self, z: frozenset) -> Fraction:
+        return inflow(z, self.delta, self.sigma, self.mu)
+
+    def lam_norm(self) -> Fraction:
+        return sum(self.lam.values(), _ZERO)
+
+    def unconditioned_positive(self) -> list[frozenset]:
+        """All Z with δ_{Z|∅} > 0, deterministically ordered."""
+        return sorted(
+            (y for (x, y), v in self.delta.items() if x == _EMPTY and v > _ZERO),
+            key=lambda s: (len(s), tuple(sorted(s))),
+        )
+
+
+def construct_proof_sequence(
+    ineq: FlowInequality,
+    witness: Witness,
+    max_moves: int = 1_000_000,
+    witness_log: list[Witness] | None = None,
+) -> ProofSequence:
+    """The Theorem 5.9 construction with batched weights.
+
+    Each iteration picks a ``Z`` with ``δ_{Z|∅} > 0`` and either pays it into
+    ``λ_Z``, discards surplus inflow, or applies the unique rewrite whose dual
+    multiplier balances ``Z``'s flow.  Batching the transferable amount keeps
+    the number of moves polynomial in the support of ``(λ, δ, σ, μ)``.
+
+    Args:
+        ineq: the Shannon-flow inequality to prove.
+        witness: a valid witness for it.
+        max_moves: safety cap on construction moves.
+        witness_log: if given, receives one :class:`Witness` snapshot per
+            emitted step — the evolved ``(σ, μ)`` *before* that step's move.
+            PANDA's Case 4b restart needs these: the snapshot at step ``i``
+            witnesses the inequality ``⟨λ, h⟩ <= ⟨δ_i, h⟩`` that remains after
+            executing the first ``i`` steps (see the module docstring of
+            :mod:`repro.core.panda`).
+
+    Raises:
+        WitnessError: if the witness does not certify the inequality.
+        ProofSequenceError: if the move budget is exhausted (solver bug).
+    """
+    from repro.flows.inequality import verify_witness
+
+    verify_witness(ineq, witness)
+    state = _FlowState(ineq, witness)
+    sequence = ProofSequence()
+
+    moves = 0
+    while state.lam_norm() > _ZERO:
+        moves += 1
+        if moves > max_moves:
+            raise ProofSequenceError(
+                f"proof-sequence construction exceeded {max_moves} moves"
+            )
+        candidates = state.unconditioned_positive()
+        if not candidates:
+            raise ProofSequenceError(
+                "no unconditioned δ mass left but λ not exhausted "
+                "(witness/theorem violation)"
+            )
+        advanced = False
+        for z in candidates:
+            if _advance(state, sequence, z, witness_log):
+                advanced = True
+                break
+        if not advanced:
+            raise ProofSequenceError("no applicable Theorem 5.9 case (stuck)")
+    return sequence
+
+
+def _advance(
+    state: _FlowState,
+    sequence: ProofSequence,
+    z: frozenset,
+    witness_log: list[Witness] | None = None,
+) -> bool:
+    """One batched Theorem 5.9 move at coordinate ``Z``.  Returns success."""
+    available = state.delta.get((_EMPTY, z), _ZERO)
+    if available <= _ZERO:
+        return False
+
+    def snapshot() -> None:
+        if witness_log is not None:
+            witness_log.append(Witness(dict(state.sigma), dict(state.mu)))
+
+    # Case (a): pay δ_{Z|∅} into λ_Z.
+    lam_z = state.lam.get(z, _ZERO)
+    if lam_z > _ZERO:
+        amount = min(lam_z, available)
+        state.bump(state.lam, z, -amount)
+        state.bump(state.delta, (_EMPTY, z), -amount)
+        return True
+
+    # Case (b): discard surplus inflow.
+    flow = state.inflow(z)
+    if flow > _ZERO:
+        amount = min(flow, available)
+        state.bump(state.delta, (_EMPTY, z), -amount)
+        return True
+
+    # Case (c): rebalance through a negative contributor of inflow(Z).
+    # (c1) monotonicity μ_{X,Z}.
+    for (x, y), value in sorted(
+        state.mu.items(), key=lambda kv: (len(kv[0][0]), tuple(sorted(kv[0][0])))
+    ):
+        if y == z and value > _ZERO:
+            amount = min(value, available)
+            step = ProofStep(MONOTONICITY, x, z)
+            snapshot()
+            sequence.append(amount, step)
+            state.bump(state.mu, (x, y), -amount)
+            state.bump(state.delta, (_EMPTY, z), -amount)
+            if x != _EMPTY:
+                state.bump(state.delta, (_EMPTY, x), +amount)
+            return True
+
+    # (c2) a conditional δ_{Y|Z} waiting to be composed.
+    for (x, y), value in sorted(
+        state.delta.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+    ):
+        if x == z and value > _ZERO:
+            amount = min(value, available)
+            step = ProofStep(COMPOSITION, z, y)
+            snapshot()
+            sequence.append(amount, step)
+            state.bump(state.delta, (_EMPTY, z), -amount)
+            state.bump(state.delta, (z, y), -amount)
+            state.bump(state.delta, (_EMPTY, y), +amount)
+            return True
+
+    # (c3) a submodularity σ_{Z,J}: decompose then shift.  σ is symmetric in
+    # {I, J}, so Z may appear as either component.
+    for (i, j), value in sorted(
+        state.sigma.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+    ):
+        if value <= _ZERO:
+            continue
+        if i == z:
+            partner = j
+        elif j == z:
+            partner = i
+        else:
+            continue
+        amount = min(value, available)
+        meet = z & partner
+        if meet:
+            # d_{Z, Z∩J} splits off h(Z∩J); with an empty meet the
+            # decomposition is the identity and only s_{Z,J} is emitted.
+            snapshot()
+            sequence.append(amount, ProofStep(DECOMPOSITION, z, meet))
+        snapshot()
+        sequence.append(amount, ProofStep(SUBMODULARITY, z, partner))
+        state.bump(state.sigma, (i, j), -amount)
+        state.bump(state.delta, (_EMPTY, z), -amount)
+        if meet != _EMPTY:
+            state.bump(state.delta, (_EMPTY, meet), +amount)
+        state.bump(state.delta, (partner, z | partner), +amount)
+        return True
+
+    return False
+
+
+def truncate(
+    ineq: FlowInequality,
+    witness: Witness,
+    y: frozenset,
+    amount: Fraction,
+) -> tuple[FlowInequality, Witness]:
+    """Lemma 5.11: truncate ``δ_{Y|∅}`` by ``amount``, rebalancing the flow.
+
+    Produces ``(λ', δ')`` with witness ``(σ', μ')`` such that ``λ' <= λ``,
+    ``δ' <= δ`` component-wise, ``δ'_{Y|∅} <= δ_{Y|∅} − amount``, and
+    ``‖λ'‖₁ >= ‖λ‖₁ − amount`` — the restart inequality of PANDA Case 4b.
+
+    The deficit-walk of the lemma is run in capacity-batched chunks.
+    """
+    from repro.flows.inequality import tighten, verify_witness
+
+    verify_witness(ineq, witness)
+    if ineq.lam_norm <= _ZERO:
+        raise ProofSequenceError("truncate needs ‖λ‖ > 0")
+    if ineq.delta.get((_EMPTY, y), _ZERO) < amount:
+        raise ProofSequenceError(
+            f"truncate needs δ_{{{sorted(y)}|∅}} >= {amount}"
+        )
+    tight = tighten(ineq, witness)
+    state = _FlowState(ineq, tight)
+
+    remaining = Fraction(amount)
+    while remaining > _ZERO:
+        chunk = _walk_deficit(state, y, remaining)
+        remaining -= chunk
+
+    new_ineq = FlowInequality(ineq.universe, dict(state.lam), dict(state.delta))
+    new_witness = Witness(dict(state.sigma), dict(state.mu))
+    verify_witness(new_ineq, new_witness)
+    return new_ineq, new_witness
+
+
+def _walk_deficit(state: _FlowState, start: frozenset, cap: Fraction) -> Fraction:
+    """One chunked deficit walk of Lemma 5.11; returns the chunk size moved.
+
+    Starting by reducing ``δ_{start|∅}``, the walk moves the (single) deficit
+    coordinate until it can be absorbed by reducing some ``λ_Z`` or it reaches
+    ``∅``.  The chunk is fixed *along the whole walk* — to keep it simple we
+    first probe the walk to find the bottleneck capacity, then replay it.
+    """
+    path = _probe_walk(state, start, cap)
+    chunk = min(cap, *(capacity for capacity, _ in path)) if path else cap
+    # Replay with the bottleneck chunk.
+    state.bump(state.delta, (_EMPTY, start), -chunk)
+    for _, action in path:
+        action(chunk)
+    return chunk
+
+
+def _probe_walk(state: _FlowState, start: frozenset, cap: Fraction):
+    """Plan the Lemma 5.11 walk; returns [(capacity, apply(chunk))] actions."""
+    plan: list[tuple[Fraction, object]] = []
+    z = start
+    # The probe must not mutate state, so track virtual adjustments along the
+    # walk (each coordinate is visited a bounded number of times because
+    # 2‖σ‖+‖δ‖+‖μ‖ strictly decreases).
+    virtual: dict[tuple[str, Pair], Fraction] = {}
+
+    def get(table: dict, kind: str, key: Pair) -> Fraction:
+        return table.get(key, _ZERO) + virtual.get((kind, key), _ZERO)
+
+    def adjust(kind: str, key: Pair, amount: Fraction) -> None:
+        virtual[(kind, key)] = virtual.get((kind, key), _ZERO) + amount
+
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 100_000:
+            raise ProofSequenceError("Lemma 5.11 walk did not terminate")
+        lam_z = state.lam.get(z, _ZERO)
+        if lam_z > _ZERO:
+            target = z
+
+            def pay(chunk: Fraction, target=target) -> None:
+                state.bump(state.lam, target, -chunk)
+
+            plan.append((lam_z, pay))
+            return plan
+        found = False
+        # (1) μ_{X,Z} > 0: move deficit down to X.
+        for (x, yy), value in sorted(
+            state.mu.items(), key=lambda kv: (len(kv[0][0]), tuple(sorted(kv[0][0])))
+        ):
+            value = get(state.mu, "mu", (x, yy))
+            if yy == z and value > _ZERO:
+                def act(chunk: Fraction, x=x, yy=yy) -> None:
+                    state.bump(state.mu, (x, yy), -chunk)
+
+                plan.append((value, act))
+                adjust("mu", (x, yy), -cap)
+                z = x
+                found = True
+                break
+        if found:
+            if z == _EMPTY:
+                return plan
+            continue
+        # (2) δ_{Y2|Z} > 0: move deficit up to Y2.
+        for (x, y2), _ in sorted(
+            state.delta.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+        ):
+            value = get(state.delta, "delta", (x, y2))
+            if x == z and value > _ZERO:
+                def act(chunk: Fraction, x=x, y2=y2) -> None:
+                    state.bump(state.delta, (x, y2), -chunk)
+
+                plan.append((value, act))
+                adjust("delta", (x, y2), -cap)
+                z = y2
+                found = True
+                break
+        if found:
+            continue
+        # (3) σ_{Z,J} > 0: move deficit to Z∪J, raising μ_{Z∩J,J}.  σ is
+        # symmetric in {I, J}, so Z may appear as either component.
+        for (i, j), _ in sorted(
+            state.sigma.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+        ):
+            value = get(state.sigma, "sigma", (i, j))
+            if value <= _ZERO:
+                continue
+            if i == z:
+                partner = j
+            elif j == z:
+                partner = i
+            else:
+                continue
+
+            def act(chunk: Fraction, i=i, j=j, partner=partner) -> None:
+                state.bump(state.sigma, (i, j), -chunk)
+                state.bump(state.mu, (i & j, partner), +chunk)
+
+            plan.append((value, act))
+            adjust("sigma", (i, j), -cap)
+            adjust("mu", (i & j, partner), +cap)
+            z = z | partner
+            found = True
+            break
+        if found:
+            continue
+        raise WitnessError(
+            f"Lemma 5.11 walk stuck at {sorted(z)}: tight witness expected"
+        )

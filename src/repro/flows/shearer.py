@@ -1,0 +1,152 @@
+"""Shearer's lemma as a Shannon-flow inequality (§2.1.1 ↔ §5).
+
+The AGM bound's information-theoretic core is Shearer's lemma [21]: for any
+fractional edge cover ``λ`` of ``H`` and any entropic (indeed polymatroid)
+``h``,
+
+    h([n])  <=  Σ_F λ_F · h(F).
+
+In the paper's language this is precisely the Shannon-flow inequality
+``⟨e_[n], h⟩ <= ⟨δ, h⟩`` with ``δ_{F|∅} = λ_F`` (a special case of Eq. 101),
+and Prop. 5.4 guarantees a witness.  This module constructs the inequality
+from a cover, *finds a witness by LP feasibility* restricted to elemental
+multipliers, and hence — through :func:`repro.flows.construct_proof_sequence`
+— yields an explicit four-rule derivation of Shearer's lemma for any given
+hypergraph and cover.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.core.hypergraph import Hypergraph, powerset
+from repro.core.setfunctions import elemental_inequalities
+from repro.exceptions import WitnessError
+from repro.flows.inequality import FlowInequality, Witness, verify_witness
+from repro.lp import LPModel
+
+__all__ = ["shearer_inequality", "find_witness"]
+
+_ZERO = Fraction(0)
+
+
+def shearer_inequality(
+    hypergraph: Hypergraph,
+    cover: Mapping[int, Fraction] | None = None,
+) -> FlowInequality:
+    """The Shearer flow inequality of a fractional edge cover.
+
+    Args:
+        hypergraph: the query hypergraph.
+        cover: edge-index -> weight; defaults to the optimal fractional edge
+            cover (so the RHS is the AGM exponent).
+
+    Returns:
+        ``h([n]) <= Σ λ_F h(F)`` as a :class:`FlowInequality`.
+
+    Raises:
+        WitnessError: if the given weights are not actually a cover (the
+            inequality would be false, so no witness exists).
+    """
+    if cover is None:
+        from repro.bounds.edge_covers import fractional_edge_cover
+
+        _, cover = fractional_edge_cover(hypergraph)
+    delta: dict = {}
+    empty = frozenset()
+    for index, weight in cover.items():
+        weight = Fraction(weight)
+        if weight <= _ZERO:
+            continue
+        edge = hypergraph.edges[index]
+        key = (empty, edge)
+        delta[key] = delta.get(key, _ZERO) + weight
+    ineq = FlowInequality(
+        hypergraph.vertices,
+        {hypergraph.vertex_set: Fraction(1)},
+        delta,
+    )
+    # Validity check: a witness must exist iff the weights cover H.
+    find_witness(ineq)
+    return ineq
+
+
+def find_witness(ineq: FlowInequality) -> Witness:
+    """Find a ``(σ, μ)`` witness by LP feasibility (Prop. 5.6).
+
+    Searches over *elemental* submodularity multipliers and single-step
+    monotonicities plus drops ``μ_{∅,Z}`` — the same generating set the bound
+    LPs use, which suffices for every inequality arising from them and from
+    fractional covers.
+
+    Raises:
+        WitnessError: if no witness exists in the elemental search space
+            (for inequalities built from valid covers this means the
+            inequality itself is false).
+    """
+    universe = tuple(ineq.universe)
+    model = LPModel()
+    # Variables: σ per elemental submodularity, μ per single-element
+    # monotonicity step and per (∅, Z) drop.
+    sub_keys = []
+    for elem in elemental_inequalities(universe):
+        if elem.kind != "submodularity":
+            continue
+        key = ("σ", elem.i, elem.j)
+        sub_keys.append((key, elem.i, elem.j))
+        model.add_variable(key)
+    mono_keys = []
+    subsets = [s for s in powerset(universe) if s]
+    for z in subsets:
+        for v in sorted(z):
+            x = z - {v}
+            key = ("μ", x, z)
+            mono_keys.append((key, x, z))
+            model.add_variable(key)
+
+    # inflow(Z) >= λ_Z for every non-empty Z, written as <= rows of the
+    # negated inequality.  δ contributions are constants.
+    for z in subsets:
+        constant = _ZERO
+        for (x, y), value in ineq.delta.items():
+            if y == z:
+                constant += value
+            if x == z:
+                constant -= value
+        coeffs: dict = {}
+
+        def bump(key, amount):
+            coeffs[key] = coeffs.get(key, _ZERO) + amount
+
+        for key, i, j in sub_keys:
+            if i & j == z or i | j == z:
+                bump(key, Fraction(-1))
+            if i == z or j == z:
+                bump(key, Fraction(1))
+        for key, x, y in mono_keys:
+            if y == z:
+                bump(key, Fraction(1))
+            if x == z:
+                bump(key, Fraction(-1))
+        # -inflow_multipliers(Z) <= constant - λ_Z
+        model.add_le_constraint(
+            ("inflow", z), coeffs, constant - ineq.lam.get(z, _ZERO)
+        )
+    try:
+        solution = model.maximize()
+    except Exception as error:  # infeasible -> no witness
+        raise WitnessError(f"no elemental witness exists: {error}") from error
+    sigma: dict = {}
+    mu: dict = {}
+    for key, value in solution.values.items():
+        if value <= _ZERO:
+            continue
+        kind, a, b = key
+        if kind == "σ":
+            sigma[(a, b)] = value
+        else:
+            mu[(a, b)] = value
+    witness = Witness(sigma, mu)
+    verify_witness(ineq, witness)
+    return witness

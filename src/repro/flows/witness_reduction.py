@@ -1,0 +1,296 @@
+"""Witness-norm reduction (Appendix B.1: Lemma B.3, Corollary B.4).
+
+The length of every proof-sequence construction is governed by the norms
+``‖σ‖₁, ‖δ‖₁, ‖μ‖₁`` of the witness, which motivates replacing a witness by
+an equivalent one with smaller norms before constructing a sequence.
+
+The core rewriting loop is Lemma B.3: repeatedly eliminate monotonicity
+multipliers ``μ_{X,Y}`` with ``X != ∅`` by re-routing them through the dual
+variable that drains ``inflow(X)`` in a *tight* witness.  The three re-routing
+moves (Figure 10), each preserving ``inflow(Z) − λ_Z`` for every ``Z``:
+
+1. ``μ_{W,X}, μ_{X,Y}  ->  μ_{W,Y}``                     (transitive contraction)
+2. ``δ_{Y'|X}, μ_{X,Y}  ->  δ_{Y∪Y'|Y}, μ_{Y',Y∪Y'}``    (push μ above the δ arc)
+3. ``σ_{X,X'}, μ_{X,Y}  ->  σ_{Y,X'}, μ_{X∪X',Y∪X'}, μ_{X∩X',Y∩X'}``
+
+Degenerate coordinates (``σ`` on comparable sets, ``μ`` or ``δ`` on equal
+sets) contribute zero flow and are simply dropped; flow conservation is
+re-verified after every move in debug mode.
+
+Corollary B.4's guarantee — ``Σ_{Y⊃X} μ'_{X,Y} <= λ_X`` for every ``X != ∅``,
+hence ``Σ_{X != ∅} μ'_{X,Y} <= ‖λ‖₁`` — follows because the loop runs until
+no ``X`` carries *excess* conditioned-μ mass beyond ``λ_X``, and in a tight
+witness the excess is always matched by a drain that one of the three moves
+can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from repro.exceptions import WitnessError
+from repro.flows.inequality import (
+    FlowInequality,
+    Witness,
+    tighten,
+    verify_witness,
+)
+
+__all__ = [
+    "WitnessNorms",
+    "witness_norms",
+    "reduce_conditioned_mu",
+    "normalize_witness",
+]
+
+_ZERO = Fraction(0)
+_EMPTY = frozenset()
+
+
+@dataclass(frozen=True)
+class WitnessNorms:
+    """The ℓ₁ norms that bound proof-sequence lengths (Thm 5.9, B.6, B.7).
+
+    Attributes:
+        lam: ``‖λ‖₁``.
+        delta: ``‖δ‖₁``.
+        sigma: ``‖σ‖₁``.
+        mu: ``‖μ‖₁``.
+        mu_conditioned: ``Σ_{X != ∅} μ_{X,Y}`` — the quantity Cor. B.4 bounds
+            by ``‖λ‖₁``.
+        unconditioned_delta: ``Σ_Y δ_{Y|∅}`` — the quantity Lemma B.5 bounds
+            by ``n·‖λ‖₁``.
+    """
+
+    lam: Fraction
+    delta: Fraction
+    sigma: Fraction
+    mu: Fraction
+    mu_conditioned: Fraction
+    unconditioned_delta: Fraction
+
+    @property
+    def theorem_5_9_length(self) -> Fraction:
+        """The Theorem 5.9 bound ``3‖σ‖₁ + ‖δ‖₁ + ‖μ‖₁`` (before the ×D)."""
+        return 3 * self.sigma + self.delta + self.mu
+
+    @property
+    def theorem_b8_length(self) -> Fraction:
+        """The Theorem B.8 bound ``‖λ‖₁ + ‖σ‖₁`` (before the ×2^n·D)."""
+        return self.lam + self.sigma
+
+
+def witness_norms(ineq: FlowInequality, witness: Witness) -> WitnessNorms:
+    """Compute all length-governing norms of ``(λ, δ, σ, μ)``."""
+    mu_conditioned = sum(
+        (v for (x, _y), v in witness.mu.items() if x != _EMPTY), _ZERO
+    )
+    unconditioned = sum(
+        (v for (x, _y), v in ineq.delta.items() if x == _EMPTY), _ZERO
+    )
+    return WitnessNorms(
+        lam=ineq.lam_norm,
+        delta=ineq.delta_norm,
+        sigma=sum(witness.sigma.values(), _ZERO),
+        mu=sum(witness.mu.values(), _ZERO),
+        mu_conditioned=mu_conditioned,
+        unconditioned_delta=unconditioned,
+    )
+
+
+class _State:
+    """Mutable (λ, δ, σ, μ) with zero-pruning bumps."""
+
+    def __init__(self, ineq: FlowInequality, witness: Witness) -> None:
+        self.universe = ineq.universe
+        self.lam = dict(ineq.lam)
+        self.delta = dict(ineq.delta)
+        self.sigma = dict(witness.sigma)
+        self.mu = dict(witness.mu)
+
+    def bump(self, table: dict, key, amount: Fraction) -> None:
+        value = table.get(key, _ZERO) + amount
+        if value < _ZERO:
+            raise WitnessError(f"reduction drove {key} negative: {value}")
+        if value == _ZERO:
+            table.pop(key, None)
+        else:
+            table[key] = value
+
+    def bump_sigma(self, i: frozenset, j: frozenset, amount: Fraction) -> None:
+        """Add σ mass, canonicalizing key order and dropping degenerate pairs."""
+        if i <= j or j <= i:
+            # Comparable pair: s_{I,J} is the identity inequality, zero flow.
+            return
+        if (i, j) in self.sigma:
+            key = (i, j)
+        elif (j, i) in self.sigma:
+            key = (j, i)
+        else:
+            key = (i, j) if _set_key(i) <= _set_key(j) else (j, i)
+        self.bump(self.sigma, key, amount)
+
+    def bump_mu(self, x: frozenset, y: frozenset, amount: Fraction) -> None:
+        """Add μ mass, dropping the degenerate ``X == Y`` case (zero flow)."""
+        if x == y:
+            return
+        if not x < y:
+            raise WitnessError(f"μ key must be nested: {sorted(x)}, {sorted(y)}")
+        self.bump(self.mu, (x, y), amount)
+
+    def bump_delta(self, x: frozenset, y: frozenset, amount: Fraction) -> None:
+        """Add δ mass, dropping the degenerate ``X == Y`` case (zero flow)."""
+        if x == y:
+            return
+        if not x < y:
+            raise WitnessError(f"δ key must be nested: {sorted(x)}, {sorted(y)}")
+        self.bump(self.delta, (x, y), amount)
+
+    def to_pair(self) -> tuple[FlowInequality, Witness]:
+        ineq = FlowInequality(self.universe, dict(self.lam), dict(self.delta))
+        witness = Witness(dict(self.sigma), dict(self.mu))
+        return ineq, witness
+
+
+def _set_key(s: Iterable[str]) -> tuple:
+    return tuple(sorted(s))
+
+
+def _conditioned_mu_excess(state: _State) -> list[tuple[frozenset, Fraction]]:
+    """All ``X != ∅`` whose conditioned-μ total exceeds ``λ_X``."""
+    totals: dict[frozenset, Fraction] = {}
+    for (x, _y), value in state.mu.items():
+        if x != _EMPTY and value > _ZERO:
+            totals[x] = totals.get(x, _ZERO) + value
+    out = []
+    for x, total in totals.items():
+        excess = total - state.lam.get(x, _ZERO)
+        if excess > _ZERO:
+            out.append((x, excess))
+    out.sort(key=lambda pair: (_set_key(pair[0])))
+    return out
+
+
+def _drain_of(state: _State, x: frozenset):
+    """A dual variable draining ``inflow(X)``, preferring μ then δ then σ.
+
+    Returns one of ``("mu", (W, X), value)``, ``("delta", (X, Y'), value)``,
+    ``("sigma", (I, J), value)`` — or ``None`` when no drain exists (which
+    contradicts tightness when an excess is present).
+    """
+    for (w, y), value in sorted(
+        state.mu.items(), key=lambda kv: (_set_key(kv[0][0]), _set_key(kv[0][1]))
+    ):
+        if y == x and value > _ZERO:
+            return ("mu", (w, y), value)
+    for (z, y), value in sorted(
+        state.delta.items(), key=lambda kv: (_set_key(kv[0][0]), _set_key(kv[0][1]))
+    ):
+        if z == x and value > _ZERO:
+            return ("delta", (z, y), value)
+    for (i, j), value in sorted(
+        state.sigma.items(), key=lambda kv: (_set_key(kv[0][0]), _set_key(kv[0][1]))
+    ):
+        if value > _ZERO and (i == x or j == x):
+            return ("sigma", (i, j), value)
+    return None
+
+
+def reduce_conditioned_mu(
+    ineq: FlowInequality,
+    witness: Witness,
+    max_moves: int = 100_000,
+    check: bool = True,
+) -> tuple[FlowInequality, Witness]:
+    """Lemma B.3 / Corollary B.4: shrink conditioned monotonicity mass.
+
+    Returns an equivalent inequality/witness pair (same ``λ``, ``δ'`` dominated
+    by ``δ`` so the potential ``Σ δ'·n`` never grows) in which every ``X != ∅``
+    satisfies ``Σ_{Y⊃X} μ'_{X,Y} <= λ_X``; in particular the conditioned-μ
+    total is at most ``‖λ‖₁``.
+
+    Args:
+        ineq: a Shannon-flow inequality.
+        witness: a valid witness for it.
+        max_moves: safety cap on rewriting moves.
+        check: re-verify flow conservation after the rewrite.
+
+    Raises:
+        WitnessError: if the witness is invalid, conservation breaks (a bug),
+            or the move cap is exceeded.
+    """
+    tight = tighten(ineq, witness)
+    state = _State(ineq, tight)
+
+    moves = 0
+    while True:
+        excesses = _conditioned_mu_excess(state)
+        if not excesses:
+            break
+        x, excess = excesses[0]
+        # Pick the largest conditioned μ out of X to shrink.
+        candidates = [
+            ((x0, y), v)
+            for (x0, y), v in state.mu.items()
+            if x0 == x and v > _ZERO
+        ]
+        candidates.sort(key=lambda kv: (_set_key(kv[0][1])))
+        (_, y), mu_value = candidates[0]
+
+        drain = _drain_of(state, x)
+        if drain is None:
+            raise WitnessError(
+                f"tight witness has conditioned-μ excess at {sorted(x)} "
+                "but no drain (flow accounting bug)"
+            )
+        kind, key, drain_value = drain
+        t = min(mu_value, drain_value, excess)
+        if t <= _ZERO:
+            raise WitnessError("non-positive reduction amount (bug)")
+
+        state.bump(state.mu, (x, y), -t)
+        if kind == "mu":
+            w, _ = key
+            state.bump(state.mu, key, -t)
+            state.bump_mu(w, y, t)
+        elif kind == "delta":
+            _, y_prime = key
+            state.bump(state.delta, key, -t)
+            union = y | y_prime
+            state.bump_delta(y, union, t)
+            state.bump_mu(y_prime, union, t)
+        else:  # sigma
+            i, j = key
+            other = j if i == x else i
+            state.bump(state.sigma, key, -t)
+            state.bump_sigma(y, other, t)
+            state.bump_mu(x | other, y | other, t)
+            state.bump_mu(x & other, y & other, t)
+
+        moves += 1
+        if moves > max_moves:
+            raise WitnessError(
+                f"conditioned-μ reduction exceeded {max_moves} moves"
+            )
+
+    out_ineq, out_witness = state.to_pair()
+    if check:
+        verify_witness(out_ineq, out_witness)
+        for x, _ in _conditioned_mu_excess(state):
+            raise WitnessError(f"residual conditioned-μ excess at {sorted(x)}")
+    return out_ineq, out_witness
+
+
+def normalize_witness(
+    ineq: FlowInequality, witness: Witness
+) -> tuple[FlowInequality, Witness, WitnessNorms]:
+    """The B.1 normalization pipeline: tighten, then reduce conditioned μ.
+
+    Returns the normalized pair together with its norms, ready to feed either
+    proof-sequence construction.
+    """
+    out_ineq, out_witness = reduce_conditioned_mu(ineq, witness)
+    norms = witness_norms(out_ineq, out_witness)
+    return out_ineq, out_witness, norms

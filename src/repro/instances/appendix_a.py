@@ -1,0 +1,140 @@
+"""The worst-case instances of Appendix A and Example 1.10.
+
+Three tightness instances for the 4-cycle query (Example 1.2) plus the
+Example 1.10 instance on which every single tree decomposition pays ``N²``:
+
+* ``instance_a``  — bound (a) ``|Q| <= N²`` is tight:
+  ``R12 = R34 = [N]×[1]``, ``R23 = R41 = [1]×[N]``;
+* ``instance_c``  — bound (c) ``|Q| <= N^{3/2}`` under the FDs
+  ``A1 -> A2, A2 -> A1`` is asymptotically tight (``K = ⌊√N⌋``):
+  ``R12 = {(i,i)}``, ``R23 = R34 = R41 = [K]×[K]``;
+* ``instance_b``  — bound (b) ``|Q| <= D·N^{3/2}`` under degree bounds
+  ``deg(A1A2|A1), deg(A1A2|A2) <= D`` is tight:
+  like (c) but ``R12 = {(i,j) : (j−i) mod K < D}``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.constraints import (
+    ConstraintSet,
+    DegreeConstraint,
+    cardinality,
+    functional_dependency,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+__all__ = [
+    "four_cycle_edges",
+    "instance_a",
+    "instance_a_transposed",
+    "instance_b",
+    "instance_b_fullsize",
+    "instance_c",
+    "constraints_a",
+    "constraints_b",
+    "constraints_c",
+]
+
+#: The 4-cycle query's edges, in the paper's atom order.
+four_cycle_edges = (
+    ("A1", "A2"),
+    ("A2", "A3"),
+    ("A3", "A4"),
+    ("A4", "A1"),
+)
+
+
+def _cycle_database(r12, r23, r34, r41) -> Database:
+    return Database(
+        [
+            Relation.from_pairs("R12", "A1", "A2", r12),
+            Relation.from_pairs("R23", "A2", "A3", r23),
+            Relation.from_pairs("R34", "A3", "A4", r34),
+            Relation.from_pairs("R41", "A4", "A1", r41),
+        ]
+    )
+
+
+def instance_a(n: int) -> Database:
+    """Bound (a) tight: output is exactly ``N²`` (all (i, 0, j, 0)).
+
+    This is the Example 1.10 instance that forces the *first* tree
+    decomposition (bags A1A2A3 / A1A3A4) to materialize ``N²`` tuples.
+    """
+    column = [(i, 0) for i in range(n)]
+    row = [(0, i) for i in range(n)]
+    return _cycle_database(column, row, column, row)
+
+
+def instance_a_transposed(n: int) -> Database:
+    """The mirror of :func:`instance_a`, adversarial for the *second*
+    decomposition (bags A1A2A4 / A2A3A4) — "a similar worst-case instance
+    exists for the tree on the right" (Example 1.10)."""
+    column = [(i, 0) for i in range(n)]
+    row = [(0, i) for i in range(n)]
+    return _cycle_database(row, column, row, column)
+
+
+def constraints_a(n: int) -> ConstraintSet:
+    """Cardinality constraints ``|R| <= N`` on the four atoms."""
+    return ConstraintSet(cardinality(edge, n) for edge in four_cycle_edges)
+
+
+def instance_c(n: int) -> Database:
+    """Bound (c) asymptotically tight: output is ``K³ ≈ N^{3/2}``."""
+    k = int(math.isqrt(n))
+    grid = [(i, j) for i in range(k) for j in range(k)]
+    diagonal = [(i, i) for i in range(k)]
+    return _cycle_database(diagonal, grid, grid, grid)
+
+
+def constraints_c(n: int) -> ConstraintSet:
+    """Cardinalities plus the FDs ``A1 -> A2`` and ``A2 -> A1``."""
+    return constraints_a(n).with_constraints(
+        [
+            functional_dependency(("A1",), ("A2",)),
+            functional_dependency(("A2",), ("A1",)),
+        ]
+    )
+
+
+def instance_b(n: int, d: int) -> Database:
+    """Bound (b) tight: like (c) but R12 is a width-``d`` circulant band."""
+    k = int(math.isqrt(n))
+    if d > k:
+        raise ValueError(f"need D <= sqrt(N), got D={d} > K={k}")
+    grid = [(i, j) for i in range(k) for j in range(k)]
+    band = [(i, j) for i in range(k) for j in range(k) if (j - i) % k < d]
+    return _cycle_database(band, grid, grid, grid)
+
+
+def instance_b_fullsize(n: int, d: int) -> Database:
+    """A degree-bounded ``R12`` whose *cardinality* is still ``N``.
+
+    Unlike :func:`instance_b` (where ``|R12| = K*D`` already tells the
+    cardinality-only bound everything), here ``R12`` is a width-``d``
+    circulant band on ``[N/D]**2``: ``|R12| = N`` with both degrees ``<= D``.
+    The degree constraints of Example 1.2(b) are then strictly stronger
+    information than the cardinalities -- the bound drops from ``N**2``
+    to ``D*N^{3/2}``.
+    """
+    if n % d:
+        raise ValueError(f"need D | N, got N={n}, D={d}")
+    m = n // d
+    k = int(math.isqrt(n))
+    band = [(i, j) for i in range(m) for j in range(m) if (j - i) % m < d]
+    grid = [(i, j) for i in range(k) for j in range(k)]
+    return _cycle_database(band, grid, grid, grid)
+
+
+def constraints_b(n: int, d: int) -> ConstraintSet:
+    """Cardinalities plus ``deg(A1A2|A1) <= D`` and ``deg(A1A2|A2) <= D``."""
+    return constraints_a(n).with_constraints(
+        [
+            DegreeConstraint.make(("A1",), ("A1", "A2"), d),
+            DegreeConstraint.make(("A2",), ("A1", "A2"), d),
+        ]
+    )

@@ -1,0 +1,279 @@
+"""Query and instance families used across the paper.
+
+* :func:`cycle_query` — the ``n``-cycle CQ (Examples 1.2, 1.10);
+* :func:`path_rule` — the 3-path disjunctive rule of Example 1.4;
+* :func:`four_cycle_boolean` — the "is there a 4-cycle?" query;
+* :func:`bipartite_cycle` — Example 7.4's hypergraph: ``2k`` independent sets
+  of ``m`` vertices, consecutive sets joined completely (unbounded fhtw/subw
+  gap);
+* :func:`zhang_yeung_query` / :func:`zhang_yeung_constraints` — the Theorem
+  1.3 query (Eq. 49);
+* :func:`lemma_4_5_rule` / :func:`lemma_4_5_constraints` — the 15-target
+  disjunctive rule (Eq. 65) with uniform cardinality bounds;
+* :func:`random_database` — uniform random binary relations for soak tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.constraints import (
+    ConstraintSet,
+    cardinality,
+    functional_dependency,
+)
+from repro.core.hypergraph import Hypergraph
+from repro.datalog.atoms import Atom
+from repro.exceptions import QueryError
+from repro.datalog.conjunctive import ConjunctiveQuery
+from repro.datalog.rule import DisjunctiveRule
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+from itertools import product as _product
+
+__all__ = [
+    "loomis_whitney_query",
+    "loomis_whitney_instance",
+    "cycle_query",
+    "cycle_edges",
+    "path_rule",
+    "four_cycle_boolean",
+    "bipartite_cycle",
+    "zhang_yeung_query",
+    "lemma_4_5_rule",
+    "lemma_4_5_constraints",
+    "random_database",
+    "skew_triangle",
+    "triangle_query",
+    "agm_tight_triangle",
+]
+
+
+def cycle_edges(length: int) -> list[tuple[str, str]]:
+    """Edges of the ``length``-cycle over ``A1 ... A<length>``."""
+    return [
+        (f"A{i + 1}", f"A{(i + 1) % length + 1}") for i in range(length)
+    ]
+
+
+def cycle_query(length: int, boolean: bool = False) -> ConjunctiveQuery:
+    """The ``length``-cycle conjunctive query (full by default)."""
+    atoms = tuple(
+        Atom(f"R{i + 1}{(i + 1) % length + 1}", edge)
+        for i, edge in enumerate(cycle_edges(length))
+    )
+    if boolean:
+        return ConjunctiveQuery.boolean(atoms, name=f"C{length}")
+    return ConjunctiveQuery.full(atoms, name=f"C{length}")
+
+
+def four_cycle_boolean() -> ConjunctiveQuery:
+    """Example 1.10: does the graph contain a 4-cycle?"""
+    return cycle_query(4, boolean=True)
+
+
+def triangle_query(boolean: bool = False) -> ConjunctiveQuery:
+    """The triangle query (the classic WCOJ separator)."""
+    atoms = (
+        Atom("R", ("A", "B")),
+        Atom("S", ("B", "C")),
+        Atom("T", ("A", "C")),
+    )
+    if boolean:
+        return ConjunctiveQuery.boolean(atoms, name="triangle")
+    return ConjunctiveQuery.full(atoms, name="triangle")
+
+
+def skew_triangle(m: int) -> Database:
+    """The skew triangle instance separating binary plans from WCOJ [43].
+
+    Each relation is a "plus sign" ``{0}×[m] ∪ [m]×{0}`` of ~2m tuples; the
+    triangle output is Θ(m), but the join of *any two* relations already has
+    Θ(m²) tuples, so every binary join plan is quadratic while Generic Join
+    stays near-linear.
+    """
+    plus = {(0, j) for j in range(m)} | {(i, 0) for i in range(m)}
+    return Database(
+        [
+            Relation.from_pairs("R", "A", "B", plus),
+            Relation.from_pairs("S", "B", "C", plus),
+            Relation.from_pairs("T", "A", "C", plus),
+        ]
+    )
+
+
+def agm_tight_triangle(n: int) -> Database:
+    """The AGM-tight triangle instance: three K×K bicliques (K = √N)."""
+    import math
+
+    k = max(1, int(math.isqrt(n)))
+    grid = [(i, j) for i in range(k) for j in range(k)]
+    return Database(
+        [
+            Relation.from_pairs("R", "A", "B", grid),
+            Relation.from_pairs("S", "B", "C", grid),
+            Relation.from_pairs("T", "A", "C", grid),
+        ]
+    )
+
+
+def path_rule() -> DisjunctiveRule:
+    """Example 1.4: ``T123 ∨ T234 <- R12, R23, R34``."""
+    return DisjunctiveRule(
+        (frozenset(("A1", "A2", "A3")), frozenset(("A2", "A3", "A4"))),
+        (
+            Atom("R12", ("A1", "A2")),
+            Atom("R23", ("A2", "A3")),
+            Atom("R34", ("A3", "A4")),
+        ),
+        name="P_ex14",
+    )
+
+
+def bipartite_cycle(k: int, m: int) -> Hypergraph:
+    """Example 7.4: ``2k`` independent sets of size ``m`` in a cycle of
+    complete bipartite links.  ``fhtw >= 2m`` while ``subw <= m(2 − 1/k)``."""
+    groups = [
+        [f"V{g}_{i}" for i in range(m)] for g in range(2 * k)
+    ]
+    edges = []
+    for g in range(2 * k):
+        nxt = (g + 1) % (2 * k)
+        for a in groups[g]:
+            for b in groups[nxt]:
+                edges.append((a, b))
+    return Hypergraph.from_edges(edges)
+
+
+def zhang_yeung_query(n: int) -> tuple[ConjunctiveQuery, ConstraintSet]:
+    """Theorem 1.3's query (Eq. 49) with its constraints, parameterized by N.
+
+    Cardinalities ``N³`` on the five binary atoms, ``N²`` on W(C), and the
+    six keys of K: AB, AXY, BXY, AC, XC, YC (each an FD to all of ABXYC).
+    """
+    full = ("A", "B", "C", "X", "Y")
+    atoms = (
+        Atom("K", ("A", "B", "X", "Y", "C")),
+        Atom("R", ("X", "Y")),
+        Atom("S", ("A", "X")),
+        Atom("T", ("A", "Y")),
+        Atom("U", ("B", "X")),
+        Atom("V", ("B", "Y")),
+        Atom("W", ("C",)),
+    )
+    query = ConjunctiveQuery.full(atoms, name="ZY")
+    constraints = ConstraintSet(
+        [
+            cardinality(("X", "Y"), n**3),
+            cardinality(("A", "X"), n**3),
+            cardinality(("A", "Y"), n**3),
+            cardinality(("B", "X"), n**3),
+            cardinality(("B", "Y"), n**3),
+            cardinality(("C",), n**2),
+            functional_dependency(("A", "B"), full),
+            functional_dependency(("A", "X", "Y"), full),
+            functional_dependency(("B", "X", "Y"), full),
+            functional_dependency(("A", "C"), full),
+            functional_dependency(("X", "C"), full),
+            functional_dependency(("Y", "C"), full),
+        ]
+    )
+    return query, constraints
+
+
+def lemma_4_5_rule() -> DisjunctiveRule:
+    """The 15-target disjunctive rule of Eq. (65) over 8 variables."""
+    f = frozenset
+    targets = (
+        f(("A", "B")),
+        f(("A", "X", "Y")),
+        f(("B", "X", "Y")),
+        f(("Ap", "Bp")),
+        f(("Ap", "Xp", "Yp")),
+        f(("Bp", "Xp", "Yp")),
+        f(("Ap", "A")),
+        f(("Xp", "A")),
+        f(("Yp", "A")),
+        f(("Ap", "X")),
+        f(("Xp", "X")),
+        f(("Yp", "X")),
+        f(("Ap", "Y")),
+        f(("Xp", "Y")),
+        f(("Yp", "Y")),
+    )
+    body = (
+        Atom("R1", ("X", "Y")),
+        Atom("R2", ("A", "X")),
+        Atom("R3", ("A", "Y")),
+        Atom("R4", ("B", "X")),
+        Atom("R5", ("B", "Y")),
+        Atom("R6", ("Xp", "Yp")),
+        Atom("R7", ("Ap", "Xp")),
+        Atom("R8", ("Ap", "Yp")),
+        Atom("R9", ("Bp", "Xp")),
+        Atom("R10", ("Bp", "Yp")),
+    )
+    return DisjunctiveRule(targets, body, name="P_eq65")
+
+
+def lemma_4_5_constraints(n: int) -> ConstraintSet:
+    """Uniform cardinality bounds ``|R_i| <= N³`` for the Eq. (65) rule."""
+    rule = lemma_4_5_rule()
+    return ConstraintSet(
+        cardinality(atom.variables, n**3) for atom in rule.body
+    )
+
+
+def random_database(
+    schema: Sequence[tuple[str, tuple[str, ...]]],
+    size: int,
+    domain: int,
+    seed: int = 0,
+) -> Database:
+    """Uniform random relations: ``size`` distinct tuples over ``[domain]``."""
+    rng = random.Random(seed)
+    relations = []
+    for name, attrs in schema:
+        rows: set[tuple] = set()
+        capacity = domain ** len(attrs)
+        target = min(size, capacity)
+        while len(rows) < target:
+            rows.add(tuple(rng.randrange(domain) for _ in attrs))
+        relations.append(Relation(name, attrs, rows))
+    return Database(relations)
+
+
+def loomis_whitney_query(n: int, boolean: bool = False) -> ConjunctiveQuery:
+    """The Loomis–Whitney query LW(n): ``n`` atoms of arity ``n − 1``.
+
+    ``Q(A_1..A_n) <- /\\_i R_i(A_{[n] − {i}})`` — the classic family whose
+    AGM bound ``N^{n/(n−1)}`` (every λ_F = 1/(n−1)) approaches linear as
+    ``n`` grows; LW(3) is the triangle query up to renaming.
+    """
+    if n < 3:
+        raise QueryError(f"Loomis-Whitney needs n >= 3, got {n}")
+    variables = tuple(f"A{i}" for i in range(1, n + 1))
+    atoms = tuple(
+        Atom(f"R{i + 1}", tuple(v for j, v in enumerate(variables) if j != i))
+        for i in range(n)
+    )
+    if boolean:
+        return ConjunctiveQuery.boolean(atoms, name=f"LW{n}")
+    return ConjunctiveQuery.full(atoms, name=f"LW{n}")
+
+
+def loomis_whitney_instance(n: int, k: int) -> Database:
+    """The AGM-tight LW(n) instance: every relation is the full grid ``[k]^{n−1}``.
+
+    Relation sizes are ``N = k^{n−1}`` and the output is ``[k]^n`` — exactly
+    ``N^{n/(n−1)}``, the AGM bound.
+    """
+    query = loomis_whitney_query(n)
+    relations = []
+    for atom in query.body:
+        arity = len(atom.variables)
+        rows = list(_product(range(k), repeat=arity))
+        relations.append(Relation(atom.name, atom.variables, rows))
+    return Database(relations)

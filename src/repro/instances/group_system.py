@@ -1,0 +1,252 @@
+"""Database instances from group systems (Definition 4.2, Lemma 4.3).
+
+Chan–Yeung group systems turn any "group characterizable" entropy profile
+into a database: given a finite group ``G`` with subgroups ``G_1 ... G_n``,
+the relation ``R_F = {(g·G_i)_{i∈F} : g ∈ G}`` has
+
+    deg_{R_Y}(Y | a_Z) = |G_Z| / |G_Y|           (Lemma 4.3),
+
+and the uniform distribution over ``g`` induces the entropy
+``h(A_S) = log |G| − log |G_S|`` with ``G_S = ∩_{i∈S} G_i``.
+
+The paper uses gigantic permutation groups to prove asymptotic tightness of
+the entropic bound (Lemma 4.4).  Those are not materializable; instead this
+module implements *abelian* group systems — vector spaces ``F_p^k`` with
+subspace subgroups — which realize every uniform/modular-style profile used
+in the paper's concrete instances at laptop scale (and have exactly rational
+entropies in units of ``log2 p``).  DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.core.constraints import log2_fraction
+from repro.core.setfunctions import SetFunction
+from repro.exceptions import ReproError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+__all__ = ["Subspace", "GroupSystem", "model_size_lower_bound"]
+
+
+def _rref_mod_p(rows: list[list[int]], p: int) -> list[list[int]]:
+    """Row-reduce a matrix over F_p; returns the non-zero rows in RREF."""
+    matrix = [list(r) for r in rows]
+    if not matrix:
+        return []
+    cols = len(matrix[0])
+    pivot_row = 0
+    for col in range(cols):
+        pivot = next(
+            (r for r in range(pivot_row, len(matrix)) if matrix[r][col] % p != 0),
+            None,
+        )
+        if pivot is None:
+            continue
+        matrix[pivot_row], matrix[pivot] = matrix[pivot], matrix[pivot_row]
+        inv = pow(matrix[pivot_row][col], p - 2, p) if p > 2 else matrix[pivot_row][col]
+        matrix[pivot_row] = [(v * inv) % p for v in matrix[pivot_row]]
+        for r in range(len(matrix)):
+            if r != pivot_row and matrix[r][col] % p:
+                factor = matrix[r][col]
+                matrix[r] = [
+                    (a - factor * b) % p
+                    for a, b in zip(matrix[r], matrix[pivot_row])
+                ]
+        pivot_row += 1
+        if pivot_row == len(matrix):
+            break
+    return [row for row in matrix[:pivot_row] if any(row)]
+
+
+@dataclass(frozen=True)
+class Subspace:
+    """A subspace of ``F_p^k`` in reduced row-echelon basis form."""
+
+    p: int
+    k: int
+    basis: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def span(cls, p: int, k: int, generators: Iterable[Sequence[int]]) -> "Subspace":
+        rows = [_normalize(g, k, p) for g in generators]
+        reduced = _rref_mod_p(rows, p)
+        return cls(p, k, tuple(tuple(r) for r in reduced))
+
+    @classmethod
+    def kernel_of_functional(cls, p: int, k: int, coefficients: Sequence[int]) -> "Subspace":
+        """The hyperplane ``{v : Σ c_i v_i = 0 (mod p)}``."""
+        coeffs = _normalize(coefficients, k, p)
+        pivot = next((i for i, c in enumerate(coeffs) if c), None)
+        if pivot is None:
+            return cls.full(p, k)
+        generators = []
+        inv = pow(coeffs[pivot], p - 2, p) if p > 2 else coeffs[pivot]
+        for j in range(k):
+            if j == pivot:
+                continue
+            vec = [0] * k
+            vec[j] = 1
+            vec[pivot] = (-coeffs[j] * inv) % p
+            generators.append(vec)
+        return cls.span(p, k, generators)
+
+    @classmethod
+    def coordinates(cls, p: int, k: int, zero_coords: Iterable[int]) -> "Subspace":
+        """The subspace where the listed coordinates are 0 (others free)."""
+        zero = set(zero_coords)
+        generators = []
+        for j in range(k):
+            if j not in zero:
+                vec = [0] * k
+                vec[j] = 1
+                generators.append(vec)
+        return cls.span(p, k, generators)
+
+    @classmethod
+    def full(cls, p: int, k: int) -> "Subspace":
+        return cls.coordinates(p, k, ())
+
+    @property
+    def dimension(self) -> int:
+        return len(self.basis)
+
+    def order(self) -> int:
+        """``|subspace| = p^dim``."""
+        return self.p**self.dimension
+
+    def contains(self, vector: Sequence[int]) -> bool:
+        return self.coset_representative(vector) == (0,) * self.k
+
+    def coset_representative(self, vector: Sequence[int]) -> tuple[int, ...]:
+        """The canonical representative of ``vector + subspace``.
+
+        Eliminates the basis pivots from the vector; two vectors share a coset
+        iff their representatives coincide.
+        """
+        v = list(_normalize(vector, self.k, self.p))
+        for row in self.basis:
+            pivot = next(i for i, c in enumerate(row) if c)
+            if v[pivot]:
+                factor = v[pivot]
+                v = [(a - factor * b) % self.p for a, b in zip(v, row)]
+        return tuple(v)
+
+    def intersect(self, other: "Subspace") -> "Subspace":
+        """Subspace intersection via the kernel-of-stacked-quotients trick.
+
+        ``u ∈ U ∩ W`` iff ``u ∈ U`` and ``u``'s coset rep. modulo ``W`` is 0;
+        computed by intersecting U's span with W through the Zassenhaus-style
+        construction on the doubled space.
+        """
+        if (self.p, self.k) != (other.p, other.k):
+            raise ReproError("cannot intersect subspaces of different ambient spaces")
+        p, k = self.p, self.k
+        # Zassenhaus: rows [u | u] for u in U, [w | 0] for w in W; the RREF
+        # rows of the combined matrix with zero left half have right half
+        # spanning U ∩ W.
+        stacked = [list(u) + list(u) for u in self.basis]
+        stacked += [list(w) + [0] * k for w in other.basis]
+        reduced = _rref_mod_p(stacked, p)
+        inter = [row[k:] for row in reduced if not any(row[:k])]
+        return Subspace.span(p, k, inter)
+
+
+def _normalize(vector: Sequence[int], k: int, p: int) -> list[int]:
+    v = [int(x) % p for x in vector]
+    if len(v) != k:
+        raise ReproError(f"vector {vector} has length {len(v)}, expected {k}")
+    return v
+
+
+class GroupSystem:
+    """An abelian group system ``(F_p^k; G_1, ..., G_n)`` over named variables."""
+
+    def __init__(self, p: int, k: int, subgroups: dict[str, Subspace]) -> None:
+        if p < 2:
+            raise ReproError("p must be a prime >= 2")
+        self.p = p
+        self.k = k
+        self.subgroups = dict(subgroups)
+        for name, subspace in subgroups.items():
+            if (subspace.p, subspace.k) != (p, k):
+                raise ReproError(f"subgroup {name} lives in the wrong space")
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(sorted(self.subgroups))
+
+    def group_order(self) -> int:
+        return self.p**self.k
+
+    def subgroup_of(self, subset: Iterable[str]) -> Subspace:
+        """``G_S = ∩_{i∈S} G_i`` (``G_∅ = G``)."""
+        result = Subspace.full(self.p, self.k)
+        for name in subset:
+            result = result.intersect(self.subgroups[name])
+        return result
+
+    # -- Definition 4.2: the database ---------------------------------------------------
+
+    def relation(self, subset: Iterable[str], name: str | None = None) -> Relation:
+        """``R_F = {(g·G_i)_{i∈F} : g ∈ G}`` with canonical coset values."""
+        attrs = tuple(sorted(frozenset(subset)))
+        rows = set()
+        for g in product(range(self.p), repeat=self.k):
+            rows.add(
+                tuple(self.subgroups[a].coset_representative(g) for a in attrs)
+            )
+        return Relation(name or f"R_{''.join(attrs)}", attrs, rows)
+
+    def database(self, edges: Iterable[Iterable[str]]) -> Database:
+        """One relation per hyperedge (named ``R_<attrs>``, deduplicated)."""
+        db = Database()
+        seen: set[frozenset] = set()
+        for edge in edges:
+            key = frozenset(edge)
+            if key in seen:
+                continue
+            seen.add(key)
+            db.add(self.relation(key))
+        return db
+
+    # -- Lemma 4.3 and the entropy profile ------------------------------------------------
+
+    def degree(self, y: Iterable[str], z: Iterable[str]) -> int:
+        """``deg_{R_Y}(Y | a_Z) = |G_Z| / |G_Y|`` — exact, by Lemma 4.3."""
+        g_z = self.subgroup_of(z)
+        g_y = self.subgroup_of(y)
+        return g_z.order() // g_y.order()
+
+    def entropy(self) -> SetFunction:
+        """``h(A_S) = (k − dim G_S) · log2 p`` — the system's entropic function."""
+        log_p = log2_fraction(self.p)
+
+        def h(subset: frozenset) -> Fraction:
+            return (self.k - self.subgroup_of(subset).dimension) * log_p
+
+        return SetFunction.from_callable(self.variables, h)
+
+
+def model_size_lower_bound(
+    system: GroupSystem, targets: Sequence[frozenset]
+) -> Fraction:
+    """The counting lower bound on ``|P(D)|`` from the Lemma 4.4 proof.
+
+    Every tuple of the body join (= ``R_[n]``, size ``|G|/|G_[n]|``) must be
+    covered by some target tuple, and a ``B``-tuple covers exactly
+    ``|G_B|/|G_[n]|`` of them, hence
+
+        max_B |T_B|  >=  |Q| / Σ_B (|G_B| / |G_[n]|).
+    """
+    full = frozenset(system.variables)
+    g_full = system.subgroup_of(full).order()
+    body = Fraction(system.group_order(), g_full)
+    coverage = sum(
+        Fraction(system.subgroup_of(b).order(), g_full) for b in targets
+    )
+    return body / coverage

@@ -1,0 +1,208 @@
+"""Named-variable linear-program builder.
+
+All LPs in the paper are naturally indexed by *sets of query variables* (the
+coordinates of a set function ``h``) and by *constraint identities* (a degree
+constraint, an elemental submodularity, a monotonicity).  This module provides
+a small modelling layer that lets the bound/width/flow code build LPs over
+hashable variable and constraint names, solve them with either the exact
+rational simplex or the scipy backend, and read primal/dual values back by
+name.
+
+Example:
+    >>> from fractions import Fraction
+    >>> m = LPModel()
+    >>> m.add_variable("x", objective=1)
+    >>> m.add_variable("y", objective=1)
+    >>> m.add_le_constraint("cap", {"x": 1, "y": 2}, Fraction(4))
+    >>> sol = m.maximize()
+    >>> sol.objective
+    Fraction(4, 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Iterable, Mapping
+
+from repro.exceptions import LPError
+from repro.lp import simplex
+
+__all__ = ["LPModel", "LPSolution"]
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Solution of a named LP.
+
+    Attributes:
+        objective: optimal objective value.
+        values: optimal value of each named variable.
+        duals: optimal dual value of each named constraint (``>= 0``; duals of
+            ``<=`` rows of a maximization).
+        pivots: simplex pivot count (0 for the scipy backend).
+    """
+
+    objective: Fraction
+    values: dict[Hashable, Fraction]
+    duals: dict[Hashable, Fraction]
+    pivots: int = 0
+
+    def nonzero_duals(self) -> dict[Hashable, Fraction]:
+        """Return only the constraints with a strictly positive dual value."""
+        return {name: v for name, v in self.duals.items() if v > 0}
+
+
+class LPModel:
+    """A maximization LP ``max c'x : Ax <= b, x >= 0`` over named entities.
+
+    Variables and constraints are identified by arbitrary hashable names
+    (frozensets of query variables, constraint dataclasses, strings...).
+    Insertion order is preserved, which makes solutions deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._var_index: dict[Hashable, int] = {}
+        self._objective: list[Fraction] = []
+        self._con_names: list[Hashable] = []
+        self._con_rows: list[dict[int, Fraction]] = []
+        self._con_rhs: list[Fraction] = []
+
+    # -- construction ---------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._var_index)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._con_names)
+
+    def variables(self) -> list[Hashable]:
+        """Return variable names in insertion order."""
+        return list(self._var_index)
+
+    def add_variable(self, name: Hashable, objective: Fraction | int = 0) -> None:
+        """Register a non-negative variable with the given objective weight."""
+        if name in self._var_index:
+            raise LPError(f"duplicate variable {name!r}")
+        self._var_index[name] = len(self._objective)
+        self._objective.append(Fraction(objective))
+
+    def has_variable(self, name: Hashable) -> bool:
+        return name in self._var_index
+
+    def set_objective(self, name: Hashable, coefficient: Fraction | int) -> None:
+        """Overwrite the objective coefficient of an existing variable."""
+        self._objective[self._require(name)] = Fraction(coefficient)
+
+    def add_le_constraint(
+        self,
+        name: Hashable,
+        coefficients: Mapping[Hashable, Fraction | int],
+        rhs: Fraction | int,
+    ) -> None:
+        """Add ``sum coefficients[v] * v <= rhs`` (zero coefficients dropped)."""
+        if name in set(self._con_names):
+            raise LPError(f"duplicate constraint {name!r}")
+        row: dict[int, Fraction] = {}
+        for var, coef in coefficients.items():
+            value = Fraction(coef)
+            if value:
+                row[self._require(var)] = value
+        self._con_names.append(name)
+        self._con_rows.append(row)
+        self._con_rhs.append(Fraction(rhs))
+
+    def _require(self, name: Hashable) -> int:
+        try:
+            return self._var_index[name]
+        except KeyError:
+            raise LPError(f"unknown variable {name!r}") from None
+
+    # -- solving --------------------------------------------------------------------
+
+    def maximize(self, backend: str = "exact") -> LPSolution:
+        """Solve the model.
+
+        Args:
+            backend: ``"exact"`` for the rational simplex (exact optimum and
+                duals); ``"scipy"`` for the HiGHS float backend (fast, used by
+                the large width LPs).
+
+        Returns:
+            The :class:`LPSolution`.
+        """
+        if backend == "exact":
+            return self._maximize_exact()
+        if backend == "scipy":
+            from repro.lp.scipy_backend import maximize_with_scipy
+
+            return maximize_with_scipy(self)
+        raise LPError(f"unknown backend {backend!r}")
+
+    def _maximize_exact(self) -> LPSolution:
+        n = len(self._objective)
+        a = []
+        for row in self._con_rows:
+            dense = [Fraction(0)] * n
+            for j, coef in row.items():
+                dense[j] = coef
+            a.append(dense)
+        result = simplex.solve_max(a, self._con_rhs, self._objective)
+        values = {name: result.x[j] for name, j in self._var_index.items()}
+        duals = {
+            name: result.y[i] for i, name in enumerate(self._con_names)
+        }
+        return LPSolution(result.objective, values, duals, pivots=result.pivots)
+
+    # -- introspection (used by the scipy backend and tests) -------------------------
+
+    def dense_data(
+        self,
+    ) -> tuple[list[list[Fraction]], list[Fraction], list[Fraction]]:
+        """Return ``(A, b, c)`` in dense form with variables in insertion order."""
+        n = len(self._objective)
+        a = []
+        for row in self._con_rows:
+            dense = [Fraction(0)] * n
+            for j, coef in row.items():
+                dense[j] = coef
+            a.append(dense)
+        return a, list(self._con_rhs), list(self._objective)
+
+    def constraint_names(self) -> list[Hashable]:
+        return list(self._con_names)
+
+    def check_feasible(
+        self, values: Mapping[Hashable, Fraction], tolerance: Fraction = Fraction(0)
+    ) -> bool:
+        """Check whether a named assignment satisfies all constraints."""
+        for name, row, rhs in zip(self._con_names, self._con_rows, self._con_rhs):
+            index_to_name = {j: v for v, j in self._var_index.items()}
+            total = sum(
+                (coef * Fraction(values.get(index_to_name[j], 0)) for j, coef in row.items()),
+                Fraction(0),
+            )
+            if total > rhs + tolerance:
+                return False
+        return True
+
+
+def lp_from_rows(
+    rows: Iterable[tuple[Hashable, Mapping[Hashable, Fraction], Fraction]],
+    objective: Mapping[Hashable, Fraction],
+) -> LPModel:
+    """Convenience constructor: build a model from constraint rows.
+
+    Variables are created on first use (in objective order first).
+    """
+    model = LPModel()
+    for var, coef in objective.items():
+        model.add_variable(var, coef)
+    for name, coeffs, rhs in rows:
+        for var in coeffs:
+            if not model.has_variable(var):
+                model.add_variable(var, 0)
+        model.add_le_constraint(name, coeffs, rhs)
+    return model

@@ -1,0 +1,79 @@
+"""Floating-point LP backend (scipy / HiGHS).
+
+The exact rational simplex in :mod:`repro.lp.simplex` is the source of truth
+for everything that feeds PANDA (witnesses, proof sequences).  Width
+computations over larger hypergraphs (e.g. the Example 7.4 family, where the
+set-function LP has ``2^n - 1`` variables) do not need exact duals, only
+values; for those this module wraps :func:`scipy.optimize.linprog`.
+
+Dual values are recovered from HiGHS marginals and rationalized with a small
+denominator limit, because every LP in this package has a rational optimum
+with small denominators (Cramer bound of Proposition B.13).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleError, LPError, UnboundedError
+from repro.lp.model import LPModel, LPSolution
+
+__all__ = ["maximize_with_scipy", "rationalize"]
+
+#: Denominator cap when converting float LP output back to Fractions.  The
+#: optima encountered in this package (widths, bound exponents) have tiny
+#: denominators; 10^6 leaves a huge safety margin while suppressing float fuzz.
+_DENOMINATOR_LIMIT = 10**6
+
+
+def rationalize(value: float, limit: int = _DENOMINATOR_LIMIT) -> Fraction:
+    """Convert a float to a nearby small-denominator Fraction."""
+    return Fraction(value).limit_denominator(limit)
+
+
+def maximize_with_scipy(model: LPModel) -> LPSolution:
+    """Solve ``max c'x : Ax <= b, x >= 0`` with HiGHS and rationalize."""
+    a_rows, b, c = model.dense_data()
+    n = len(c)
+    m = len(b)
+    if n == 0:
+        return LPSolution(Fraction(0), {}, {name: Fraction(0) for name in model.constraint_names()})
+    c_vec = np.array([float(v) for v in c])
+    b_vec = np.array([float(v) for v in b])
+    if m:
+        a_mat = sparse.lil_matrix((m, n))
+        for i, row in enumerate(a_rows):
+            for j, coef in enumerate(row):
+                if coef:
+                    a_mat[i, j] = float(coef)
+        a_mat = a_mat.tocsr()
+        result = linprog(
+            -c_vec, A_ub=a_mat, b_ub=b_vec, bounds=(0, None), method="highs"
+        )
+    else:
+        result = linprog(-c_vec, bounds=(0, None), method="highs")
+    if result.status == 2:
+        raise InfeasibleError("scipy/HiGHS reports infeasible")
+    if result.status == 3:
+        raise UnboundedError("scipy/HiGHS reports unbounded")
+    if result.status != 0:
+        raise LPError(f"scipy/HiGHS failed with status {result.status}: {result.message}")
+
+    objective = rationalize(-float(result.fun))
+    values = {
+        name: rationalize(float(result.x[j]))
+        for name, j in zip(model.variables(), range(n))
+    }
+    if m:
+        marginals = result.ineqlin.marginals
+        duals = {
+            name: rationalize(max(0.0, -float(marginals[i])))
+            for i, name in enumerate(model.constraint_names())
+        }
+    else:
+        duals = {}
+    return LPSolution(objective, values, duals)

@@ -1,0 +1,292 @@
+"""Exact rational simplex solver.
+
+The paper's machinery (Shannon-flow witnesses, proof sequences, PANDA budgets)
+requires *exact rational* primal and dual solutions of linear programs: the
+proof-sequence construction of Theorem 5.9 manipulates dual coordinates with a
+common denominator ``D``, and Definition 5.7's non-negativity conditions are
+meaningless under floating-point noise.  This module therefore implements a
+dense two-phase primal simplex over :class:`fractions.Fraction` with Bland's
+anti-cycling rule.
+
+The solver handles the canonical form
+
+    maximize    c' x
+    subject to  A x <= b
+                x >= 0
+
+with arbitrary-sign ``b`` (phase 1 introduces artificial variables for rows
+whose slack basis would be infeasible).  On success it reports the exact
+optimal objective, an optimal basic primal solution ``x``, and the associated
+dual solution ``y`` (one value per constraint row, ``y >= 0``), read off the
+reduced costs of the slack columns.  Strong duality ``c'x = b'y`` is asserted
+before returning.
+
+The LPs solved in this package have at most a few hundred rows/columns
+(set-function LPs over ``2^[n]`` for ``n <= 8``), for which a careful dense
+rational tableau is perfectly adequate.  A floating-point backend
+(:mod:`repro.lp.scipy_backend`) exists for the larger width computations that
+do not require exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from repro.exceptions import InfeasibleError, LPError, UnboundedError
+
+__all__ = ["SimplexResult", "solve_max"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """Exact optimal solution of ``max c'x : Ax <= b, x >= 0``.
+
+    Attributes:
+        objective: the optimal objective value ``c'x``.
+        x: optimal primal solution, one value per structural variable.
+        y: optimal dual solution, one value per constraint row.  ``y`` is
+            feasible for the dual ``min b'y : A'y >= c, y >= 0`` and satisfies
+            strong duality ``b'y == objective``.
+        pivots: number of simplex pivots performed (both phases).
+    """
+
+    objective: Fraction
+    x: tuple[Fraction, ...]
+    y: tuple[Fraction, ...]
+    pivots: int = field(default=0, compare=False)
+
+
+def _to_fraction_matrix(rows: Sequence[Sequence[Fraction]]) -> list[list[Fraction]]:
+    return [[Fraction(v) for v in row] for row in rows]
+
+
+class _Tableau:
+    """Dense simplex tableau over exact rationals.
+
+    Column layout: ``n`` structural variables, then ``m`` slacks, then any
+    artificial variables appended by phase 1.  ``self.rows[i]`` stores the
+    constraint row ``i`` in the current basis representation, ``self.rhs[i]``
+    its right-hand side, and ``self.basis[i]`` the column currently basic in
+    row ``i``.
+    """
+
+    def __init__(self, a: Sequence[Sequence[Fraction]], b: Sequence[Fraction]):
+        self.m = len(a)
+        self.n = len(a[0]) if self.m else 0
+        self.rows: list[list[Fraction]] = []
+        self.rhs: list[Fraction] = []
+        self.basis: list[int] = []
+        self.pivots = 0
+        # Append slack columns (identity).
+        for i in range(self.m):
+            row = [Fraction(v) for v in a[i]]
+            row.extend(_ONE if j == i else _ZERO for j in range(self.m))
+            self.rows.append(row)
+            self.rhs.append(Fraction(b[i]))
+            self.basis.append(self.n + i)
+        self.ncols = self.n + self.m
+
+    # -- elementary row operations -------------------------------------------------
+
+    def _pivot(self, row: int, col: int) -> None:
+        """Make ``col`` basic in ``row`` by Gaussian elimination."""
+        pivot_row = self.rows[row]
+        pivot_val = pivot_row[col]
+        if pivot_val != _ONE:
+            inv = _ONE / pivot_val
+            self.rows[row] = pivot_row = [v * inv for v in pivot_row]
+            self.rhs[row] *= inv
+        for i in range(self.m):
+            if i == row:
+                continue
+            factor = self.rows[i][col]
+            if factor == _ZERO:
+                continue
+            target = self.rows[i]
+            self.rows[i] = [
+                tv - factor * pv if pv else tv for tv, pv in zip(target, pivot_row)
+            ]
+            self.rhs[i] -= factor * self.rhs[row]
+        self.basis[row] = col
+        self.pivots += 1
+
+    # -- the core optimizer ---------------------------------------------------------
+
+    def optimize(self, cost: list[Fraction], allowed: int) -> list[Fraction]:
+        """Run primal simplex with Bland's rule on columns ``< allowed``.
+
+        Args:
+            cost: objective coefficients (maximization), length ``>= allowed``.
+            allowed: number of leading columns eligible to enter the basis.
+
+        Returns:
+            The reduced-cost row ``zbar`` of length ``self.ncols`` at optimum,
+            where ``zbar[j] = c_B B^{-1} A_j - c_j >= 0`` for eligible ``j``.
+
+        Raises:
+            UnboundedError: if an entering column has no blocking row.
+        """
+        while True:
+            zbar = self._reduced_costs(cost)
+            entering = -1
+            for j in range(allowed):
+                if zbar[j] < _ZERO:
+                    entering = j  # Bland: smallest index with negative zbar.
+                    break
+            if entering < 0:
+                return zbar
+            leaving = self._ratio_test(entering)
+            if leaving < 0:
+                raise UnboundedError(
+                    f"objective unbounded along column {entering}"
+                )
+            self._pivot(leaving, entering)
+
+    def _reduced_costs(self, cost: list[Fraction]) -> list[Fraction]:
+        """Compute ``zbar[j] = sum_i c_basis[i] * rows[i][j] - cost[j]``."""
+        zbar = [-cost[j] if j < len(cost) else _ZERO for j in range(self.ncols)]
+        for i in range(self.m):
+            cb = cost[self.basis[i]] if self.basis[i] < len(cost) else _ZERO
+            if cb == _ZERO:
+                continue
+            row = self.rows[i]
+            for j in range(self.ncols):
+                rv = row[j]
+                if rv:
+                    zbar[j] += cb * rv
+        return zbar
+
+    def _ratio_test(self, col: int) -> int:
+        """Bland-compatible minimum-ratio test; returns the leaving row."""
+        best_row = -1
+        best_ratio: Fraction | None = None
+        for i in range(self.m):
+            coef = self.rows[i][col]
+            if coef <= _ZERO:
+                continue
+            ratio = self.rhs[i] / coef
+            if (
+                best_ratio is None
+                or ratio < best_ratio
+                or (ratio == best_ratio and self.basis[i] < self.basis[best_row])
+            ):
+                best_ratio = ratio
+                best_row = i
+        return best_row
+
+    # -- phase 1 --------------------------------------------------------------------
+
+    def make_feasible(self) -> None:
+        """Restore ``rhs >= 0`` via artificial variables and a phase-1 solve."""
+        negative_rows = [i for i in range(self.m) if self.rhs[i] < _ZERO]
+        if not negative_rows:
+            return
+        # Flip infeasible rows and give each an artificial basic column.
+        art_cols: list[int] = []
+        for i in negative_rows:
+            self.rows[i] = [-v for v in self.rows[i]]
+            self.rhs[i] = -self.rhs[i]
+        for i in negative_rows:
+            col = self.ncols + len(art_cols)
+            art_cols.append(col)
+            for k in range(self.m):
+                self.rows[k].append(_ONE if k == i else _ZERO)
+            self.basis[i] = col
+        self.ncols += len(art_cols)
+        # Phase 1: maximize -(sum of artificials).
+        phase1_cost = [_ZERO] * self.ncols
+        for col in art_cols:
+            phase1_cost[col] = Fraction(-1)
+        self.optimize(phase1_cost, allowed=self.ncols)
+        infeasibility = sum(
+            (self.rhs[i] for i in range(self.m) if self.basis[i] in set(art_cols)),
+            _ZERO,
+        )
+        if infeasibility != _ZERO:
+            raise InfeasibleError("phase 1 terminated with positive artificials")
+        # Drive any degenerate artificial out of the basis.
+        art_set = set(art_cols)
+        for i in range(self.m):
+            if self.basis[i] not in art_set:
+                continue
+            pivot_col = next(
+                (
+                    j
+                    for j in range(self.n + self.m)
+                    if self.rows[i][j] != _ZERO
+                ),
+                None,
+            )
+            if pivot_col is not None:
+                self._pivot(i, pivot_col)
+            # A fully zero row is redundant; its artificial stays basic at 0,
+            # which is harmless for phase 2 (cost 0, never entering).
+        # Truncate artificial columns.
+        for i in range(self.m):
+            self.rows[i] = self.rows[i][: self.n + self.m]
+        self.ncols = self.n + self.m
+
+
+def solve_max(
+    a: Sequence[Sequence[Fraction]],
+    b: Sequence[Fraction],
+    c: Sequence[Fraction],
+) -> SimplexResult:
+    """Solve ``max c'x : Ax <= b, x >= 0`` exactly.
+
+    Args:
+        a: constraint matrix with ``m`` rows and ``n`` columns (any values
+            convertible to :class:`~fractions.Fraction`).
+        b: right-hand sides, length ``m``.
+        c: objective coefficients, length ``n``.
+
+    Returns:
+        A :class:`SimplexResult` with exact optimal primal and dual solutions.
+
+    Raises:
+        InfeasibleError: if no ``x >= 0`` satisfies ``Ax <= b``.
+        UnboundedError: if the objective is unbounded above.
+        LPError: on dimension mismatches.
+    """
+    m = len(a)
+    n = len(c)
+    if len(b) != m:
+        raise LPError(f"b has length {len(b)}, expected {m}")
+    for i, row in enumerate(a):
+        if len(row) != n:
+            raise LPError(f"row {i} has length {len(row)}, expected {n}")
+    if m == 0:
+        # No constraints: optimum is 0 iff c <= 0, else unbounded.
+        if any(Fraction(v) > _ZERO for v in c):
+            raise UnboundedError("no constraints and a positive cost coefficient")
+        return SimplexResult(_ZERO, tuple(_ZERO for _ in range(n)), ())
+
+    tableau = _Tableau(_to_fraction_matrix(a), [Fraction(v) for v in b])
+    tableau.make_feasible()
+    cost = [Fraction(v) for v in c] + [_ZERO] * tableau.m
+    zbar = tableau.optimize(cost, allowed=tableau.ncols)
+
+    x = [_ZERO] * n
+    objective = _ZERO
+    for i in range(tableau.m):
+        col = tableau.basis[i]
+        if col < n:
+            x[col] = tableau.rhs[i]
+            objective += cost[col] * tableau.rhs[i]
+    # Dual values are the reduced costs of the slack columns.
+    y = tuple(zbar[n + i] for i in range(m))
+    # Sanity: strong duality must hold exactly.
+    dual_objective = sum(
+        (Fraction(b[i]) * y[i] for i in range(m)), _ZERO
+    )
+    if dual_objective != objective:
+        raise LPError(
+            "strong duality violated: primal "
+            f"{objective} != dual {dual_objective} (solver bug)"
+        )
+    return SimplexResult(objective, tuple(x), y, pivots=tableau.pivots)

@@ -1,0 +1,51 @@
+"""Relational engine substrate.
+
+Schema'd in-memory relations (:class:`~repro.relational.relation.Relation`),
+database instances, the relational operators PANDA uses (join / semijoin /
+project / union / Lemma 6.1 heavy-light partition), Yannakakis' acyclic-join
+algorithm, and the Generic-Join worst-case-optimal baseline.
+"""
+
+from repro.relational.database import Database
+from repro.relational.operators import (
+    difference,
+    heavy_light_partition,
+    natural_join,
+    project,
+    select_equal,
+    semijoin,
+    union,
+    work_counter,
+)
+from repro.relational.relation import Relation
+from repro.relational.leapfrog import build_trie, leapfrog_triejoin
+from repro.relational.wcoj import binary_join_plan, generic_join
+from repro.relational.yannakakis import (
+    JoinTree,
+    acyclic_boolean,
+    acyclic_join,
+    full_reduce,
+    join_tree_from_bags,
+)
+
+__all__ = [
+    "Database",
+    "JoinTree",
+    "Relation",
+    "acyclic_boolean",
+    "acyclic_join",
+    "binary_join_plan",
+    "build_trie",
+    "difference",
+    "full_reduce",
+    "generic_join",
+    "leapfrog_triejoin",
+    "heavy_light_partition",
+    "join_tree_from_bags",
+    "natural_join",
+    "project",
+    "select_equal",
+    "semijoin",
+    "union",
+    "work_counter",
+]

@@ -1,0 +1,95 @@
+"""CSV import/export for relations and databases.
+
+Plain-text interchange so the CLI (``python -m repro``) and downstream users
+can run the paper's machinery on their own data.  One CSV file per relation:
+the header row is the schema, every following row a tuple.  Values are
+integer-coerced when the whole column parses as integers (the bounds and
+PANDA are domain-agnostic; coercion only normalizes equality).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from repro.exceptions import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+__all__ = ["load_relation_csv", "save_relation_csv", "load_database_dir"]
+
+
+def _coerce_columns(rows: list[list[str]]) -> list[tuple]:
+    """Convert columns that are all-integer to ints, per column."""
+    if not rows:
+        return []
+    width = len(rows[0])
+    numeric = [True] * width
+    for row in rows:
+        for i, value in enumerate(row):
+            if numeric[i]:
+                try:
+                    int(value)
+                except ValueError:
+                    numeric[i] = False
+    return [
+        tuple(int(v) if numeric[i] else v for i, v in enumerate(row))
+        for row in rows
+    ]
+
+
+def load_relation_csv(
+    path: str | Path, name: str | None = None, delimiter: str = ","
+) -> Relation:
+    """Read one relation from a CSV file (header row = schema).
+
+    Args:
+        path: the CSV file.
+        name: relation name; defaults to the file stem.
+        delimiter: CSV delimiter.
+
+    Raises:
+        SchemaError: on an empty file or ragged rows.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError(f"{path} is empty (need a header row)")
+    header = tuple(column.strip() for column in rows[0])
+    body = rows[1:]
+    for row in body:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}: row {row} does not match header {header}"
+            )
+    return Relation(name or path.stem, header, _coerce_columns(body))
+
+
+def save_relation_csv(
+    relation: Relation, path: str | Path, delimiter: str = ","
+) -> None:
+    """Write a relation as CSV (header row = schema, sorted rows)."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.schema)
+        for row in sorted(relation, key=repr):
+            writer.writerow(row)
+
+
+def load_database_dir(
+    directory: str | Path, pattern: str = "*.csv", delimiter: str = ","
+) -> Database:
+    """Load every matching CSV in a directory as one database.
+
+    Relation names are the file stems (``R12.csv`` -> relation ``R12``).
+    """
+    directory = Path(directory)
+    relations = [
+        load_relation_csv(path, delimiter=delimiter)
+        for path in sorted(directory.glob(pattern))
+    ]
+    if not relations:
+        raise SchemaError(f"no {pattern} files in {directory}")
+    return Database(relations)

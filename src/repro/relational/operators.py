@@ -1,0 +1,243 @@
+"""Relational operators: join, semijoin, project, select, union, partition.
+
+These are the only operations PANDA performs (§1.3: "join, horizontal
+partition, union" — plus the projections of monotonicity steps and the
+semijoins of the query drivers).  Every operator counts the tuple-level work
+it performs into a module-level :class:`WorkCounter`, so benchmarks can report
+machine-independent work alongside wall-clock time.
+
+The heavy/light partition implements Lemma 6.1: a table ``T(A_Y)`` with
+``X ⊂ Y`` splits into ``O(log |T|)`` pieces ``T^(j)`` with
+
+    |Π_X(T^(j))| * deg_{T^(j)}(Y | X)  <=  |T|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import SchemaError
+from repro.relational.relation import Relation
+
+__all__ = [
+    "WorkCounter",
+    "work_counter",
+    "project",
+    "select_equal",
+    "natural_join",
+    "semijoin",
+    "union",
+    "difference",
+    "heavy_light_partition",
+    "PartitionPiece",
+]
+
+
+@dataclass
+class WorkCounter:
+    """Counts tuple-level operations for machine-independent cost reporting."""
+
+    tuples_scanned: int = 0
+    tuples_emitted: int = 0
+    joins: int = 0
+    partitions: int = 0
+    history: list = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.tuples_scanned = 0
+        self.tuples_emitted = 0
+        self.joins = 0
+        self.partitions = 0
+        self.history.clear()
+
+    @property
+    def total(self) -> int:
+        """Total work units (scans + emissions): the benchmarks' cost metric."""
+        return self.tuples_scanned + self.tuples_emitted
+
+
+#: Global counter used by all operators.  Benchmarks reset it around runs.
+work_counter = WorkCounter()
+
+
+def project(relation: Relation, attrs: Iterable[str], name: str | None = None) -> Relation:
+    """``Π_attrs(relation)``; output schema order follows the input schema."""
+    attr_set = frozenset(attrs)
+    if not attr_set <= relation.attributes:
+        raise SchemaError(
+            f"cannot project {relation.schema} onto {sorted(attr_set)}"
+        )
+    out_schema = tuple(a for a in relation.schema if a in attr_set)
+    positions = tuple(relation.position(a) for a in out_schema)
+    rows = {tuple(row[p] for p in positions) for row in relation}
+    work_counter.tuples_scanned += len(relation)
+    work_counter.tuples_emitted += len(rows)
+    return Relation(name or f"Π({relation.name})", out_schema, rows)
+
+
+def select_equal(relation: Relation, attr: str, value, name: str | None = None) -> Relation:
+    """``σ_{attr = value}(relation)`` using the single-attribute index."""
+    index = relation.index_on((attr,))
+    rows = index.get((value,), [])
+    work_counter.tuples_scanned += len(rows)
+    work_counter.tuples_emitted += len(rows)
+    return Relation(name or f"σ({relation.name})", relation.schema, rows)
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """``left ⋈ right`` via hash join on the shared attributes.
+
+    The output schema is left's schema followed by right's private attributes.
+    A cross product (no shared attributes) is supported but counted at full
+    cost, as it should be.
+    """
+    shared = tuple(sorted(left.attributes & right.attributes))
+    out_schema = left.schema + tuple(
+        a for a in right.schema if a not in left.attributes
+    )
+    right_private = tuple(a for a in right.schema if a not in left.attributes)
+    right_positions = tuple(right.position(a) for a in right_private)
+
+    # Build on the smaller side, probe with the larger.
+    build_on_right = len(right) <= len(left)
+    rows = set()
+    if build_on_right:
+        index = right.index_on(shared)
+        work_counter.tuples_scanned += len(right)
+        for row in left:
+            work_counter.tuples_scanned += 1
+            key = left.key_of(row, shared)
+            for match in index.get(key, ()):
+                rows.add(row + tuple(match[p] for p in right_positions))
+                work_counter.tuples_emitted += 1
+    else:
+        index = left.index_on(shared)
+        work_counter.tuples_scanned += len(left)
+        for match in right:
+            work_counter.tuples_scanned += 1
+            key = right.key_of(match, shared)
+            for row in index.get(key, ()):
+                rows.add(row + tuple(match[p] for p in right_positions))
+                work_counter.tuples_emitted += 1
+    work_counter.joins += 1
+    return Relation(name or f"({left.name}⋈{right.name})", out_schema, rows)
+
+
+def semijoin(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """``left ⋉ right``: the left tuples with a join partner in right."""
+    shared = tuple(sorted(left.attributes & right.attributes))
+    index = right.index_on(shared)
+    rows = []
+    for row in left:
+        work_counter.tuples_scanned += 1
+        if left.key_of(row, shared) in index:
+            rows.append(row)
+            work_counter.tuples_emitted += 1
+    return Relation(name or left.name, left.schema, rows)
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set union of two relations over the same attribute set.
+
+    Schemas may order attributes differently; the left order wins.
+    """
+    if left.attributes != right.attributes:
+        raise SchemaError(
+            f"union needs equal attribute sets, got {left.schema} vs {right.schema}"
+        )
+    positions = tuple(right.position(a) for a in left.schema)
+    realigned = (tuple(row[p] for p in positions) for row in right)
+    work_counter.tuples_scanned += len(left) + len(right)
+    rows = set(left.tuples)
+    rows.update(realigned)
+    work_counter.tuples_emitted += len(rows)
+    return Relation(name or f"({left.name}∪{right.name})", left.schema, rows)
+
+
+def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set difference ``left - right`` over the same attribute set."""
+    if left.attributes != right.attributes:
+        raise SchemaError(
+            f"difference needs equal attribute sets, got {left.schema} vs {right.schema}"
+        )
+    positions = tuple(right.position(a) for a in left.schema)
+    removed = {tuple(row[p] for p in positions) for row in right}
+    rows = [row for row in left if row not in removed]
+    work_counter.tuples_scanned += len(left) + len(right)
+    work_counter.tuples_emitted += len(rows)
+    return Relation(name or f"({left.name}-{right.name})", left.schema, rows)
+
+
+@dataclass(frozen=True)
+class PartitionPiece:
+    """One piece of a Lemma 6.1 heavy/light partition.
+
+    Attributes:
+        relation: the sub-table ``T^(j)``.
+        x_count: ``N^(j)_{X|∅} = |Π_X(T^(j))|``.
+        y_degree: ``N^(j)_{Y|X} = max deg_{T^(j)}(Y | t_X)``.
+    """
+
+    relation: Relation
+    x_count: int
+    y_degree: int
+
+
+def heavy_light_partition(
+    relation: Relation, x: Iterable[str]
+) -> list[PartitionPiece]:
+    """Partition ``relation`` by the degree of its ``X``-projection (Lemma 6.1).
+
+    Groups tuples into log-degree buckets ``[2^j, 2^{j+1})`` and then halves
+    any bucket whose ``x_count * y_degree`` product still exceeds ``|T|``, so
+    every returned piece satisfies
+
+        piece.x_count * piece.y_degree <= len(relation).
+
+    Returns at most ``2·log2|T| + O(1)`` pieces whose union is ``relation``.
+    """
+    x_attrs = tuple(sorted(frozenset(x)))
+    if not frozenset(x_attrs) < relation.attributes:
+        raise SchemaError(
+            f"partition needs X ⊂ schema, got {x_attrs} vs {relation.schema}"
+        )
+    total = len(relation)
+    if total == 0:
+        return []
+
+    groups: dict[tuple, list[tuple]] = {}
+    positions = tuple(relation.position(a) for a in x_attrs)
+    for row in relation:
+        work_counter.tuples_scanned += 1
+        groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+
+    buckets: dict[int, list[tuple[tuple, list[tuple]]]] = {}
+    for key, rows in groups.items():
+        buckets.setdefault(len(rows).bit_length() - 1, []).append((key, rows))
+
+    pieces: list[PartitionPiece] = []
+    counter = 0
+    for j in sorted(buckets):
+        # Each entry in the stack is a list of (x_key, rows) pairs sharing
+        # log-degree bucket j; halve until the Lemma 6.1 product bound holds.
+        stack = [buckets[j]]
+        while stack:
+            entries = stack.pop()
+            x_count = len(entries)
+            y_degree = max(len(rows) for _, rows in entries)
+            if x_count * y_degree > total and x_count > 1:
+                entries_sorted = sorted(entries, key=lambda e: e[0])
+                half = len(entries_sorted) // 2
+                stack.append(entries_sorted[:half])
+                stack.append(entries_sorted[half:])
+                continue
+            all_rows = [row for _, rows in entries for row in rows]
+            work_counter.tuples_emitted += len(all_rows)
+            counter += 1
+            piece = Relation(
+                f"{relation.name}[{counter}]", relation.schema, all_rows
+            )
+            pieces.append(PartitionPiece(piece, x_count, y_degree))
+    work_counter.partitions += 1
+    return pieces

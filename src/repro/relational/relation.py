@@ -1,0 +1,208 @@
+"""In-memory relations with hash indexes.
+
+A :class:`Relation` is a named set of tuples over a fixed schema (an ordered
+tuple of attribute names).  Tuples are plain Python tuples aligned with the
+schema.  Hash indexes on attribute subsets are built lazily and cached; they
+back the join, semijoin, and degree computations that PANDA and the baseline
+algorithms perform.
+
+Relations are treated as immutable once constructed — every operator in
+:mod:`repro.relational.operators` returns a new relation — which makes the
+sharing of inputs across PANDA's recursive branches safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A named set of tuples over an ordered schema.
+
+    Attributes:
+        name: display name (targets are ``T_...``, inputs ``R_...``).
+        schema: ordered attribute names; ``len(schema)`` is the arity.
+    """
+
+    __slots__ = ("name", "schema", "_tuples", "_indexes", "_positions")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Iterable[str],
+        tuples: Iterable[tuple] = (),
+    ) -> None:
+        self.name = name
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise SchemaError(f"duplicate attributes in schema {self.schema}")
+        self._positions = {attr: i for i, attr in enumerate(self.schema)}
+        arity = len(self.schema)
+        data = set()
+        for row in tuples:
+            row = tuple(row)
+            if len(row) != arity:
+                raise SchemaError(
+                    f"tuple {row} has arity {len(row)}, schema {self.schema} "
+                    f"expects {arity}"
+                )
+            data.add(row)
+        self._tuples: frozenset = frozenset(data)
+        self._indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
+
+    # -- basic protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        """Content equality over the same attribute set (order-insensitive).
+
+        Two relations are equal when they have the same attributes and the
+        same tuples once columns are aligned; names are display only.
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.attributes != other.attributes:
+            return False
+        if len(self) != len(other):
+            return False
+        if self.schema == other.schema:
+            return self._tuples == other._tuples
+        positions = tuple(other.position(a) for a in self.schema)
+        realigned = {tuple(row[p] for p in positions) for row in other._tuples}
+        return self._tuples == realigned
+
+    def __hash__(self) -> int:
+        canonical = tuple(sorted(self.schema))
+        positions = tuple(self._positions[a] for a in canonical)
+        rows = frozenset(tuple(row[p] for p in positions) for row in self._tuples)
+        return hash((canonical, rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}({', '.join(self.schema)}): {len(self)} tuples)"
+
+    @property
+    def attributes(self) -> frozenset:
+        """The schema as an (unordered) variable set."""
+        return frozenset(self.schema)
+
+    @property
+    def tuples(self) -> frozenset:
+        return self._tuples
+
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    # -- tuple access -------------------------------------------------------------
+
+    def position(self, attr: str) -> int:
+        try:
+            return self._positions[attr]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attr!r} not in schema {self.schema}"
+            ) from None
+
+    def value_of(self, row: tuple, attr: str):
+        """The value of ``attr`` in a tuple of this relation."""
+        return row[self.position(attr)]
+
+    def key_of(self, row: tuple, attrs: tuple[str, ...]) -> tuple:
+        """Project a tuple onto an ordered attribute list."""
+        return tuple(row[self._positions[a]] for a in attrs)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Human-friendly dump: each tuple as an attr->value dict."""
+        return [dict(zip(self.schema, row)) for row in sorted(self._tuples)]
+
+    # -- indexes ---------------------------------------------------------------------
+
+    def index_on(self, attrs: Iterable[str]) -> Mapping[tuple, list[tuple]]:
+        """A hash index from ``attrs``-keys to the tuples carrying them.
+
+        The key order is the sorted attribute order, so callers on both sides
+        of a join agree on key layout.  Indexes are cached per relation.
+        """
+        key_attrs = tuple(sorted(frozenset(attrs)))
+        for attr in key_attrs:
+            self.position(attr)
+        cached = self._indexes.get(key_attrs)
+        if cached is not None:
+            return cached
+        index: dict[tuple, list[tuple]] = {}
+        positions = tuple(self._positions[a] for a in key_attrs)
+        for row in self._tuples:
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        self._indexes[key_attrs] = index
+        return index
+
+    def distinct_keys(self, attrs: Iterable[str]) -> int:
+        """Number of distinct ``attrs``-projections (``|Π_attrs(R)|``)."""
+        return len(self.index_on(attrs))
+
+    # -- degrees (Definition 2.10) -----------------------------------------------------
+
+    def degree(self, y: Iterable[str], x: Iterable[str]) -> int:
+        """``deg_R(Y | X) = max_t |Π_Y(σ_{X=t}(R))|`` (0 for an empty relation).
+
+        ``X`` may be empty, in which case this is ``|Π_Y(R)|``.
+        Requires ``X ⊆ Y ⊆ schema``.
+        """
+        x_set = frozenset(x)
+        y_set = frozenset(y)
+        if not x_set <= y_set:
+            raise SchemaError(f"degree needs X ⊆ Y, got {sorted(x_set)} vs {sorted(y_set)}")
+        if not y_set <= self.attributes:
+            raise SchemaError(
+                f"degree attrs {sorted(y_set)} not all in schema {self.schema}"
+            )
+        if not self._tuples:
+            return 0
+        if not x_set:
+            return self.distinct_keys(y_set)
+        x_attrs = tuple(sorted(x_set))
+        y_attrs = tuple(sorted(y_set))
+        groups: dict[tuple, set] = {}
+        x_positions = tuple(self._positions[a] for a in x_attrs)
+        y_positions = tuple(self._positions[a] for a in y_attrs)
+        for row in self._tuples:
+            key = tuple(row[p] for p in x_positions)
+            groups.setdefault(key, set()).add(tuple(row[p] for p in y_positions))
+        return max(len(v) for v in groups.values())
+
+    def guards(self, constraint) -> bool:
+        """True if this relation guards a degree constraint (Def. 2.10)."""
+        if not constraint.y <= self.attributes:
+            return False
+        return self.degree(constraint.y, constraint.x) <= constraint.bound
+
+    # -- convenience constructors --------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls, name: str, a: str, b: str, pairs: Iterable[tuple]
+    ) -> "Relation":
+        """A binary relation (the common case in the paper's examples)."""
+        return cls(name, (a, b), pairs)
+
+    def renamed(self, name: str) -> "Relation":
+        """The same content under a different display name (indexes shared)."""
+        clone = Relation.__new__(Relation)
+        clone.name = name
+        clone.schema = self.schema
+        clone._positions = self._positions
+        clone._tuples = self._tuples
+        clone._indexes = self._indexes
+        return clone

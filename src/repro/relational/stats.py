@@ -1,0 +1,70 @@
+"""Degree-statistics extraction (§2.2).
+
+Helpers that turn a concrete database into the degree-constraint sets the
+bound/width machinery consumes: full per-relation statistics, the cardinality
+skeleton, and functional-dependency discovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+from repro.core.hypergraph import powerset
+from repro.relational.relation import Relation
+
+__all__ = [
+    "cardinality_constraint",
+    "relation_statistics",
+    "discover_functional_dependencies",
+]
+
+
+def cardinality_constraint(relation: Relation) -> DegreeConstraint:
+    """The constraint ``|R| <= len(R)`` for one relation."""
+    return DegreeConstraint.make((), relation.schema, max(1, len(relation)))
+
+
+def relation_statistics(
+    relation: Relation,
+    pairs: Iterable[tuple[frozenset, frozenset]] | None = None,
+) -> ConstraintSet:
+    """All degree constraints a single relation satisfies tightly.
+
+    Args:
+        relation: the relation to profile.
+        pairs: restrict to the given ``(X, Y)`` pairs; default is every pair
+            ``X ⊂ Y ⊆ attrs(R)`` with ``X`` possibly empty.
+    """
+    attrs = tuple(sorted(relation.attributes))
+    if pairs is None:
+        subsets = list(powerset(attrs))
+        pairs = [(x, y) for y in subsets if y for x in subsets if x < y]
+    constraints = []
+    for x, y in pairs:
+        bound = max(1, relation.degree(y, x))
+        constraints.append(DegreeConstraint.make(x, y, bound))
+    return ConstraintSet(constraints)
+
+
+def discover_functional_dependencies(relation: Relation) -> list[DegreeConstraint]:
+    """All minimal single-step FDs ``X -> Y`` that hold in ``relation``.
+
+    Returns constraints with bound 1 for every pair ``X ⊂ Y`` where each
+    ``X``-value determines the ``Y``-value, keeping only the inclusion-minimal
+    left-hand sides per ``Y``.
+    """
+    attrs = tuple(sorted(relation.attributes))
+    subsets = [s for s in powerset(attrs)]
+    found: list[DegreeConstraint] = []
+    for y in subsets:
+        if not y:
+            continue
+        minimal_lhs: list[frozenset] = []
+        for x in sorted((x for x in subsets if x < y), key=len):
+            if any(m <= x for m in minimal_lhs):
+                continue
+            if relation.degree(y, x) <= 1:
+                minimal_lhs.append(x)
+                found.append(DegreeConstraint.make(x, y, 1))
+    return found

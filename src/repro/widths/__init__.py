@@ -1,0 +1,34 @@
+"""Width parameters: classical, adaptive, and degree-aware (§2.1.3, §7)."""
+
+from repro.widths.adaptive import adaptive_width, submodular_width
+from repro.widths.classical import (
+    fractional_hypertree_width,
+    generalized_hypertree_width,
+    treewidth,
+)
+from repro.widths.degree_aware import (
+    degree_aware_fhtw,
+    degree_aware_subw,
+    entropic_degree_aware_fhtw,
+    entropic_degree_aware_subw,
+)
+from repro.widths.framework import WidthReport, maximin_width, minimax_width
+from repro.widths.tractability import WidthProfile, family_growth, width_profile
+
+__all__ = [
+    "WidthProfile",
+    "WidthReport",
+    "adaptive_width",
+    "degree_aware_fhtw",
+    "degree_aware_subw",
+    "entropic_degree_aware_fhtw",
+    "entropic_degree_aware_subw",
+    "fractional_hypertree_width",
+    "generalized_hypertree_width",
+    "maximin_width",
+    "minimax_width",
+    "submodular_width",
+    "treewidth",
+    "family_growth",
+    "width_profile",
+]

@@ -1,0 +1,55 @@
+"""Adaptive width parameters: subw and adw (Definition 2.8, Marx [39, 40]).
+
+    adw(H)  = max_{h ∈ ED ∩ Mn} min_TD max_bag h(bag)
+    subw(H) = max_{h ∈ ED ∩ Γn} min_TD max_bag h(bag)
+
+Both are maximin widths over *edge-dominated* function classes; the maximin
+is computed through Lemma 7.12 selector images (one LP per image).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.bounds.polymatroid import edge_dominated_constraints
+from repro.core.hypergraph import Hypergraph
+from repro.decompositions.enumeration import tree_decompositions
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.widths.framework import maximin_width
+
+__all__ = ["submodular_width", "adaptive_width"]
+
+
+def submodular_width(
+    hypergraph: Hypergraph,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """``subw(H)`` (Eq. 37), exactly, via one maximin LP per selector image."""
+    if decompositions is None:
+        decompositions = tree_decompositions(hypergraph)
+    return maximin_width(
+        hypergraph,
+        decompositions,
+        edge_dominated_constraints(hypergraph),
+        function_class="polymatroid",
+        backend=backend,
+    )
+
+
+def adaptive_width(
+    hypergraph: Hypergraph,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """``adw(H)`` (Eq. 36): the modular (fractional-independent-set) variant."""
+    if decompositions is None:
+        decompositions = tree_decompositions(hypergraph)
+    return maximin_width(
+        hypergraph,
+        decompositions,
+        edge_dominated_constraints(hypergraph),
+        function_class="modular",
+        backend=backend,
+    )

@@ -1,0 +1,83 @@
+"""Classical width parameters: tw, ghtw, fhtw (Definition 2.7).
+
+All three are *g-widths* (Adler, Def. 2.6) for different bag-cost functions
+``g`` on the restricted hypergraph ``H_B``:
+
+    treewidth                 g = s(B)  = |B| − 1
+    generalized hypertree w.  g = ρ(B)  — integral edge cover number of H_B
+    fractional hypertree w.   g = ρ*(B) — fractional edge cover number of H_B
+
+Each is minimized over the canonical decomposition set ``TD(H)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.bounds.edge_covers import (
+    fractional_edge_cover_number,
+    integral_edge_cover_log_bound,
+)
+from repro.core.hypergraph import Hypergraph
+from repro.decompositions.enumeration import tree_decompositions
+from repro.decompositions.tree_decomposition import TreeDecomposition
+
+__all__ = ["treewidth", "generalized_hypertree_width", "fractional_hypertree_width"]
+
+
+def _decompositions(
+    hypergraph: Hypergraph,
+    decompositions: Sequence[TreeDecomposition] | None,
+) -> Sequence[TreeDecomposition]:
+    if decompositions is not None:
+        return decompositions
+    return tree_decompositions(hypergraph)
+
+
+def treewidth(
+    hypergraph: Hypergraph,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+) -> int:
+    """``tw(H)``: the s-width, ``min_TD max_bag |bag| − 1``."""
+    return min(
+        td.max_bag_size() for td in _decompositions(hypergraph, decompositions)
+    ) - 1
+
+
+def generalized_hypertree_width(
+    hypergraph: Hypergraph,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+) -> Fraction:
+    """``ghtw(H)``: the ρ-width (integral edge cover per restricted bag)."""
+    best: Fraction | None = None
+    for td in _decompositions(hypergraph, decompositions):
+        worst = max(
+            integral_edge_cover_log_bound(hypergraph.restrict(bag), sizes=None)
+            for bag in td.bags
+        )
+        if best is None or worst < best:
+            best = worst
+    return best
+
+
+def fractional_hypertree_width(
+    hypergraph: Hypergraph,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """``fhtw(H)``: the ρ*-width (fractional edge cover per restricted bag)."""
+    best: Fraction | None = None
+    cache: dict[frozenset, Fraction] = {}
+    for td in _decompositions(hypergraph, decompositions):
+        worst = Fraction(0)
+        for bag in td.bags:
+            if bag not in cache:
+                cache[bag] = fractional_edge_cover_number(
+                    hypergraph.restrict(bag), backend=backend
+                )
+            if cache[bag] > worst:
+                worst = cache[bag]
+        if best is None or worst < best:
+            best = worst
+    return best

@@ -1,0 +1,122 @@
+"""Degree-aware width parameters (Definition 7.6).
+
+    da-fhtw(Q)  = Minimaxwidth_{Γn ∩ H_DC}(Q)
+    da-subw(Q)  = Maximinwidth_{Γn ∩ H_DC}(Q)
+    eda-*(Q)    — the entropic versions, approximated from above by adding
+                  Zhang–Yeung rows to the polymatroid LP (the exact values
+                  are not computable; see §8 and DESIGN.md).
+
+Unlike the classical widths these are *not* normalized: they live in log₂
+units and carry the actual degree-constraint bounds (an FD contributes 0, a
+size-N relation contributes log₂ N), per the discussion below Def. 7.6.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+from repro.bounds.polymatroid import LogConstraint, constraints_to_log
+from repro.core.hypergraph import Hypergraph
+from repro.decompositions.enumeration import tree_decompositions
+from repro.decompositions.tree_decomposition import TreeDecomposition
+from repro.widths.framework import maximin_width, minimax_width
+
+__all__ = [
+    "degree_aware_fhtw",
+    "degree_aware_subw",
+    "entropic_degree_aware_fhtw",
+    "entropic_degree_aware_subw",
+]
+
+
+def _log_rows(
+    constraints: ConstraintSet | Iterable[DegreeConstraint] | Iterable[LogConstraint],
+) -> list[LogConstraint]:
+    rows: list[LogConstraint] = []
+    for constraint in constraints:
+        if isinstance(constraint, LogConstraint):
+            rows.append(constraint)
+        else:
+            rows.append(
+                LogConstraint(
+                    constraint.x_key,
+                    constraint.y_key,
+                    constraint.log_bound,
+                    origin=constraint,
+                )
+            )
+    return rows
+
+
+def _tds(
+    hypergraph: Hypergraph, decompositions: Sequence[TreeDecomposition] | None
+) -> Sequence[TreeDecomposition]:
+    if decompositions is not None:
+        return decompositions
+    return tree_decompositions(hypergraph)
+
+
+def degree_aware_fhtw(
+    hypergraph: Hypergraph,
+    constraints,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """``da-fhtw(Q)`` (Eq. 95), in log₂ units."""
+    return minimax_width(
+        hypergraph,
+        _tds(hypergraph, decompositions),
+        _log_rows(constraints),
+        function_class="polymatroid",
+        backend=backend,
+    )
+
+
+def degree_aware_subw(
+    hypergraph: Hypergraph,
+    constraints,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """``da-subw(Q)`` (Eq. 96), in log₂ units."""
+    return maximin_width(
+        hypergraph,
+        _tds(hypergraph, decompositions),
+        _log_rows(constraints),
+        function_class="polymatroid",
+        backend=backend,
+    )
+
+
+def entropic_degree_aware_fhtw(
+    hypergraph: Hypergraph,
+    constraints,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """ZY-tightened upper bound on ``eda-fhtw(Q)`` (Eq. 97)."""
+    return minimax_width(
+        hypergraph,
+        _tds(hypergraph, decompositions),
+        _log_rows(constraints),
+        function_class="polymatroid+zy",
+        backend=backend,
+    )
+
+
+def entropic_degree_aware_subw(
+    hypergraph: Hypergraph,
+    constraints,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+) -> Fraction:
+    """ZY-tightened upper bound on ``eda-subw(Q)`` (Eq. 98)."""
+    return maximin_width(
+        hypergraph,
+        _tds(hypergraph, decompositions),
+        _log_rows(constraints),
+        function_class="polymatroid+zy",
+        backend=backend,
+    )

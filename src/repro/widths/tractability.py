@@ -1,0 +1,126 @@
+"""Islands of tractability (Figure 4, §2.1.2).
+
+Figure 4 stratifies query classes by which width parameter is bounded:
+
+    bounded treewidth ⊂ bounded (g)htw ⊂ bounded fhtw   -> PTIME
+    bounded fhtw ⊂ bounded subw                          -> FPT (Marx [40])
+    unbounded subw                                       -> not FPT
+                                                            (under ETH)
+
+For a *single* hypergraph the interesting report is the vector of all width
+values and which evaluation regime each one certifies; for a *family* of
+hypergraphs (a recursively enumerable class in the paper), boundedness is
+checked empirically along the family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterable, Sequence
+
+from repro.core.hypergraph import Hypergraph
+from repro.decompositions.enumeration import tree_decompositions
+from repro.widths.adaptive import adaptive_width, submodular_width
+from repro.widths.classical import (
+    fractional_hypertree_width,
+    generalized_hypertree_width,
+    treewidth,
+)
+
+__all__ = ["WidthProfile", "width_profile", "family_growth"]
+
+
+@dataclass(frozen=True)
+class WidthProfile:
+    """All Figure 4 width parameters of one hypergraph."""
+
+    treewidth: int
+    ghtw: Fraction
+    fhtw: Fraction
+    subw: Fraction
+    adw: Fraction
+
+    def as_dict(self) -> dict[str, Fraction]:
+        return {
+            "tw": Fraction(self.treewidth),
+            "ghtw": Fraction(self.ghtw),
+            "fhtw": self.fhtw,
+            "subw": self.subw,
+            "adw": self.adw,
+        }
+
+    def hierarchy_holds(self) -> bool:
+        """Corollary 7.5: ``1 + tw >= ghtw >= fhtw >= subw >= adw``."""
+        return (
+            Fraction(self.treewidth + 1)
+            >= Fraction(self.ghtw)
+            >= self.fhtw
+            >= self.subw
+            >= self.adw
+        )
+
+    def evaluation_regime(self, budget: Fraction) -> str:
+        """The cheapest Figure 4 evaluation strategy within a width budget.
+
+        Args:
+            budget: the exponent a user is willing to pay per bag.
+
+        Returns:
+            one of ``"acyclic"``, ``"tree-decomposition"``, ``"fractional"``,
+            ``"adaptive"``, or ``"intractable"``.
+        """
+        if self.treewidth <= 1:
+            return "acyclic"
+        if Fraction(self.treewidth + 1) <= budget:
+            return "tree-decomposition"
+        if self.fhtw <= budget:
+            return "fractional"
+        if self.subw <= budget:
+            return "adaptive"
+        return "intractable"
+
+
+def width_profile(
+    hypergraph: Hypergraph,
+    decompositions=None,
+    backend: str = "exact",
+) -> WidthProfile:
+    """Compute every Figure 4 width parameter of a hypergraph."""
+    if decompositions is None:
+        decompositions = tree_decompositions(hypergraph)
+    return WidthProfile(
+        treewidth=treewidth(hypergraph, decompositions),
+        ghtw=Fraction(generalized_hypertree_width(hypergraph, decompositions)),
+        fhtw=fractional_hypertree_width(hypergraph, decompositions, backend=backend),
+        subw=submodular_width(hypergraph, decompositions, backend=backend),
+        adw=adaptive_width(hypergraph, decompositions, backend=backend),
+    )
+
+
+def family_growth(
+    family: Callable[[int], Hypergraph],
+    parameters: Sequence[int],
+    width: str = "subw",
+    backend: str = "scipy",
+) -> list[tuple[int, Fraction]]:
+    """Trace one width parameter along a hypergraph family.
+
+    This is the empirical version of the paper's boundedness questions: a
+    class sits inside a Figure 4 island iff the traced width stays flat.
+
+    Args:
+        family: parameter -> hypergraph (e.g. ``lambda m: bipartite_cycle(2, m)``).
+        parameters: the parameter values to trace.
+        width: one of ``"tw" | "ghtw" | "fhtw" | "subw" | "adw"``.
+        backend: LP backend for the larger members.
+
+    Returns:
+        ``[(parameter, width value)]`` pairs.
+    """
+    out: list[tuple[int, Fraction]] = []
+    for parameter in parameters:
+        hypergraph = family(parameter)
+        profile = width_profile(hypergraph, backend=backend)
+        out.append((parameter, profile.as_dict()[width]))
+    return out

@@ -1,0 +1,227 @@
+"""Tests for hypergraphs, degree constraints, and set functions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.constraints import (
+    ConstraintSet,
+    DegreeConstraint,
+    cardinality,
+    functional_dependency,
+    log2_fraction,
+)
+from repro.core.hypergraph import Hypergraph, nonempty_subsets, powerset
+from repro.core.setfunctions import SetFunction, elemental_inequalities
+from repro.entropy.nonshannon import violates_zhang_yeung
+from repro.exceptions import ConstraintError, QueryError, ReproError
+
+F = Fraction
+
+
+class TestHypergraph:
+    def test_from_edges_vertex_order(self):
+        h = Hypergraph.from_edges([("B", "A"), ("C", "B")])
+        assert set(h.vertices) == {"A", "B", "C"}
+        assert h.n == 3
+
+    def test_duplicate_edges_kept(self):
+        h = Hypergraph.from_edges([("A", "B"), ("A", "B")])
+        assert len(h.edges) == 2
+        assert len(h.distinct_edges()) == 1
+        assert h.edge_multiset()[frozenset(("A", "B"))] == 2
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(("A",), (frozenset(("A", "B")),))
+
+    def test_restrict(self):
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C"), ("C", "D")])
+        r = h.restrict(("A", "B", "C"))
+        assert set(r.vertices) == {"A", "B", "C"}
+        assert frozenset(("C",)) in r.edges  # truncated edge
+
+    def test_neighbours_and_connectivity(self):
+        h = Hypergraph.from_edges([("A", "B"), ("C", "D")])
+        assert h.neighbours("A") == frozenset(("B",))
+        assert not h.is_connected()
+        h2 = Hypergraph.from_edges([("A", "B"), ("B", "C")])
+        assert h2.is_connected()
+
+    def test_covers(self):
+        h = Hypergraph.from_edges([("A", "B", "C")])
+        assert h.covers(frozenset(("A", "B")))
+        assert not h.covers(frozenset(("A", "D")))
+
+    def test_powerset_sizes(self):
+        assert len(list(powerset("ABC"))) == 8
+        assert len(list(nonempty_subsets("ABC"))) == 7
+
+
+class TestConstraints:
+    def test_log2_exact_for_powers_of_two(self):
+        assert log2_fraction(1) == 0
+        assert log2_fraction(8) == 3
+        assert log2_fraction(1024) == 10
+
+    def test_log2_approximate_other(self):
+        value = log2_fraction(3)
+        assert abs(float(value) - 1.584962500721156) < 1e-9
+
+    def test_log2_rejects_nonpositive(self):
+        with pytest.raises(ConstraintError):
+            log2_fraction(0)
+
+    def test_cardinality_and_fd_special_cases(self):
+        card = cardinality(("A", "B"), 100)
+        assert card.is_cardinality and not card.is_functional_dependency
+        fd = functional_dependency(("A",), ("B",))
+        assert fd.is_functional_dependency
+        assert fd.x == frozenset(("A",))
+        assert fd.y == frozenset(("A", "B"))
+        assert fd.log_bound == 0
+
+    def test_requires_proper_subset(self):
+        with pytest.raises(ConstraintError):
+            DegreeConstraint.make(("A",), ("A",), 5)
+
+    def test_constraint_set_keeps_tightest(self):
+        cs = ConstraintSet(
+            [cardinality(("A", "B"), 100), cardinality(("A", "B"), 10)]
+        )
+        assert len(cs) == 1
+        assert next(iter(cs)).bound == 10
+
+    def test_constraint_set_lookup(self):
+        cs = ConstraintSet([cardinality(("A", "B"), 10)])
+        found = cs.lookup(frozenset(), frozenset(("A", "B")))
+        assert found is not None and found.bound == 10
+        assert cs.lookup(frozenset(("A",)), frozenset(("A", "B"))) is None
+
+    def test_scaled(self):
+        cs = ConstraintSet([cardinality(("A",), 4)]).scaled(3)
+        assert next(iter(cs)).bound == 64
+
+    def test_only_cardinalities(self):
+        cs = ConstraintSet([cardinality(("A",), 4)])
+        assert cs.only_cardinalities()
+        cs2 = cs.with_constraint(functional_dependency(("A",), ("B",)))
+        assert not cs2.only_cardinalities()
+
+
+class TestSetFunctions:
+    def test_modular_construction(self):
+        h = SetFunction.modular({"A": F(1), "B": F(2)})
+        assert h(("A", "B")) == 3
+        assert h.is_modular() and h.is_polymatroid()
+
+    def test_uniform(self):
+        h = SetFunction.uniform(("A", "B", "C"), F(1, 2))
+        assert h(("A", "B", "C")) == F(3, 2)
+        assert h.is_polymatroid()
+
+    def test_missing_subsets_rejected(self):
+        with pytest.raises(ReproError):
+            SetFunction(("A", "B"), {frozenset(("A",)): F(1)})
+
+    def test_nonzero_empty_set_rejected(self):
+        with pytest.raises(ReproError):
+            SetFunction(("A",), {frozenset(): F(1), frozenset("A"): F(1)})
+
+    def test_conditional(self):
+        h = SetFunction.uniform(("A", "B"), F(1))
+        assert h.conditional(("A", "B"), ("A",)) == 1
+
+    def test_scaled_and_add(self):
+        h = SetFunction.uniform(("A", "B"), F(1))
+        assert h.scaled(F(3))(("A", "B")) == 6
+        assert (h + h)(("A",)) == 2
+
+    def test_restrict(self):
+        h = SetFunction.uniform(("A", "B", "C"), F(1))
+        r = h.restrict(("A", "B"))
+        assert r.universe == ("A", "B")
+        assert r(("A", "B")) == 2
+
+    def test_non_submodular_detected(self):
+        values = {
+            frozenset("A"): F(1),
+            frozenset("B"): F(1),
+            frozenset(("A", "B")): F(3),
+        }
+        h = SetFunction(("A", "B"), values)
+        assert not h.is_submodular()
+        assert h.is_monotone()
+
+    def test_non_monotone_detected(self):
+        values = {
+            frozenset("A"): F(2),
+            frozenset("B"): F(1),
+            frozenset(("A", "B")): F(1),
+        }
+        h = SetFunction(("A", "B"), values)
+        assert not h.is_monotone()
+
+    def test_subadditive(self):
+        h = SetFunction.uniform(("A", "B"), F(1))
+        assert h.is_subadditive()
+
+    def test_elemental_inequality_count(self):
+        # n + C(n,2) * 2^{n-2} for n = 4: 4 + 6*4 = 28.
+        assert len(list(elemental_inequalities(("A", "B", "C", "D")))) == 28
+
+    def test_domination(self):
+        h = SetFunction.uniform(("A", "B"), F(1, 2))
+        hg = Hypergraph.from_edges([("A", "B")])
+        assert h.is_edge_dominated(hg)
+        assert h.is_vertex_dominated()
+        assert not h.scaled(3).is_edge_dominated(hg)
+
+    def test_satisfies_constraints(self):
+        h = SetFunction.uniform(("A", "B"), F(1))
+        cs = ConstraintSet([cardinality(("A", "B"), 4)])
+        assert h.satisfies(cs)
+        assert not h.scaled(2).satisfies(cs)
+
+
+class TestFigure5Polymatroid:
+    """The closure-table polymatroid of Figure 5 (proof of Theorem 1.3)."""
+
+    @staticmethod
+    def build():
+        f = frozenset
+        closed = {
+            f(("A", "B", "X", "Y", "C")): F(4),
+            f(("A", "X")): F(3),
+            f(("B", "X")): F(3),
+            f(("X", "Y")): F(3),
+            f(("A", "Y")): F(3),
+            f(("B", "Y")): F(3),
+            f(("X",)): F(2),
+            f(("A",)): F(2),
+            f(("B",)): F(2),
+            f(("Y",)): F(2),
+            f(("C",)): F(2),
+            f(()): F(0),
+        }
+        return SetFunction.from_closure_table(("A", "B", "C", "X", "Y"), closed)
+
+    def test_is_polymatroid(self):
+        h = self.build()
+        assert h.is_polymatroid()
+
+    def test_closure_values(self):
+        h = self.build()
+        assert h(("A", "B")) == 4  # AB closes to the full set
+        assert h(("A", "X")) == 3
+        assert h(("C",)) == 2
+        assert h(("A", "C")) == 4
+
+    def test_violates_zhang_yeung(self):
+        # This is precisely why the polymatroid bound is not tight (Thm 1.3).
+        h = self.build()
+        assert violates_zhang_yeung(h) is not None
+
+    def test_uniform_does_not_violate_zy(self):
+        h = SetFunction.uniform(("A", "B", "C", "X", "Y"), F(1))
+        assert violates_zhang_yeung(h) is None

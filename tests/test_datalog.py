@@ -1,0 +1,179 @@
+"""Tests for atoms, conjunctive queries, disjunctive rules, and the parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    ConjunctiveQuery,
+    DisjunctiveRule,
+    parse_atom,
+    parse_query,
+    parse_rule,
+)
+from repro.exceptions import QueryError
+from repro.relational import Database, Relation
+
+
+def _path_db():
+    return Database(
+        [
+            Relation.from_pairs("R12", "A1", "A2", [(1, 2), (2, 3)]),
+            Relation.from_pairs("R23", "A2", "A3", [(2, 5), (3, 6)]),
+            Relation.from_pairs("R34", "A3", "A4", [(5, 7), (6, 8)]),
+        ]
+    )
+
+
+class TestAtoms:
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("A", "A"))
+
+    def test_bind_realigns_schema(self):
+        db = Database([Relation("E", ("X", "Y"), [(1, 2)])])
+        bound = Atom("E", ("A", "B")).bind(db)
+        assert bound.schema == ("A", "B")
+        assert (1, 2) in bound
+
+    def test_bind_arity_mismatch(self):
+        db = Database([Relation("E", ("X",), [(1,)])])
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            Atom("E", ("A", "B")).bind(db)
+
+
+class TestConjunctiveQuery:
+    def test_full_constructor(self):
+        q = ConjunctiveQuery.full([Atom("R", ("A", "B")), Atom("S", ("B", "C"))])
+        assert q.is_full and not q.is_boolean
+        assert set(q.head) == {"A", "B", "C"}
+
+    def test_boolean_constructor(self):
+        q = ConjunctiveQuery.boolean([Atom("R", ("A", "B"))])
+        assert q.is_boolean
+
+    def test_head_var_must_occur(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(("Z",), (Atom("R", ("A",)),))
+
+    def test_hypergraph(self):
+        q = ConjunctiveQuery.full([Atom("R", ("A", "B")), Atom("S", ("B", "C"))])
+        h = q.hypergraph()
+        assert h.n == 3 and len(h.edges) == 2
+
+    def test_evaluate_naive_full(self):
+        q = parse_query("Q(A1,A2,A3) :- R12(A1,A2), R23(A2,A3)")
+        out = q.evaluate_naive(_path_db())
+        assert len(out) == 2
+        assert (1, 2, 5) in out
+
+    def test_evaluate_naive_boolean(self):
+        q = parse_query("Q() :- R12(A1,A2), R23(A2,A3)")
+        out = q.evaluate_naive(_path_db())
+        assert len(out) == 1
+
+    def test_evaluate_naive_projection(self):
+        q = parse_query("Q(A1) :- R12(A1,A2), R23(A2,A3)")
+        out = q.evaluate_naive(_path_db())
+        assert out.schema == ("A1",)
+        assert len(out) == 2
+
+
+class TestDisjunctiveRule:
+    def test_targets_within_body(self):
+        with pytest.raises(QueryError):
+            DisjunctiveRule(
+                (frozenset(("Z",)),), (Atom("R", ("A", "B")),)
+            )
+
+    def test_scan_model_is_model(self):
+        rule = parse_rule(
+            "T123(A1,A2,A3) | T234(A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4)"
+        )
+        db = _path_db()
+        model = rule.scan_model(db)
+        assert rule.is_model(model, db)
+
+    def test_scan_model_tables_have_equal_size(self):
+        rule = parse_rule(
+            "T123(A1,A2,A3) | T234(A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4)"
+        )
+        db = _path_db()
+        model = rule.scan_model(db)
+        sizes = {len(t) for t in model.tables}
+        assert len(sizes) == 1  # Lemma 4.1: all tables have size |T|
+
+    def test_trivial_model_is_model(self):
+        rule = parse_rule(
+            "T12(A1,A2) | T23(A2,A3) :- R12(A1,A2), R23(A2,A3)"
+        )
+        db = _path_db()
+        model = rule.trivial_model(db)
+        assert rule.is_model(model, db)
+
+    def test_incomplete_model_rejected(self):
+        rule = parse_rule(
+            "T12(A1,A2) | T23(A2,A3) :- R12(A1,A2), R23(A2,A3)"
+        )
+        db = _path_db()
+        from repro.datalog.rule import TargetModel
+
+        empty = TargetModel(
+            (
+                Relation("T12", ("A1", "A2")),
+                Relation("T23", ("A2", "A3")),
+            )
+        )
+        assert not rule.is_model(empty, db)
+
+    def test_minimal_model_size(self):
+        rule = parse_rule(
+            "T123(A1,A2,A3) | T234(A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4)"
+        )
+        db = _path_db()
+        # Two body tuples sharing no projections: one target can hold both.
+        assert rule.minimal_model_size(db) in (1, 2)
+        model = rule.scan_model(db)
+        assert rule.minimal_model_size(db) <= model.max_size
+
+    def test_single_target_semantics(self):
+        rule = DisjunctiveRule.single_target(
+            ("A1", "A2", "A3"),
+            (Atom("R12", ("A1", "A2")), Atom("R23", ("A2", "A3"))),
+        )
+        db = _path_db()
+        body = rule.body_join(db)
+        assert len(body) == 2
+
+
+class TestParser:
+    def test_parse_atom(self):
+        atom = parse_atom("R12( A1 , A2 )")
+        assert atom.name == "R12" and atom.variables == ("A1", "A2")
+
+    def test_parse_atom_invalid(self):
+        with pytest.raises(QueryError):
+            parse_atom("not an atom")
+
+    def test_parse_query_roundtrip(self):
+        q = parse_query("Q(A,B) :- R(A,B), S(B,C)")
+        assert q.name == "Q" and len(q.body) == 2
+        assert q.head == ("A", "B")
+
+    def test_parse_boolean_query(self):
+        q = parse_query("Q() :- R(A,B)")
+        assert q.is_boolean
+
+    def test_parse_rule_pipe_and_unicode(self):
+        r1 = parse_rule("T1(A) | T2(B) :- R(A,B)")
+        r2 = parse_rule("T1(A) ∨ T2(B) :- R(A,B)")
+        assert r1.targets == r2.targets
+
+    def test_missing_body(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(A,B)")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(A :- R(A)")

@@ -1,0 +1,219 @@
+"""Tests for tree decompositions, selectors, and width parameters."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Hypergraph, cardinality
+from repro.core.constraints import ConstraintSet, functional_dependency
+from repro.decompositions import (
+    TreeDecomposition,
+    associated_decomposition,
+    decomposition_from_order,
+    selector_images,
+    tree_decompositions,
+)
+from repro.exceptions import DecompositionError
+from repro.instances import bipartite_cycle, cycle_edges
+from repro.widths import (
+    adaptive_width,
+    degree_aware_fhtw,
+    degree_aware_subw,
+    entropic_degree_aware_subw,
+    fractional_hypertree_width,
+    generalized_hypertree_width,
+    submodular_width,
+    treewidth,
+)
+
+F = Fraction
+
+
+def cycle(n):
+    return Hypergraph.from_edges(cycle_edges(n))
+
+
+class TestTreeDecompositions:
+    def test_four_cycle_has_two(self):
+        tds = tree_decompositions(cycle(4))
+        assert len(tds) == 2  # Figure 2
+        for td in tds:
+            assert td.is_valid_for(cycle(4))
+            assert td.is_non_redundant()
+            assert td.max_bag_size() == 3
+
+    def test_cycle_counts_are_catalan(self):
+        # Triangulations of the n-gon: C_{n-2} = 1, 2, 5, 14 for n = 3..6.
+        assert len(tree_decompositions(cycle(3))) == 1
+        assert len(tree_decompositions(cycle(5))) == 5
+        assert len(tree_decompositions(cycle(6))) == 14
+
+    def test_from_order(self):
+        td = decomposition_from_order(cycle(4), ("A1", "A2", "A3", "A4"))
+        assert td.is_valid_for(cycle(4))
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(DecompositionError):
+            decomposition_from_order(cycle(4), ("A1",))
+
+    def test_coverage_check(self):
+        td = TreeDecomposition.from_bags([("A1", "A2")])
+        assert not td.covers(cycle(4))
+
+    def test_junction_tree_validity(self):
+        td = TreeDecomposition.from_bags(
+            [("A", "B", "C"), ("B", "C", "D"), ("C", "D", "E")]
+        )
+        parent = td.junction_tree()
+        assert parent.count(-1) == 1
+
+    def test_disconnected_vertex_rejected(self):
+        # Three pairwise-overlapping bags of a triangle admit no junction
+        # tree: any spanning tree breaks one vertex's connectivity.
+        td = TreeDecomposition.from_bags([("A", "B"), ("B", "C"), ("A", "C")])
+        with pytest.raises(DecompositionError):
+            td.junction_tree()
+
+    def test_domination(self):
+        small = TreeDecomposition.from_bags([("A", "B"), ("B", "C")])
+        big = TreeDecomposition.from_bags([("A", "B", "C")])
+        assert small.is_dominated_by(big)
+        assert not big.is_dominated_by(small)
+
+    def test_enumeration_cap(self):
+        with pytest.raises(DecompositionError):
+            tree_decompositions(cycle(9))
+
+
+class TestSelectors:
+    def test_four_cycle_images(self):
+        tds = tree_decompositions(cycle(4))
+        images = selector_images(tds)
+        assert len(images) == 4  # P1..P4 of Example 1.10
+        for image in images:
+            assert len(image) == 2
+
+    def test_associated_decomposition_exists_for_all_choices(self):
+        from itertools import product
+
+        tds = tree_decompositions(cycle(4))
+        images = selector_images(tds)
+        for choice in product(*[sorted(img, key=sorted) for img in images]):
+            td = associated_decomposition(tds, choice)
+            assert all(bag in set(choice) for bag in td.bags)
+
+    def test_associated_decomposition_failure(self):
+        tds = tree_decompositions(cycle(4))
+        with pytest.raises(DecompositionError):
+            associated_decomposition(tds, [frozenset(("A1",))])
+
+
+class TestClassicalWidths:
+    def test_four_cycle(self):
+        h = cycle(4)
+        assert treewidth(h) == 2
+        assert generalized_hypertree_width(h) == 2
+        assert fractional_hypertree_width(h) == 2
+
+    def test_triangle(self):
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C"), ("A", "C")])
+        assert treewidth(h) == 2
+        assert fractional_hypertree_width(h) == F(3, 2)
+
+    def test_path_is_acyclic(self):
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C"), ("C", "D")])
+        assert treewidth(h) == 1
+        assert fractional_hypertree_width(h) == 1
+
+    def test_corollary_75_hierarchy(self):
+        # 1 + tw >= ghtw >= fhtw >= subw >= adw on several graphs.
+        graphs = [cycle(4), cycle(5), Hypergraph.from_edges([("A", "B"), ("B", "C"), ("A", "C")])]
+        for h in graphs:
+            tds = tree_decompositions(h)
+            tw1 = F(treewidth(h, tds) + 1)
+            ghtw = F(generalized_hypertree_width(h, tds))
+            fhtw = fractional_hypertree_width(h, tds)
+            subw = submodular_width(h, tds)
+            adw = adaptive_width(h, tds)
+            assert tw1 >= ghtw >= fhtw >= subw >= adw
+
+
+class TestAdaptiveWidths:
+    def test_subw_four_cycle(self):
+        assert submodular_width(cycle(4)) == F(3, 2)
+
+    def test_subw_five_cycle(self):
+        # subw(C5) = 5/3 (known value).
+        assert submodular_width(cycle(5)) == F(5, 3)
+
+    def test_subw_triangle_equals_fhtw(self):
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C"), ("A", "C")])
+        assert submodular_width(h) == fractional_hypertree_width(h)
+
+    def test_adw_at_most_subw(self):
+        for n in (4, 5):
+            h = cycle(n)
+            assert adaptive_width(h) <= submodular_width(h)
+
+
+class TestDegreeAwareWidths:
+    def _cc(self, n=16):
+        return ConstraintSet([cardinality(e, n) for e in cycle_edges(4)])
+
+    def test_example_78(self):
+        # da-fhtw(C4) = 2 logN, da-subw(C4) = 3/2 logN.
+        h = cycle(4)
+        assert degree_aware_fhtw(h, self._cc()) == 8
+        assert degree_aware_subw(h, self._cc()) == 6
+
+    def test_da_widths_scale_with_log_n(self):
+        h = cycle(4)
+        cc256 = ConstraintSet([cardinality(e, 256) for e in cycle_edges(4)])
+        assert degree_aware_subw(h, cc256) == F(3, 2) * 8
+
+    def test_fds_reduce_da_subw(self):
+        h = cycle(4)
+        with_fd = self._cc().with_constraints(
+            [functional_dependency(("A1",), ("A2",))]
+        )
+        assert degree_aware_subw(h, with_fd) <= degree_aware_subw(h, self._cc())
+
+    def test_eda_at_most_da(self):
+        # Prop 7.7: entropic versions are at most the polymatroid versions.
+        h = cycle(4)
+        assert entropic_degree_aware_subw(h, self._cc()) <= degree_aware_subw(
+            h, self._cc()
+        )
+
+    def test_proposition_77_square(self):
+        h = cycle(4)
+        cc = self._cc()
+        da_f = degree_aware_fhtw(h, cc)
+        da_s = degree_aware_subw(h, cc)
+        assert da_s <= da_f
+
+
+class TestExample74Gap:
+    """fhtw >= 2m while subw <= m(2 − 1/k) on bipartite 2k-cycles."""
+
+    def test_m1_is_plain_cycle(self):
+        h = bipartite_cycle(2, 1)
+        assert h.n == 4
+        tds = tree_decompositions(h)
+        assert fractional_hypertree_width(h, tds) == 2
+        assert submodular_width(h, tds) == F(3, 2)
+
+    def test_fhtw_lower_bound_scales(self):
+        # fhtw >= 2m: check m = 1, 2 exactly via enumeration (n = 4, 8).
+        for m in (1, 2):
+            h = bipartite_cycle(2, m)
+            tds = tree_decompositions(h)
+            assert fractional_hypertree_width(h, tds) >= 2 * m
+
+    def test_subw_upper_bound_m2(self):
+        # subw <= m(2 - 1/k) = 3 for k = 2, m = 2 (scipy backend: 8 vertices).
+        h = bipartite_cycle(2, 2)
+        tds = tree_decompositions(h)
+        value = submodular_width(h, tds, backend="scipy")
+        assert value <= F(3)
+        assert value > F(2)  # strictly between fhtw-like and trivial

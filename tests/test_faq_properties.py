@@ -1,0 +1,144 @@
+"""Property-based tests for the FAQ algebra and free-connex construction.
+
+The correctness of InsideOut and the message-passing plan rests on three
+algebraic identities of annotated relations; hypothesis checks them on
+random data across semirings:
+
+1. ⊗-join is commutative and associative (up to schema order);
+2. marginalization composes: ⊕-ing out B then C equals ⊕-ing out {B, C};
+3. early marginalization: a variable absent from one factor can be ⊕-ed out
+   of the other *before* the join (the distributive law the whole paper's
+   §8 rests on, [5]).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import parse_query
+from repro.faq import BOOLEAN, COUNTING, MIN_PLUS, AnnotatedRelation
+from repro.faq.freeconnex import (
+    free_connex_decomposition_from_order,
+    is_free_connex,
+)
+
+SEMIRINGS = [BOOLEAN, COUNTING, MIN_PLUS]
+
+
+def annotation_value(semiring, rng):
+    if semiring is BOOLEAN:
+        return True
+    return rng.randint(1, 5)
+
+
+@st.composite
+def annotated_pair(draw, left=("A", "B"), right=("B", "C")):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    semiring = draw(st.sampled_from(SEMIRINGS))
+    rng = random.Random(seed)
+    domain = draw(st.integers(min_value=1, max_value=4))
+
+    def make(name, schema):
+        size = rng.randint(0, 12)
+        data = {}
+        for _ in range(size):
+            row = tuple(rng.randrange(domain) for _ in schema)
+            data[row] = annotation_value(semiring, rng)
+        return AnnotatedRelation(name, schema, semiring, data)
+
+    return make("R", left), make("S", right), semiring
+
+
+@settings(max_examples=60, deadline=None)
+@given(annotated_pair())
+def test_multiply_commutative_on_values(pair):
+    r, s, _ = pair
+    left = r.multiply(s)
+    right = s.multiply(r)
+    assert left == right  # content equality is schema-order-insensitive
+
+
+@settings(max_examples=40, deadline=None)
+@given(annotated_pair(), st.integers(min_value=0, max_value=10_000))
+def test_multiply_associative(pair, seed):
+    r, s, semiring = pair
+    rng = random.Random(seed)
+    t = AnnotatedRelation(
+        "T",
+        ("C", "D"),
+        semiring,
+        {
+            (rng.randrange(3), rng.randrange(3)): annotation_value(semiring, rng)
+            for _ in range(rng.randint(0, 10))
+        },
+    )
+    assert r.multiply(s).multiply(t) == r.multiply(s.multiply(t))
+
+
+@settings(max_examples=60, deadline=None)
+@given(annotated_pair())
+def test_marginalize_composes(pair):
+    r, s, _ = pair
+    joined = r.multiply(s)
+    assert joined.marginalize(["A", "B"]).marginalize(["A"]) == joined.marginalize(["A"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(annotated_pair())
+def test_early_marginalization_distributes(pair):
+    """⊕_C (R(A,B) ⊗ S(B,C)) == R(A,B) ⊗ (⊕_C S(B,C)) — C only in S."""
+    r, s, _ = pair
+    late = r.multiply(s).marginalize(["A", "B"])
+    early = r.multiply(s.marginalize(["B"]))
+    assert late == early
+
+
+@settings(max_examples=60, deadline=None)
+@given(annotated_pair())
+def test_support_commutes_with_boolean_join(pair):
+    """On any semiring without zero divisors here: support(R⊗S) ==
+    support(R) ⋈ support(S)."""
+    from repro.relational.operators import natural_join
+
+    r, s, _ = pair
+    assert r.multiply(s).support() == natural_join(r.support(), s.support())
+
+
+@st.composite
+def free_connex_case(draw):
+    """A random query hypergraph + free set + a bound-first order."""
+    text = draw(
+        st.sampled_from(
+            [
+                "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)",
+                "Q(A1,A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)",
+                "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+                "Q(A,B,C,D) :- R(A,B,C), S(C,D)",
+            ]
+        )
+    )
+    query = parse_query(text)
+    variables = sorted(query.variable_set)
+    k = draw(st.integers(min_value=0, max_value=len(variables)))
+    shuffled = draw(st.permutations(variables))
+    free = tuple(sorted(shuffled[:k]))
+    bound = [v for v in draw(st.permutations(variables)) if v not in free]
+    free_order = [v for v in draw(st.permutations(variables)) if v in free]
+    return query.hypergraph(), free, tuple(bound + free_order)
+
+
+@settings(max_examples=60, deadline=None)
+@given(free_connex_case())
+def test_bound_first_orders_give_valid_decompositions(case):
+    hypergraph, free, order = case
+    td = free_connex_decomposition_from_order(hypergraph, free, order)
+    assert td.is_valid_for(hypergraph)
+    # The free-phase bags exist and union to the free set whenever the
+    # stored junction tree keeps them connected (checked when it holds).
+    if is_free_connex(td, free):
+        from repro.faq.freeconnex import connex_core
+
+        core = connex_core(td, free)
+        union = frozenset().union(*(td.bags[i] for i in core)) if core else frozenset()
+        assert union == frozenset(free)

@@ -1,0 +1,253 @@
+"""Tests for Shannon-flow inequalities, witnesses, and proof sequences."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bounds import log_size_bound
+from repro.core import cardinality, functional_dependency
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+from repro.exceptions import ProofSequenceError, WitnessError
+from repro.flows import (
+    COMPOSITION,
+    DECOMPOSITION,
+    MONOTONICITY,
+    SUBMODULARITY,
+    FlowInequality,
+    ProofSequence,
+    ProofStep,
+    Witness,
+    construct_proof_sequence,
+    flow_from_bound,
+    inflow,
+    tighten,
+    truncate,
+    verify_witness,
+)
+from repro.flows.flow_network import construct_via_flow_network
+
+from conftest import coverage_polymatroid
+
+F = Fraction
+f = frozenset
+
+VARS4 = ("A1", "A2", "A3", "A4")
+PATH_EDGES = [("A1", "A2"), ("A2", "A3"), ("A3", "A4")]
+TARGETS = [f(("A1", "A2", "A3")), f(("A2", "A3", "A4"))]
+
+
+def example_14_flow(n=16):
+    cc = ConstraintSet([cardinality(e, n) for e in PATH_EDGES])
+    bound = log_size_bound(VARS4, TARGETS, cc)
+    return flow_from_bound(bound)
+
+
+class TestProofSteps:
+    def test_submodularity_vector(self):
+        step = ProofStep(SUBMODULARITY, f(("A", "B")), f(("B", "C")))
+        vec = step.vector()
+        assert vec[(f(("B",)), f(("A", "B")))] == -1
+        assert vec[(f(("B", "C")), f(("A", "B", "C")))] == 1
+
+    def test_monotonicity_vector(self):
+        step = ProofStep(MONOTONICITY, f(("A",)), f(("A", "B")))
+        vec = step.vector()
+        assert vec[(f(), f(("A", "B")))] == -1
+        assert vec[(f(), f(("A",)))] == 1
+
+    def test_monotonicity_to_empty(self):
+        step = ProofStep(MONOTONICITY, f(), f(("A",)))
+        assert step.vector() == {(f(), f(("A",))): -1}
+
+    def test_composition_vector(self):
+        step = ProofStep(COMPOSITION, f(("A",)), f(("A", "B")))
+        vec = step.vector()
+        assert vec[(f(), f(("A",)))] == -1
+        assert vec[(f(("A",)), f(("A", "B")))] == -1
+        assert vec[(f(), f(("A", "B")))] == 1
+
+    def test_decomposition_vector(self):
+        step = ProofStep(DECOMPOSITION, f(("A", "B")), f(("A",)))
+        vec = step.vector()
+        assert vec[(f(), f(("A", "B")))] == -1
+        assert vec[(f(), f(("A",)))] == 1
+        assert vec[(f(("A",)), f(("A", "B")))] == 1
+
+    def test_trivial_steps_rejected(self):
+        with pytest.raises(ProofSequenceError):
+            ProofStep(COMPOSITION, f(), f(("A",)))
+        with pytest.raises(ProofSequenceError):
+            ProofStep(DECOMPOSITION, f(("A",)), f())
+
+    def test_incomparable_required_for_submodularity(self):
+        with pytest.raises(ProofSequenceError):
+            ProofStep(SUBMODULARITY, f(("A",)), f(("A", "B")))
+
+    def test_steps_hold_on_random_polymatroids(self, rng):
+        steps = [
+            ProofStep(SUBMODULARITY, f(("A1", "A2")), f(("A2", "A3"))),
+            ProofStep(MONOTONICITY, f(("A1",)), f(("A1", "A2"))),
+            ProofStep(COMPOSITION, f(("A1",)), f(("A1", "A4"))),
+            ProofStep(DECOMPOSITION, f(("A1", "A3")), f(("A3",))),
+        ]
+        for _ in range(30):
+            h = coverage_polymatroid(VARS4, rng)
+            for step in steps:
+                assert step.holds_on(h)
+
+
+class TestWitnesses:
+    def test_flow_from_bound_verifies(self):
+        ineq, witness, supports = example_14_flow()
+        verify_witness(ineq, witness)
+        assert ineq.lam_norm == 1
+        assert set(supports) == set(ineq.delta)
+
+    def test_inequality_holds_on_random_polymatroids(self, rng):
+        ineq, _, _ = example_14_flow()
+        for _ in range(50):
+            h = coverage_polymatroid(VARS4, rng)
+            assert ineq.holds_on(h)
+
+    def test_bogus_witness_rejected(self):
+        ineq, _, _ = example_14_flow()
+        with pytest.raises(WitnessError):
+            verify_witness(ineq, Witness({}, {}))
+
+    def test_tighten_produces_tight_witness(self):
+        ineq, witness, _ = example_14_flow()
+        tight = tighten(ineq, witness)
+        coordinates = set(ineq.lam)
+        for (x, y) in ineq.delta:
+            coordinates |= {x, y}
+        for (i, j) in tight.sigma:
+            coordinates |= {i, j, i & j, i | j}
+        for (x, y) in tight.mu:
+            coordinates |= {x, y}
+        coordinates.discard(f())
+        for z in coordinates:
+            flow = inflow(z, ineq.delta, tight.sigma, tight.mu)
+            assert flow == ineq.lam.get(z, F(0))
+
+    def test_sigma_keys_must_be_incomparable(self):
+        with pytest.raises(WitnessError):
+            Witness({(f(("A",)), f(("A", "B"))): F(1)}, {})
+
+
+class TestProofSequenceConstruction:
+    def test_example_14_sequence_verifies(self):
+        ineq, witness, _ = example_14_flow()
+        sequence = construct_proof_sequence(ineq, witness)
+        sequence.verify(ineq)
+        kinds = sequence.counts_by_kind()
+        # The paper's Example 1.8 sequence uses all four rule types... ours
+        # must at least decompose and compose.
+        assert kinds.get(DECOMPOSITION, 0) >= 1
+        assert kinds.get(COMPOSITION, 0) >= 1
+
+    def test_full_query_with_fds_sequence(self):
+        edges = [("A1", "A2"), ("A2", "A3"), ("A3", "A4"), ("A1", "A4")]
+        cc = ConstraintSet([cardinality(e, 16) for e in edges]).with_constraints(
+            [
+                functional_dependency(("A1",), ("A2",)),
+                functional_dependency(("A2",), ("A1",)),
+            ]
+        )
+        bound = log_size_bound(VARS4, f(VARS4), cc)
+        ineq, witness, _ = flow_from_bound(bound)
+        sequence = construct_proof_sequence(ineq, witness)
+        sequence.verify(ineq)
+
+    def test_degree_constraint_sequence(self):
+        edges = [("A1", "A2"), ("A2", "A3"), ("A3", "A4"), ("A1", "A4")]
+        cc = ConstraintSet([cardinality(e, 16) for e in edges]).with_constraints(
+            [
+                DegreeConstraint.make(("A1",), ("A1", "A2"), 2),
+                DegreeConstraint.make(("A2",), ("A1", "A2"), 2),
+            ]
+        )
+        bound = log_size_bound(VARS4, f(VARS4), cc)
+        ineq, witness, _ = flow_from_bound(bound)
+        sequence = construct_proof_sequence(ineq, witness)
+        sequence.verify(ineq)
+
+    def test_sequence_intermediate_nonnegativity_enforced(self):
+        ineq, witness, _ = example_14_flow()
+        sequence = construct_proof_sequence(ineq, witness)
+        # Tampering with the first step's weight must break verification.
+        bad = ProofSequence(list(sequence.steps))
+        from repro.flows.proof_sequence import WeightedStep
+
+        ws = bad.steps[0]
+        bad.steps[0] = WeightedStep(ws.weight * 100, ws.step)
+        with pytest.raises(ProofSequenceError):
+            bad.verify(ineq)
+
+    def test_witness_log_aligned(self):
+        ineq, witness, _ = example_14_flow()
+        log: list[Witness] = []
+        sequence = construct_proof_sequence(ineq, witness, witness_log=log)
+        assert len(log) == len(sequence)
+
+
+class TestFlowNetworkConstruction:
+    def test_matches_theorem59_on_example_14(self):
+        ineq, witness, _ = example_14_flow()
+        sequence = construct_via_flow_network(ineq, witness)
+        sequence.verify(ineq)
+
+    def test_on_triangle_query(self):
+        edges = [("A", "B"), ("B", "C"), ("A", "C")]
+        cc = ConstraintSet([cardinality(e, 16) for e in edges])
+        bound = log_size_bound(("A", "B", "C"), f(("A", "B", "C")), cc)
+        ineq, witness, _ = flow_from_bound(bound)
+        sequence = construct_via_flow_network(ineq, witness)
+        sequence.verify(ineq)
+
+    def test_both_constructions_prove_same_inequality(self, rng):
+        ineq, witness, _ = example_14_flow()
+        s1 = construct_proof_sequence(ineq, witness)
+        s2 = construct_via_flow_network(ineq, witness)
+        s1.verify(ineq)
+        s2.verify(ineq)
+        # Both sequences' steps hold on random polymatroids.
+        for _ in range(10):
+            h = coverage_polymatroid(VARS4, rng)
+            for ws in list(s1) + list(s2):
+                assert ws.step.holds_on(h)
+
+
+class TestTruncation:
+    def test_truncate_reduces_lambda_and_delta(self):
+        ineq, witness, _ = example_14_flow()
+        target_pair = (f(), f(("A1", "A2")))
+        amount = F(1, 2)
+        new_ineq, new_witness = truncate(ineq, witness, f(("A1", "A2")), amount)
+        assert new_ineq.lam_norm >= ineq.lam_norm - amount
+        assert new_ineq.delta.get(target_pair, F(0)) <= ineq.delta[target_pair] - amount
+        for pair, value in new_ineq.delta.items():
+            assert value <= ineq.delta.get(pair, F(0))
+
+    def test_truncated_inequality_still_valid(self, rng):
+        ineq, witness, _ = example_14_flow()
+        new_ineq, new_witness = truncate(
+            ineq, witness, f(("A1", "A2")), F(1, 2)
+        )
+        verify_witness(new_ineq, new_witness)
+        for _ in range(30):
+            h = coverage_polymatroid(VARS4, rng)
+            assert new_ineq.holds_on(h)
+
+    def test_truncated_sequence_constructible(self):
+        ineq, witness, _ = example_14_flow()
+        new_ineq, new_witness = truncate(
+            ineq, witness, f(("A1", "A2")), F(1, 2)
+        )
+        if new_ineq.lam_norm > 0:
+            sequence = construct_proof_sequence(new_ineq, new_witness)
+            sequence.verify(new_ineq)
+
+    def test_truncate_requires_mass(self):
+        ineq, witness, _ = example_14_flow()
+        with pytest.raises(ProofSequenceError):
+            truncate(ineq, witness, f(("A1", "A2", "A3", "A4")), F(1))

@@ -1,0 +1,97 @@
+"""Tests for the named LP model builder and the scipy backend."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import LPError
+from repro.lp import LPModel
+
+F = Fraction
+
+
+def _sample_model():
+    model = LPModel()
+    model.add_variable("x", objective=2)
+    model.add_variable("y", objective=3)
+    model.add_le_constraint("c1", {"x": 3, "y": 1}, F(9))
+    model.add_le_constraint("c2", {"x": 1, "y": 2}, F(8))
+    model.add_le_constraint("c3", {"x": 1, "y": 1}, F(5))
+    return model
+
+
+class TestModelConstruction:
+    def test_duplicate_variable_rejected(self):
+        model = LPModel()
+        model.add_variable("x")
+        with pytest.raises(LPError):
+            model.add_variable("x")
+
+    def test_duplicate_constraint_rejected(self):
+        model = LPModel()
+        model.add_variable("x")
+        model.add_le_constraint("c", {"x": 1}, 1)
+        with pytest.raises(LPError):
+            model.add_le_constraint("c", {"x": 1}, 2)
+
+    def test_unknown_variable_rejected(self):
+        model = LPModel()
+        with pytest.raises(LPError):
+            model.add_le_constraint("c", {"nope": 1}, 1)
+
+    def test_counts(self):
+        model = _sample_model()
+        assert model.num_variables == 2
+        assert model.num_constraints == 3
+
+    def test_set_objective_overwrites(self):
+        model = LPModel()
+        model.add_variable("x", objective=0)
+        model.add_le_constraint("c", {"x": 1}, 7)
+        model.set_objective("x", 1)
+        assert model.maximize().objective == 7
+
+
+class TestSolutions:
+    def test_named_values_and_duals(self):
+        solution = _sample_model().maximize()
+        assert solution.objective == 13
+        assert solution.values["x"] == 2
+        assert solution.values["y"] == 3
+        assert set(solution.duals) == {"c1", "c2", "c3"}
+
+    def test_nonzero_duals_filter(self):
+        solution = _sample_model().maximize()
+        nonzero = solution.nonzero_duals()
+        assert all(v > 0 for v in nonzero.values())
+        total = sum(
+            solution.duals[name] * rhs
+            for name, rhs in [("c1", F(9)), ("c2", F(8)), ("c3", F(5))]
+        )
+        assert total == solution.objective
+
+    def test_check_feasible(self):
+        model = _sample_model()
+        assert model.check_feasible({"x": F(1), "y": F(1)})
+        assert not model.check_feasible({"x": F(10), "y": F(10)})
+
+
+class TestScipyBackend:
+    def test_matches_exact_backend(self):
+        model = _sample_model()
+        exact = model.maximize(backend="exact")
+        approx = model.maximize(backend="scipy")
+        assert approx.objective == exact.objective
+        assert approx.values == exact.values
+
+    def test_scipy_duals_match(self):
+        model = _sample_model()
+        exact = model.maximize(backend="exact")
+        approx = model.maximize(backend="scipy")
+        dual_value_exact = sum(exact.duals.values())
+        dual_value_scipy = sum(approx.duals.values())
+        assert dual_value_exact == dual_value_scipy
+
+    def test_unknown_backend(self):
+        with pytest.raises(LPError):
+            _sample_model().maximize(backend="magic")

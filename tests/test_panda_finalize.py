@@ -1,0 +1,179 @@
+"""Tests for PANDA's sequence-exhaustion finalization and failure injection.
+
+The proof sequence can end with ``δ_{B|∅} >= λ_B`` supported by a guard whose
+schema strictly contains the target ``B`` (a decomposition step installed the
+support without materializing the projection).  ``_PandaEngine._finalize``
+must then emit ``Π_B(guard)`` — within budget by invariant 4 — instead of
+failing.  The 5-cycle da-subw plan is the regression case that exposed this.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, cardinality
+from repro.core.panda import _Branch, _PandaEngine, panda
+from repro.core.query_plans import dasubw_plan
+from repro.datalog import parse_rule
+from repro.decompositions import tree_decompositions
+from repro.exceptions import PandaError
+from repro.instances import cycle_query, random_database
+from repro.relational import Database, Relation
+
+f = frozenset
+
+
+def five_cycle_db(seed, size=24, domain=8):
+    schema = [
+        (f"R{i + 1}{(i + 1) % 5 + 1}", (f"A{i + 1}", f"A{(i + 1) % 5 + 1}"))
+        for i in range(5)
+    ]
+    return random_database(schema, size=size, domain=domain, seed=seed)
+
+
+class TestFiveCycleFinalization:
+    """The regression family: da-subw plans over 5-cycles end proof
+    sequences on supports with super-target schemas."""
+
+    @pytest.mark.parametrize("seed", [42, 7, 101])
+    def test_dasubw_plan_matches_oracle(self, seed):
+        db = five_cycle_db(seed)
+        q = cycle_query(5, boolean=True)
+        oracle = len(q.evaluate_naive(db)) > 0
+        tds = tree_decompositions(q.hypergraph())[:2]
+        result = dasubw_plan(q, db, decompositions=tds)
+        assert result.boolean == oracle
+
+    @pytest.mark.parametrize("seed", [3, 13])
+    def test_dasubw_plan_full_decomposition_set(self, seed):
+        db = five_cycle_db(seed, size=12, domain=5)
+        q = cycle_query(5, boolean=True)
+        oracle = len(q.evaluate_naive(db)) > 0
+        tds = tree_decompositions(q.hypergraph())[:3]
+        result = dasubw_plan(q, db, decompositions=tds)
+        assert result.boolean == oracle
+
+
+class TestFinalizeUnit:
+    """Direct unit tests of the exhaustion handler."""
+
+    def _engine(self, targets, budget=Fraction(10)):
+        return _PandaEngine(("A", "B"), tuple(targets), budget)
+
+    def test_finalize_projects_supporting_guard(self):
+        from repro.core.panda import Support
+
+        target = f(("A",))
+        guard = Relation("G", ("A", "B"), [(1, 2), (1, 3), (4, 5)])
+        engine = self._engine([target])
+        branch = _Branch(
+            relations=[guard],
+            delta={(f(), target): Fraction(1)},
+            lam={target: Fraction(1)},
+            supports={(f(), target): Support(f(), target, 2, guard)},
+            steps=[],
+            depth=0,
+        )
+        produced = engine.run(branch)
+        assert target in produced
+        assert produced[target].attributes == target
+        assert set(produced[target]) == {(1,), (4,)}
+
+    def test_finalize_without_coverage_raises(self):
+        target = f(("A",))
+        engine = self._engine([target])
+        branch = _Branch(
+            relations=[Relation("G", ("B",), [(1,)])],
+            delta={},
+            lam={target: Fraction(1)},
+            supports={},
+            steps=[],
+            depth=0,
+        )
+        with pytest.raises(PandaError):
+            engine.run(branch)
+
+    def test_finalize_requires_delta_to_cover_lambda(self):
+        from repro.core.panda import Support
+
+        target = f(("A",))
+        guard = Relation("G", ("A",), [(1,)])
+        engine = self._engine([target])
+        branch = _Branch(
+            relations=[Relation("H", ("B",), [(9,)])],
+            delta={(f(), target): Fraction(1, 2)},
+            lam={target: Fraction(1)},
+            supports={(f(), target): Support(f(), target, 1, guard)},
+            steps=[],
+            depth=0,
+        )
+        with pytest.raises(PandaError):
+            engine.run(branch)
+
+
+class TestFailureInjection:
+    """PANDA must reject corrupted inputs loudly, not silently mis-answer."""
+
+    RULE_TEXT = "T(A1,A2,A3) | T2(A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4)"
+
+    def _db(self, seed=0, n=16):
+        schema = [
+            ("R12", ("A1", "A2")),
+            ("R23", ("A2", "A3")),
+            ("R34", ("A3", "A4")),
+        ]
+        return random_database(schema, size=n, domain=6, seed=seed)
+
+    def test_missing_relation_raises(self):
+        rule = parse_rule(self.RULE_TEXT)
+        db = Database([Relation.from_pairs("R12", "A1", "A2", [(1, 2)])])
+        with pytest.raises(Exception):
+            panda(rule, db)
+
+    def test_constraints_without_guards_raise(self):
+        """A constraint on {A1,A3} has no guarding relation in the path DB."""
+        rule = parse_rule(self.RULE_TEXT)
+        db = self._db()
+        unguarded = db.extract_cardinalities().with_constraints(
+            [cardinality(("A1", "A3"), 2)]
+        )
+        with pytest.raises(PandaError):
+            panda(rule, db, constraints=unguarded)
+
+    def test_result_is_always_a_model_across_seeds(self):
+        rule = parse_rule(self.RULE_TEXT)
+        for seed in range(8):
+            db = self._db(seed=seed, n=20)
+            result = panda(rule, db)
+            assert rule.is_model(result.model, db)
+            assert result.stats.max_intermediate <= result.budget + 1e-9
+
+    def test_invariant_violation_detected(self):
+        """A branch with an unsupported positive δ fails invariant 1."""
+        target = f(("A",))
+        engine = _PandaEngine(("A", "B"), (target,), Fraction(4))
+        branch = _Branch(
+            relations=[],
+            delta={(f(), f(("B",))): Fraction(1)},  # positive, unsupported
+            lam={target: Fraction(1)},
+            supports={},
+            steps=[],
+            depth=0,
+        )
+        with pytest.raises(PandaError):
+            engine.run(branch)
+
+    def test_lambda_norm_invariant(self):
+        """‖λ‖₁ must stay in (0, 1] (invariant 2)."""
+        target = f(("A",))
+        engine = _PandaEngine(("A",), (target,), Fraction(4))
+        branch = _Branch(
+            relations=[],
+            delta={},
+            lam={target: Fraction(3)},  # > 1
+            supports={},
+            steps=[],
+            depth=0,
+        )
+        with pytest.raises(PandaError):
+            engine.run(branch)

@@ -1,0 +1,198 @@
+"""Hypothesis property-based tests on core data structures and invariants."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.setfunctions import SetFunction
+from repro.flows import FlowInequality
+from repro.relational import (
+    Relation,
+    generic_join,
+    heavy_light_partition,
+    natural_join,
+    project,
+    semijoin,
+    union,
+)
+
+F = Fraction
+
+# -- strategies ---------------------------------------------------------------------
+
+VARS3 = ("A", "B", "C")
+VARS4 = ("A", "B", "C", "D")
+
+
+@st.composite
+def coverage_functions(draw, universe=VARS4, ground=6):
+    """Random coverage polymatroids (see conftest for the classical argument)."""
+    weights = [draw(st.integers(min_value=0, max_value=8)) for _ in range(ground)]
+    mapping = {}
+    for v in universe:
+        subset = draw(
+            st.sets(st.integers(min_value=0, max_value=ground - 1), min_size=1)
+        )
+        mapping[v] = subset
+
+    def h(s):
+        covered = set()
+        for v in s:
+            covered |= mapping[v]
+        return F(sum(weights[g] for g in covered))
+
+    return SetFunction.from_callable(universe, h)
+
+
+@st.composite
+def binary_relations(draw, a="A", b="B", max_rows=25, domain=6):
+    rows = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=domain - 1),
+                st.integers(min_value=0, max_value=domain - 1),
+            ),
+            max_size=max_rows,
+        )
+    )
+    return Relation(f"R_{a}{b}", (a, b), rows)
+
+
+# -- set-function properties ---------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(coverage_functions())
+def test_coverage_functions_are_polymatroids(h):
+    assert h.is_polymatroid()
+    assert h.is_subadditive()
+
+
+@settings(max_examples=40, deadline=None)
+@given(coverage_functions(universe=VARS3))
+def test_submodularity_closed_under_sum_and_scaling(h):
+    assert (h + h).is_submodular()
+    assert h.scaled(F(3, 2)).is_polymatroid()
+
+
+@settings(max_examples=30, deadline=None)
+@given(coverage_functions())
+def test_shearer_style_flow_inequality_on_polymatroids(h):
+    """The Example 1.6 Shannon-flow inequality holds on every polymatroid."""
+    f = frozenset
+    ineq = FlowInequality(
+        VARS4,
+        {f(("A", "B", "C")): F(1, 2), f(("B", "C", "D")): F(1, 2)},
+        {
+            (f(), f(("A", "B"))): F(1, 2),
+            (f(), f(("B", "C"))): F(1, 2),
+            (f(), f(("C", "D"))): F(1, 2),
+        },
+    )
+    assert ineq.holds_on(h)
+
+
+@settings(max_examples=30, deadline=None)
+@given(coverage_functions(universe=VARS3))
+def test_entropy_triangle_flow(h):
+    """h(ABC) <= 1/2 (h(AB) + h(BC) + h(AC)) — Shearer on the triangle."""
+    f = frozenset
+    ineq = FlowInequality(
+        VARS3,
+        {f(VARS3): F(1)},
+        {
+            (f(), f(("A", "B"))): F(1, 2),
+            (f(), f(("B", "C"))): F(1, 2),
+            (f(), f(("A", "C"))): F(1, 2),
+        },
+    )
+    assert ineq.holds_on(h)
+
+
+# -- relational algebra properties ----------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_relations("A", "B"), binary_relations("B", "C"))
+def test_join_commutative_on_content(r, s):
+    assert natural_join(r, s) == natural_join(s, r)
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_relations("A", "B"), binary_relations("B", "C"))
+def test_generic_join_matches_hash_join(r, s):
+    if r.is_empty() or s.is_empty():
+        assert len(natural_join(r, s)) == 0 or not (r.is_empty() or s.is_empty())
+        return
+    assert generic_join([r, s]) == natural_join(r, s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    binary_relations("A", "B"),
+    binary_relations("B", "C"),
+    binary_relations("A", "C"),
+)
+def test_triangle_generic_join_agm_bound(r, s, t):
+    """|R ⋈ S ⋈ T| <= sqrt(|R||S||T|) (the AGM bound, instance-level)."""
+    if r.is_empty() or s.is_empty() or t.is_empty():
+        return
+    out = generic_join([r, s, t])
+    agm = math.sqrt(len(r) * len(s) * len(t))
+    assert len(out) <= agm + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_relations("A", "B"))
+def test_projection_size_never_grows(r):
+    assert len(project(r, ("A",))) <= len(r)
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_relations("A", "B"), binary_relations("B", "C"))
+def test_semijoin_subset_of_left(r, s):
+    reduced = semijoin(r, s)
+    assert set(reduced.tuples) <= set(r.tuples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_relations("A", "B"), binary_relations("A", "B"))
+def test_union_is_superset(r, s):
+    u = union(r, s)
+    assert len(u) >= max(len(r), len(s))
+    assert len(u) <= len(r) + len(s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(binary_relations("A", "B"))
+def test_partition_is_exact_cover_with_product_bound(r):
+    if r.is_empty():
+        return
+    pieces = heavy_light_partition(r, ("A",))
+    combined = []
+    for piece in pieces:
+        combined.extend(piece.relation.tuples)
+        assert piece.x_count * piece.y_degree <= len(r)
+    assert len(combined) == len(r)
+    assert set(combined) == set(r.tuples)
+
+
+# -- uniform entropy properties -------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(binary_relations("A", "B"))
+def test_uniform_entropy_is_near_polymatroid(r):
+    """Empirical entropies satisfy monotonicity/submodularity up to rounding."""
+    if r.is_empty():
+        return
+    from repro.entropy import uniform_entropy
+
+    h = uniform_entropy(r)
+    # Entropies here have tiny universes; exact checks hold because the
+    # rational approximation error is far below the entropy gaps involved.
+    assert h.is_nonnegative()
+    assert h(("A", "B")) >= h(("A",)) - F(1, 10**6)
+    assert h(("A",)) + h(("B",)) >= h(("A", "B")) - F(1, 10**6)

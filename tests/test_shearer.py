@@ -1,0 +1,70 @@
+"""Tests for Shearer's lemma as a Shannon-flow inequality."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Hypergraph
+from repro.exceptions import WitnessError
+from repro.flows import construct_proof_sequence
+from repro.flows.shearer import find_witness, shearer_inequality
+from repro.instances import cycle_edges
+
+from conftest import coverage_polymatroid
+
+F = Fraction
+
+
+class TestShearerInequality:
+    def test_triangle_optimal_cover(self):
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C"), ("A", "C")])
+        ineq = shearer_inequality(h)
+        assert ineq.delta_norm == F(3, 2)  # AGM exponent rho* = 3/2
+
+    def test_cycle_optimal_cover(self):
+        h = Hypergraph.from_edges(cycle_edges(4))
+        ineq = shearer_inequality(h)
+        assert ineq.delta_norm == 2
+
+    def test_explicit_integral_cover(self):
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C"), ("C", "D")])
+        ineq = shearer_inequality(h, {0: F(1), 2: F(1)})
+        assert ineq.delta_norm == 2
+
+    def test_non_cover_rejected(self):
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C"), ("A", "C")])
+        with pytest.raises(WitnessError):
+            shearer_inequality(h, {0: F(1, 2)})
+
+    def test_holds_on_random_polymatroids(self, rng):
+        h = Hypergraph.from_edges(cycle_edges(4))
+        ineq = shearer_inequality(h)
+        for _ in range(30):
+            poly = coverage_polymatroid(h.vertices, rng)
+            assert ineq.holds_on(poly)
+
+
+class TestShearerProofSequences:
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [("A", "B"), ("B", "C"), ("A", "C")],
+            cycle_edges(4),
+            cycle_edges(5),
+            [("A", "B", "C"), ("C", "D"), ("A", "D")],
+        ],
+    )
+    def test_derivation_exists_and_verifies(self, edges):
+        h = Hypergraph.from_edges(edges)
+        ineq = shearer_inequality(h)
+        witness = find_witness(ineq)
+        sequence = construct_proof_sequence(ineq, witness)
+        sequence.verify(ineq)
+
+    def test_overweight_cover_also_valid(self):
+        # Covers with slack are still valid flow inequalities.
+        h = Hypergraph.from_edges([("A", "B"), ("B", "C")])
+        ineq = shearer_inequality(h, {0: F(1), 1: F(1)})
+        witness = find_witness(ineq)
+        sequence = construct_proof_sequence(ineq, witness)
+        sequence.verify(ineq)

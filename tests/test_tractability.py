@@ -1,0 +1,64 @@
+"""Tests for the Figure 4 islands-of-tractability classifier."""
+
+from fractions import Fraction
+
+from repro.core import Hypergraph
+from repro.instances import bipartite_cycle, cycle_edges
+from repro.widths import WidthProfile, family_growth, width_profile
+
+
+class TestWidthProfile:
+    def test_four_cycle_profile(self):
+        profile = width_profile(Hypergraph.from_edges(cycle_edges(4)))
+        assert profile.treewidth == 2
+        assert profile.fhtw == 2
+        assert profile.subw == Fraction(3, 2)
+        assert profile.hierarchy_holds()
+
+    def test_acyclic_path(self):
+        profile = width_profile(
+            Hypergraph.from_edges([("A", "B"), ("B", "C"), ("C", "D")])
+        )
+        assert profile.treewidth == 1
+        assert profile.evaluation_regime(Fraction(1)) == "acyclic"
+
+    def test_evaluation_regimes(self):
+        profile = width_profile(Hypergraph.from_edges(cycle_edges(4)))
+        assert profile.evaluation_regime(Fraction(3)) == "tree-decomposition"
+        assert profile.evaluation_regime(Fraction(2)) == "fractional"
+        assert profile.evaluation_regime(Fraction(3, 2)) == "adaptive"
+        assert profile.evaluation_regime(Fraction(1)) == "intractable"
+
+    def test_triangle_profile(self):
+        profile = width_profile(
+            Hypergraph.from_edges([("A", "B"), ("B", "C"), ("A", "C")])
+        )
+        assert profile.fhtw == Fraction(3, 2)
+        assert profile.subw == Fraction(3, 2)
+        assert profile.hierarchy_holds()
+
+
+class TestFamilyGrowth:
+    def test_cycles_have_flat_subw(self):
+        # n-cycles: subw stays below 2 for all n (bounded island).  The
+        # selector product explodes combinatorially at n >= 6 (14 TDs of 3
+        # bags), so the empirical trace stops at 5.
+        trace = family_growth(
+            lambda n: Hypergraph.from_edges(cycle_edges(n)),
+            parameters=(4, 5),
+            width="subw",
+            backend="exact",
+        )
+        values = [v for _, v in trace]
+        assert all(v < 2 for v in values)
+
+    def test_bipartite_cycles_have_growing_fhtw(self):
+        # Example 7.4: fhtw grows linearly in m — outside the fhtw island.
+        trace = family_growth(
+            lambda m: bipartite_cycle(2, m),
+            parameters=(1, 2),
+            width="fhtw",
+            backend="scipy",
+        )
+        assert trace[0][1] == 2
+        assert trace[1][1] == 4
