@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures/examples
+(see DESIGN.md §3 for the experiment index) and *asserts the shape* the paper
+reports — who wins, with what exponent, where the crossovers are — while
+pytest-benchmark records the timing of the core computation.
+
+These live outside ``conftest.py`` so benchmark modules can import them
+unambiguously (``from _bench_utils import ...``) no matter which directories
+pytest collected.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["loglog_slope", "print_table"]
+
+
+def loglog_slope(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of log(y) vs log(x): the empirical exponent."""
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    return num / den
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform table output for the paper-vs-measured reports."""
+    print(f"\n{title}")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))

@@ -12,7 +12,7 @@ from repro.decompositions import tree_decompositions
 from repro.instances import instance_a, instance_a_transposed
 from repro.relational import work_counter
 
-from conftest import loglog_slope, print_table
+from _bench_utils import loglog_slope, print_table
 
 QUERY = parse_query("Q() :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)")
 DECOMPOSITIONS = tree_decompositions(QUERY.hypergraph())

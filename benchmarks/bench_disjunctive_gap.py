@@ -15,7 +15,7 @@ from fractions import Fraction
 from repro.bounds import log_size_bound
 from repro.instances import lemma_4_5_constraints, lemma_4_5_rule
 
-from conftest import print_table
+from _bench_utils import print_table
 
 RULE = lemma_4_5_rule()
 CONSTRAINTS = lemma_4_5_constraints(2)  # logN = 1 units

@@ -16,7 +16,7 @@ from repro.core.panda import panda
 from repro.instances import GroupSystem, Subspace, model_size_lower_bound, path_rule
 from repro.relational import Database
 
-from conftest import print_table
+from _bench_utils import print_table
 
 RULE = path_rule()
 

@@ -24,7 +24,7 @@ from repro.instances import (
     instance_c,
 )
 
-from conftest import print_table
+from _bench_utils import print_table
 
 N = 64
 D = 2

@@ -18,7 +18,7 @@ from repro.decompositions import tree_decompositions
 from repro.instances import bipartite_cycle
 from repro.widths import fractional_hypertree_width, submodular_width
 
-from conftest import print_table
+from _bench_utils import print_table
 
 K = 2
 

@@ -21,7 +21,7 @@ from repro.widths import (
     entropic_degree_aware_subw,
 )
 
-from conftest import print_table
+from _bench_utils import print_table
 
 EDGES = [("A1", "A2"), ("A2", "A3"), ("A3", "A4"), ("A1", "A4")]
 H = Hypergraph.from_edges(EDGES)

@@ -27,7 +27,7 @@ from repro.faq import (
 from repro.instances import random_database
 from repro.relational import Database, Relation
 
-from conftest import loglog_slope, print_table
+from _bench_utils import loglog_slope, print_table
 
 SEMIRINGS = (BOOLEAN, COUNTING, MIN_PLUS, MAX_PRODUCT)
 

@@ -35,7 +35,7 @@ from repro.widths import (
     treewidth,
 )
 
-from conftest import print_table
+from _bench_utils import print_table
 
 N = 16
 LOG_N = Fraction(4)

@@ -14,7 +14,7 @@ from repro.core.panda import panda
 from repro.instances import path_rule
 from repro.relational import Database, Relation, work_counter
 
-from conftest import loglog_slope, print_table
+from _bench_utils import loglog_slope, print_table
 
 RULE = path_rule()
 

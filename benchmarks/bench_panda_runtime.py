@@ -15,7 +15,7 @@ from repro.datalog import parse_rule
 from repro.instances import instance_b_fullsize, path_rule
 from repro.relational import Database, Relation
 
-from conftest import print_table
+from _bench_utils import print_table
 
 
 def _skew_db(n: int, pattern: str) -> Database:

@@ -24,7 +24,7 @@ from repro.flows import (
 from repro.flows.flow_network import construct_via_flow_network
 from repro.instances import cycle_edges, path_rule
 
-from conftest import print_table
+from _bench_utils import print_table
 
 N = 16
 

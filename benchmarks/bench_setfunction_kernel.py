@@ -1,0 +1,115 @@
+"""Kernel micro-benchmarks: mask-indexed SetFunction vs the frozenset seed.
+
+Times the three operations the bitmask kernel PR targets:
+
+* ``h(S)`` lookup           — O(1) list indexing vs frozenset hashing;
+* ``is_polymatroid``        — popcount loops vs powerset/frozenset loops;
+* 6-variable polymatroid-bound LP build — cached mask rows + int-keyed
+  variables vs regenerating frozenset-keyed elemental inequalities.
+
+``SEED_SECONDS`` records the same workloads measured on the pre-kernel seed
+(dict[frozenset] SetFunction, frozenset-keyed LP build) on the reference
+machine; the report prints the measured speedups next to them.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from fractions import Fraction
+
+from repro.bounds.polymatroid import PolymatroidProgram, edge_dominated_constraints
+from repro.core.hypergraph import Hypergraph
+from repro.core.setfunctions import SetFunction
+
+from _bench_utils import print_table
+
+UNIVERSE = tuple("ABCDEF")
+SIX_CYCLE = Hypergraph.from_edges(
+    [("A", "B"), ("B", "C"), ("C", "D"), ("D", "E"), ("E", "F"), ("F", "A")]
+)
+
+#: Reference-machine seed timings (dict[frozenset] kernel, PR-0 tree):
+#: 100k random lookups / 20 is_polymatroid calls / 5 LP builds.
+SEED_SECONDS = {
+    "mask lookup 100k": 0.0519,
+    "is_polymatroid x20": 0.0514,
+    "lp build x5": 0.0413,
+}
+
+
+def _lookup_setup():
+    h = SetFunction.uniform(UNIVERSE, Fraction(1, 2))
+    rng = random.Random(7)
+    masks = [rng.randrange(h.varmap.size) for _ in range(100_000)]
+    return h, masks
+
+
+def _mask_lookup_workload(h=None, masks=None):
+    if h is None:
+        h, masks = _lookup_setup()
+    for m in masks:
+        h[m]
+    return h
+
+
+def _polymatroid_workload():
+    h = SetFunction.uniform(UNIVERSE, Fraction(1, 2))
+    assert all(h.is_polymatroid() for _ in range(20))
+    return h
+
+
+def _lp_build_workload():
+    cons = edge_dominated_constraints(SIX_CYCLE)
+    model = None
+    for _ in range(5):
+        program = PolymatroidProgram(UNIVERSE, cons)
+        model = program._build([program.varmap.full_mask])
+    return model
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_lookup_speed(benchmark):
+    h, masks = _lookup_setup()
+    benchmark(_mask_lookup_workload, h, masks)
+
+
+def test_is_polymatroid_speed(benchmark):
+    h = benchmark(_polymatroid_workload)
+    assert h.is_polymatroid()
+
+
+def test_lp_build_speed(benchmark):
+    model = benchmark(_lp_build_workload)
+    # 63 subset variables; 6 ED rows + 246 elemental rows.
+    assert model.num_variables == 63
+    assert model.num_constraints == 252
+
+
+def test_seed_comparison_report():
+    """One-shot seed-vs-kernel table (the numbers quoted in the PR)."""
+    h, masks = _lookup_setup()
+    measured = {
+        "mask lookup 100k": _timed(lambda: _mask_lookup_workload(h, masks)),
+        "is_polymatroid x20": _timed(_polymatroid_workload),
+        "lp build x5": _timed(_lp_build_workload),
+    }
+    rows = [
+        [
+            name,
+            f"{SEED_SECONDS[name] * 1000:.1f}",
+            f"{seconds * 1000:.1f}",
+            f"{SEED_SECONDS[name] / seconds:.1f}x",
+        ]
+        for name, seconds in measured.items()
+    ]
+    print_table(
+        "SetFunction kernel: seed (frozenset) vs mask kernel",
+        ["workload", "seed ms", "kernel ms", "speedup"],
+        rows,
+    )

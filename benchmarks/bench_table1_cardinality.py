@@ -12,7 +12,7 @@ from repro.core.constraints import ConstraintSet
 from repro.instances import agm_tight_triangle, instance_a, triangle_query
 from repro.datalog import parse_query
 
-from conftest import print_table
+from _bench_utils import print_table
 
 N = 64
 

@@ -17,7 +17,7 @@ from repro.core.setfunctions import SetFunction
 from repro.entropy import violates_zhang_yeung
 from repro.instances import zhang_yeung_query
 
-from conftest import print_table
+from _bench_utils import print_table
 
 
 def _gap():

@@ -11,7 +11,7 @@ from repro.core import Hypergraph
 from repro.decompositions import selector_images, tree_decompositions
 from repro.instances import cycle_edges
 
-from conftest import print_table
+from _bench_utils import print_table
 
 CATALAN = {3: 1, 4: 2, 5: 5, 6: 14, 7: 42}
 

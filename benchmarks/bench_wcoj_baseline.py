@@ -14,7 +14,7 @@ from repro.relational import (
     work_counter,
 )
 
-from conftest import loglog_slope, print_table
+from _bench_utils import loglog_slope, print_table
 
 QUERY = triangle_query()
 

@@ -15,8 +15,7 @@ is allowed to be exponential, Prop. 3.2's discussion).
 from __future__ import annotations
 
 from fractions import Fraction
-from itertools import product
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.core.constraints import log2_fraction
 from repro.core.hypergraph import Hypergraph
@@ -63,13 +62,14 @@ def fractional_edge_cover(
     logs = _edge_log_sizes(hypergraph, sizes)
     # Minimize via max of the negation: max -sum λ_F n_F s.t. -sum_{F∋v} λ_F <= -1.
     model = LPModel()
-    for idx in range(len(hypergraph.edges)):
+    edge_masks = hypergraph.edge_masks()
+    for idx in range(len(edge_masks)):
         model.add_variable(("λ", idx), objective=-logs[idx])
-    for v in hypergraph.vertices:
+    for bit, v in enumerate(hypergraph.vertices):
         coeffs = {
             ("λ", idx): -1
-            for idx, edge in enumerate(hypergraph.edges)
-            if v in edge
+            for idx, edge_mask in enumerate(edge_masks)
+            if edge_mask >> bit & 1
         }
         if not coeffs:
             raise QueryError(f"vertex {v!r} is covered by no edge")
@@ -96,22 +96,31 @@ def integral_edge_cover_log_bound(
 ) -> Fraction:
     """``ρ(Q, N)`` of Eq. (32): best integral edge cover, brute force.
 
-    Edge multiplicities beyond 1 never help an integral cover, so the search
-    is over subsets of distinct edges that cover all vertices.
+    Edge multiplicities beyond 1 never help an integral cover (all copies of
+    a hyperedge have the same size), so the search is over subsets of
+    *distinct* edge masks — enumerated with a one-step DP so each selector
+    costs one union and one addition instead of a full re-scan.
     """
-    logs = _edge_log_sizes(hypergraph, sizes)
-    edges = list(hypergraph.edges)
-    best: Fraction | None = None
-    vertex_set = hypergraph.vertex_set
-    for selector in product((0, 1), repeat=len(edges)):
-        covered: set = set()
-        total = Fraction(0)
-        for idx, chosen in enumerate(selector):
-            if chosen:
-                covered |= edges[idx]
-                total += logs[idx]
-        if frozenset(covered) >= vertex_set and (best is None or total < best):
-            best = total
+    all_logs = _edge_log_sizes(hypergraph, sizes)
+    seen: dict[int, Fraction] = {}
+    for idx, edge_mask in enumerate(hypergraph.edge_masks()):
+        if edge_mask not in seen:
+            seen[edge_mask] = all_logs[idx]
+    edge_masks = list(seen)
+    logs = list(seen.values())
+    full = hypergraph.varmap.full_mask
+    best: Fraction | None = Fraction(0) if full == 0 else None
+    k = len(edge_masks)
+    covered = [0] * (1 << k)
+    total: list[Fraction] = [Fraction(0)] * (1 << k)
+    for s in range(1, 1 << k):
+        low = s & -s
+        idx = low.bit_length() - 1
+        prev = s ^ low
+        covered[s] = covered[prev] | edge_masks[idx]
+        total[s] = total[prev] + logs[idx]
+        if covered[s] == full and (best is None or total[s] < best):
+            best = total[s]
     if best is None:
         raise LPError("hypergraph has no integral edge cover")
     return best

@@ -23,11 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.core.constraints import ConstraintSet, DegreeConstraint
-from repro.core.hypergraph import Hypergraph, powerset
-from repro.core.setfunctions import SetFunction, elemental_inequalities
+from repro.core.hypergraph import Hypergraph
+from repro.core.setfunctions import SetFunction, elemental_inequality_mask_rows
+from repro.core.varmap import VarMap
 from repro.exceptions import LPError
 from repro.lp import LPModel
 
@@ -104,6 +106,24 @@ def vertex_dominated_constraints(
     ]
 
 
+@lru_cache(maxsize=None)
+def _elemental_lp_rows(
+    n: int,
+) -> tuple[tuple[tuple, dict[int, Fraction], Fraction], ...]:
+    """The Γn class rows as ready-to-add LP constraints, cached per size.
+
+    Coefficient dicts carry shared Fraction instances, so repeated LP builds
+    over any ``n``-variable universe add rows without converting or hashing
+    anything per coefficient.
+    """
+    zero = Fraction(0)
+    rows = []
+    for kind, i_mask, j_mask, coeffs in elemental_inequality_mask_rows(n):
+        name = ("submod" if kind == "submodularity" else "mono", i_mask, j_mask)
+        rows.append((name, {m: Fraction(c) for m, c in coeffs}, zero))
+    return tuple(rows)
+
+
 @dataclass(frozen=True)
 class BoundResult:
     """The value and certificates of a ``LogSizeBound`` LP.
@@ -162,6 +182,7 @@ class PolymatroidProgram:
                 f"unknown function class {function_class!r}; pick from {FUNCTION_CLASSES}"
             )
         self.universe = tuple(universe)
+        self.varmap = VarMap.of(self.universe)
         self.function_class = function_class
         self.log_constraints = list(log_constraints)
         full = frozenset(self.universe)
@@ -172,15 +193,20 @@ class PolymatroidProgram:
                 )
 
     # -- model construction -----------------------------------------------------------
+    #
+    # LP variables are subset *masks* (ints), one per non-empty subset in
+    # canonical size-lexicographic order; constraint names carry masks too.
+    # The frozenset-facing results are reassembled in :meth:`maximize`.
 
-    def _build(self, targets: Sequence[frozenset]) -> LPModel:
+    def _build(self, targets: Sequence[int]) -> LPModel:
+        vm = self.varmap
         model = LPModel()
-        subsets = [s for s in powerset(self.universe) if s]
         maximin = len(targets) > 1
         if maximin:
             model.add_variable("w", objective=1)
-        for subset in subsets:
-            model.add_variable(subset, objective=0)
+        for mask in vm.subset_masks():
+            if mask:
+                model.add_variable(mask, objective=0)
         if maximin:
             for target in targets:
                 model.add_le_constraint(
@@ -191,28 +217,26 @@ class PolymatroidProgram:
 
         self._add_class_rows(model)
 
+        one = Fraction(1)
         for constraint in self.log_constraints:
-            coeffs: dict = {constraint.y: Fraction(1)}
-            if constraint.x:
-                coeffs[constraint.x] = Fraction(-1)
+            y_mask = vm.mask_of(constraint.y)
+            x_mask = vm.mask_of(constraint.x)
+            coeffs: dict = {y_mask: one}
+            if x_mask:
+                coeffs[x_mask] = -one
             model.add_le_constraint(
-                ("dc", constraint.x, constraint.y), coeffs, constraint.log_bound
+                ("dc", x_mask, y_mask), coeffs, constraint.log_bound
             )
         return model
 
     def _add_class_rows(self, model: LPModel) -> None:
         if self.function_class in ("polymatroid", "polymatroid+zy"):
-            for ineq in elemental_inequalities(self.universe):
-                name = (
-                    "submod" if ineq.kind == "submodularity" else "mono",
-                    ineq.i,
-                    ineq.j,
-                )
-                model.add_le_constraint(name, ineq.as_dict(), 0)
+            for name, coeffs, rhs in _elemental_lp_rows(self.varmap.n):
+                model.add_le_constraint(name, coeffs, rhs)
             if self.function_class == "polymatroid+zy":
-                from repro.entropy.nonshannon import zhang_yeung_rows
+                from repro.entropy.nonshannon import zhang_yeung_mask_rows
 
-                for tup, coeffs in zhang_yeung_rows(self.universe):
+                for tup, coeffs in zhang_yeung_mask_rows(self.varmap):
                     model.add_le_constraint(("zy", tup), coeffs, 0)
         elif self.function_class == "subadditive":
             self._add_subadditive_rows(model)
@@ -221,36 +245,39 @@ class PolymatroidProgram:
 
     def _add_subadditive_rows(self, model: LPModel) -> None:
         """Monotonicity (single-element steps) + subadditivity (disjoint pairs)."""
-        subsets = [s for s in powerset(self.universe) if s]
-        for subset in subsets:
-            for v in self.universe:
-                if v in subset:
-                    continue
-                bigger = subset | {v}
+        vm = self.varmap
+        masks = [m for m in vm.subset_masks() if m]
+        order = {m: i for i, m in enumerate(masks)}
+        for mask in masks:
+            rest = vm.full_mask & ~mask
+            while rest:
+                bit = rest & -rest
+                rest ^= bit
                 model.add_le_constraint(
-                    ("mono", subset, bigger), {subset: 1, bigger: -1}, 0
+                    ("mono", mask, mask | bit), {mask: 1, mask | bit: -1}, 0
                 )
-        for x in subsets:
-            for y in subsets:
-                if x & y or tuple(sorted(x)) > tuple(sorted(y)):
+        for x in masks:
+            for y in masks:
+                if x & y or order[x] > order[y]:
                     continue
-                union = x | y
                 model.add_le_constraint(
-                    ("subadd", x, y), {union: 1, x: -1, y: -1}, 0
+                    ("subadd", x, y), {x | y: 1, x: -1, y: -1}, 0
                 )
 
     def _add_modular_rows(self, model: LPModel) -> None:
         """``h(S) = sum_v h({v})`` via paired inequalities."""
-        for subset in powerset(self.universe):
-            if len(subset) < 2:
+        minus_one = Fraction(-1)
+        one = Fraction(1)
+        for mask in self.varmap.subset_masks():
+            if mask.bit_count() < 2:
                 continue
-            singles = {frozenset((v,)): Fraction(-1) for v in subset}
+            singles = {bit: minus_one for bit in self.varmap.bits(mask)}
             model.add_le_constraint(
-                ("modular+", subset), {subset: Fraction(1), **singles}, 0
+                ("modular+", mask), {mask: one, **singles}, 0
             )
-            singles_pos = {frozenset((v,)): Fraction(1) for v in subset}
+            singles_pos = {bit: one for bit in self.varmap.bits(mask)}
             model.add_le_constraint(
-                ("modular-", subset), {subset: Fraction(-1), **singles_pos}, 0
+                ("modular-", mask), {mask: minus_one, **singles_pos}, 0
             )
 
     # -- solving ------------------------------------------------------------------------
@@ -266,17 +293,20 @@ class PolymatroidProgram:
             targets: one target set or a sequence of target sets.
             backend: ``"exact"`` or ``"scipy"``.
         """
+        vm = self.varmap
         if isinstance(targets, frozenset):
             target_list: list[frozenset] = [targets]
         else:
             target_list = [frozenset(t) for t in targets]
         if not target_list:
             raise LPError("at least one target required")
-        model = self._build(target_list)
+        model = self._build([vm.mask_of(t) for t in target_list])
         solution = model.maximize(backend=backend)
 
         h_values = {
-            s: v for s, v in solution.values.items() if isinstance(s, frozenset)
+            vm.set_of(s): v
+            for s, v in solution.values.items()
+            if isinstance(s, int)
         }
         h_values[frozenset()] = Fraction(0)
 
@@ -290,13 +320,13 @@ class PolymatroidProgram:
         for name, value in solution.duals.items():
             kind = name[0]
             if kind == "dc":
-                delta[(name[1], name[2])] = value
+                delta[(vm.set_of(name[1]), vm.set_of(name[2]))] = value
             elif kind == "submod":
-                sigma[(name[1], name[2])] = value
+                sigma[(vm.set_of(name[1]), vm.set_of(name[2]))] = value
             elif kind == "mono":
-                mu[(name[1], name[2])] = value
+                mu[(vm.set_of(name[1]), vm.set_of(name[2]))] = value
             elif kind == "target":
-                lambda_weights[name[1]] = value
+                lambda_weights[vm.set_of(name[1])] = value
         if len(target_list) == 1:
             lambda_weights = {target_list[0]: Fraction(1)}
         return BoundResult(

@@ -8,15 +8,22 @@ from repro.core.constraints import (
     log2_fraction,
 )
 from repro.core.hypergraph import Hypergraph, powerset
-from repro.core.setfunctions import SetFunction, elemental_inequalities
+from repro.core.setfunctions import (
+    SetFunction,
+    elemental_inequalities,
+    elemental_inequality_mask_rows,
+)
+from repro.core.varmap import VarMap
 
 __all__ = [
     "ConstraintSet",
     "DegreeConstraint",
     "Hypergraph",
     "SetFunction",
+    "VarMap",
     "cardinality",
     "elemental_inequalities",
+    "elemental_inequality_mask_rows",
     "functional_dependency",
     "log2_fraction",
     "powerset",

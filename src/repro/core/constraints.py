@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 from repro.exceptions import ConstraintError
@@ -40,8 +41,12 @@ __all__ = [
 _LOG_DENOMINATOR_LIMIT = 10**9
 
 
+@lru_cache(maxsize=4096)
 def log2_fraction(n: int) -> Fraction:
     """Return ``log2(n)`` as a Fraction (exact when ``n`` is a power of two).
+
+    Cached: PANDA's budget checks evaluate the same guard bounds thousands of
+    times per run, and ``limit_denominator`` is not cheap.
 
     Raises:
         ConstraintError: if ``n < 1``.

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from itertools import chain, combinations
 from typing import Iterable, Iterator
 
+from repro.core.varmap import VarMap
 from repro.exceptions import QueryError
 
 __all__ = ["Hypergraph", "VarSet", "powerset", "nonempty_subsets"]
@@ -78,6 +79,26 @@ class Hypergraph:
     def vertex_set(self) -> frozenset:
         return frozenset(self.vertices)
 
+    # -- mask helpers (the bitmask set-function kernel) ---------------------------
+
+    @property
+    def varmap(self) -> VarMap:
+        """The interned vertex-name ↔ bit-position map for this vertex order."""
+        return VarMap.of(self.vertices)
+
+    def mask_of(self, subset: Iterable[str]) -> int:
+        """The bit mask of a vertex subset (see :class:`~repro.core.varmap.VarMap`)."""
+        return self.varmap.mask_of(subset)
+
+    def set_of(self, mask: int) -> frozenset:
+        """The vertex subset of a bit mask."""
+        return self.varmap.set_of(mask)
+
+    def edge_masks(self) -> tuple[int, ...]:
+        """The edges as bit masks, in atom order."""
+        vm = self.varmap
+        return tuple(vm.mask_of(edge) for edge in self.edges)
+
     def edge_multiset(self) -> dict[frozenset, int]:
         """Edge multiplicities (a hyperedge may support several atoms)."""
         counts: dict[frozenset, int] = {}
@@ -136,6 +157,17 @@ class Hypergraph:
     def covers(self, subset: frozenset) -> bool:
         """True if some edge contains ``subset``."""
         return any(subset <= edge for edge in self.edges)
+
+    def restrict_mask(self, mask: int) -> "Hypergraph":
+        """Mask-native :meth:`restrict`: ``H_B`` for ``B`` given as a bit mask."""
+        vm = self.varmap
+        order = tuple(v for i, v in enumerate(self.vertices) if mask >> i & 1)
+        restricted = tuple(
+            vm.set_of(edge_mask & mask)
+            for edge_mask in self.edge_masks()
+            if edge_mask & mask
+        )
+        return Hypergraph(order, restricted)
 
     def __str__(self) -> str:
         edges = ", ".join("{" + ",".join(sorted(e)) + "}" for e in self.edges)

@@ -48,6 +48,7 @@ from fractions import Fraction
 
 from repro.bounds.polymatroid import BoundResult, log_size_bound
 from repro.core.constraints import ConstraintSet, log2_fraction
+from repro.core.varmap import VarMap
 from repro.datalog.rule import DisjunctiveRule, TargetModel
 from repro.exceptions import PandaError
 from repro.flows.inequality import FlowInequality, Witness, flow_from_bound
@@ -173,8 +174,22 @@ class _PandaEngine:
         self.stats = PandaStats()
         #: slack absorbing log2 rationalization of non-power-of-two bounds.
         self.budget_slack = Fraction(1, 1_000_000)
+        #: the mask kernel's interning map: every subset frozenset used as a
+        #: δ/support dict key is canonicalized through it, so equal keys are
+        #: the *same* object (cached hash, identity-fast comparisons).
+        self.varmap = VarMap.of(universe)
 
     # -- helpers ----------------------------------------------------------------------
+
+    def _intern(self, subset: frozenset) -> frozenset:
+        vm = self.varmap
+        return vm.set_of(vm.mask_of(subset))
+
+    def intern_step(self, step: ProofStep) -> ProofStep:
+        """Re-key a proof step's set parameters through the interning map."""
+        return ProofStep(
+            step.kind, self._intern(step.first), self._intern(step.second)
+        )
 
     def _unconditioned_table(self, support: Support) -> Relation:
         """The guard restricted to exactly ``W`` attributes (for X = ∅ pairs)."""
@@ -470,7 +485,7 @@ class _PandaEngine:
             truncated_ineq, truncated_witness, witness_log=witness_log
         )
         steps = [
-            (ws.weight, ws.step, snap)
+            (ws.weight, self.intern_step(ws.step), snap)
             for ws, snap in zip(sequence, witness_log)
         ]
         supports = {
@@ -572,7 +587,6 @@ def panda(
 
     witness_log: list[Witness] = []
     sequence = construct_proof_sequence(ineq, witness, witness_log=witness_log)
-    steps = [(ws.weight, ws.step, snap) for ws, snap in zip(sequence, witness_log)]
 
     engine = _PandaEngine(
         universe,
@@ -580,6 +594,10 @@ def panda(
         budget_log=bound.log_value,
         check_invariants=check_invariants,
     )
+    steps = [
+        (ws.weight, engine.intern_step(ws.step), snap)
+        for ws, snap in zip(sequence, witness_log)
+    ]
     base_relations = [atom.bind(database) for atom in rule.body]
     root = _Branch(
         relations=base_relations,

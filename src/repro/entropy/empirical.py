@@ -22,6 +22,7 @@ from fractions import Fraction
 from typing import Mapping
 
 from repro.core.setfunctions import SetFunction
+from repro.core.varmap import VarMap
 from repro.relational.relation import Relation
 
 __all__ = ["uniform_entropy", "distribution_entropy"]
@@ -69,15 +70,16 @@ def distribution_entropy(
     if not math.isclose(total, 1.0, rel_tol=1e-9):
         raise ValueError(f"weights sum to {total}, expected 1")
 
-    def h(subset: frozenset) -> Fraction:
-        if not subset:
-            return Fraction(0)
-        attrs = tuple(sorted(subset))
-        positions = tuple(relation.position(a) for a in attrs)
+    vm = VarMap.of(tuple(relation.schema))
+    # Column positions per universe bit, so each mask projects rows directly.
+    positions = [relation.position(v) for v in vm.names]
+
+    def h(mask: int) -> Fraction:
+        cols = [positions[i] for i in range(vm.n) if mask >> i & 1]
         marginal: dict[tuple, float] = {}
         for row, weight in weights.items():
-            key = tuple(row[p] for p in positions)
+            key = tuple(row[p] for p in cols)
             marginal[key] = marginal.get(key, 0.0) + weight
         return _entropy_bits(list(marginal.values()))
 
-    return SetFunction.from_callable(relation.schema, h)
+    return SetFunction.from_mask_callable(relation.schema, h)

@@ -20,10 +20,13 @@ from itertools import permutations
 from typing import Iterable, Iterator
 
 from repro.core.setfunctions import SetFunction
+from repro.core.varmap import VarMap
 
 __all__ = [
     "zhang_yeung_coefficients",
+    "zhang_yeung_mask_coefficients",
     "zhang_yeung_rows",
+    "zhang_yeung_mask_rows",
     "violates_zhang_yeung",
 ]
 
@@ -53,6 +56,29 @@ def zhang_yeung_coefficients(
     }
 
 
+def zhang_yeung_mask_coefficients(
+    vm: VarMap, a: str, b: str, x: str, y: str
+) -> dict[int, int]:
+    """Mask-keyed LP row coefficients of the ZY inequality on ``(A,B,X,Y)``."""
+    am = 1 << vm.index[a]
+    bm = 1 << vm.index[b]
+    xm = 1 << vm.index[x]
+    ym = 1 << vm.index[y]
+    return {
+        am | bm: 1,
+        am | xm | ym: 4,
+        bm | xm | ym: 1,
+        xm | ym: -3,
+        am | xm: -3,
+        am | ym: -3,
+        bm | xm: -1,
+        bm | ym: -1,
+        am: 1,
+        xm: 2,
+        ym: 2,
+    }
+
+
 def zhang_yeung_rows(
     universe: Iterable[str],
 ) -> Iterator[tuple[tuple[str, str, str, str], dict[frozenset, int]]]:
@@ -68,14 +94,29 @@ def zhang_yeung_rows(
         yield (a, b, x, y), zhang_yeung_coefficients(a, b, x, y)
 
 
+def zhang_yeung_mask_rows(
+    vm: VarMap,
+) -> Iterator[tuple[tuple[str, str, str, str], dict[int, int]]]:
+    """All distinct ZY instantiations over ``vm``'s universe, mask-keyed.
+
+    Same enumeration order as :func:`zhang_yeung_rows`; used by the LP
+    builders so no frozenset is hashed per coefficient.
+    """
+    items = sorted(vm.names)
+    for a, b, x, y in permutations(items, 4):
+        if x > y:
+            continue
+        yield (a, b, x, y), zhang_yeung_mask_coefficients(vm, a, b, x, y)
+
+
 def violates_zhang_yeung(h: SetFunction) -> tuple[str, str, str, str] | None:
     """Return a witnessing 4-tuple if ``h`` violates some ZY instantiation.
 
     Polymatroids violating ZY (e.g. the Figure 5 function) are exactly the
     certificates that the polymatroid bound overshoots the entropic bound.
     """
-    for tup, coeffs in zhang_yeung_rows(h.universe):
-        total = sum(coef * h(subset) for subset, coef in coeffs.items())
+    for tup, coeffs in zhang_yeung_mask_rows(h.varmap):
+        total = sum(coef * h[mask] for mask, coef in coeffs.items())
         if total > 0:
             return tup
     return None

@@ -30,7 +30,13 @@ from repro.bounds.polymatroid import BoundResult, LogConstraint
 from repro.core.setfunctions import SetFunction
 from repro.exceptions import WitnessError
 
-__all__ = ["FlowInequality", "Witness", "flow_from_bound", "common_denominator"]
+__all__ = [
+    "FlowInequality",
+    "Witness",
+    "active_coordinates",
+    "flow_from_bound",
+    "common_denominator",
+]
 
 _ZERO = Fraction(0)
 
@@ -152,11 +158,12 @@ def inflow(
     return total
 
 
-def verify_witness(ineq: FlowInequality, witness: Witness) -> None:
-    """Raise :class:`WitnessError` unless ``inflow(Z) >= λ_Z`` for all Z.
+def active_coordinates(ineq: FlowInequality, witness: Witness) -> list[frozenset]:
+    """All non-empty ``Z`` that (λ, δ, σ, μ) can give non-zero inflow or λ.
 
-    Only coordinates appearing in (λ, δ, σ, μ) can have non-zero inflow or
-    λ, so the check enumerates those instead of all ``2^n``.
+    Returned in the canonical deterministic order (by size, then sorted
+    member tuple) so every consumer iterates coordinates identically across
+    runs and processes.
     """
     coordinates: set[frozenset] = set(ineq.lam)
     for (x, y) in ineq.delta:
@@ -166,7 +173,16 @@ def verify_witness(ineq: FlowInequality, witness: Witness) -> None:
     for (x, y) in witness.mu:
         coordinates |= {x, y}
     coordinates.discard(frozenset())
-    for z in coordinates:
+    return sorted(coordinates, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+def verify_witness(ineq: FlowInequality, witness: Witness) -> None:
+    """Raise :class:`WitnessError` unless ``inflow(Z) >= λ_Z`` for all Z.
+
+    Only coordinates appearing in (λ, δ, σ, μ) can have non-zero inflow or
+    λ, so the check enumerates those instead of all ``2^n``.
+    """
+    for z in active_coordinates(ineq, witness):
         flow = inflow(z, ineq.delta, witness.sigma, witness.mu)
         lam_z = ineq.lam.get(z, _ZERO)
         if flow < lam_z:
@@ -184,16 +200,8 @@ def tighten(ineq: FlowInequality, witness: Witness) -> Witness:
     """
     verify_witness(ineq, witness)
     result = witness.copy()
-    coordinates: set[frozenset] = set(ineq.lam)
-    for (x, y) in ineq.delta:
-        coordinates |= {x, y}
-    for (i, j) in witness.sigma:
-        coordinates |= {i, j, i & j, i | j}
-    for (x, y) in witness.mu:
-        coordinates |= {x, y}
-    coordinates.discard(frozenset())
     empty = frozenset()
-    for z in sorted(coordinates, key=lambda s: (len(s), tuple(sorted(s)))):
+    for z in active_coordinates(ineq, witness):
         surplus = inflow(z, ineq.delta, result.sigma, result.mu) - ineq.lam.get(z, _ZERO)
         if surplus > _ZERO:
             key = (empty, z)

@@ -28,11 +28,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterator
 
 from repro.core.setfunctions import SetFunction
 from repro.exceptions import ProofSequenceError, WitnessError
 from repro.flows.inequality import FlowInequality, Pair, Witness, inflow
+
+
+def _subset_key(s: frozenset) -> tuple:
+    """Canonical deterministic ordering key: by size, then sorted members."""
+    return (len(s), tuple(sorted(s)))
 
 __all__ = [
     "ProofStep",
@@ -92,22 +98,12 @@ class ProofStep:
             raise ProofSequenceError(f"unknown step kind {self.kind!r}")
 
     def vector(self) -> dict[Pair, int]:
-        """The step as a conditional-polymatroid vector (δ += weight · vector)."""
-        if self.kind == SUBMODULARITY:
-            i, j = self.first, self.second
-            return {(i & j, i): -1, (j, i | j): +1}
-        if self.kind == MONOTONICITY:
-            x, y = self.first, self.second
-            if not x:
-                # m_{∅,Y} simply drops the h(Y) term (h(∅) = 0).
-                return {(_EMPTY, y): -1}
-            return {(_EMPTY, y): -1, (_EMPTY, x): +1}
-        if self.kind == COMPOSITION:
-            x, y = self.first, self.second
-            return {(_EMPTY, x): -1, (x, y): -1, (_EMPTY, y): +1}
-        # DECOMPOSITION
-        y, x = self.first, self.second
-        return {(_EMPTY, y): -1, (_EMPTY, x): +1, (x, y): +1}
+        """The step as a conditional-polymatroid vector (δ += weight · vector).
+
+        The returned dict is cached per ``(kind, first, second)`` — treat it
+        as immutable (PANDA applies the same step across many branches).
+        """
+        return _step_vector(self.kind, self.first, self.second)
 
     def holds_on(self, h: SetFunction) -> bool:
         """``⟨step, h⟩ <= 0`` — true for every polymatroid (Eqs. 77–80)."""
@@ -125,6 +121,25 @@ class ProofStep:
             DECOMPOSITION: "d",
         }[self.kind]
         return f"{symbol}[{fmt(self.first)},{fmt(self.second)}]"
+
+
+@lru_cache(maxsize=1 << 16)
+def _step_vector(kind: str, first: frozenset, second: frozenset) -> dict[Pair, int]:
+    if kind == SUBMODULARITY:
+        i, j = first, second
+        return {(i & j, i): -1, (j, i | j): +1}
+    if kind == MONOTONICITY:
+        x, y = first, second
+        if not x:
+            # m_{∅,Y} simply drops the h(Y) term (h(∅) = 0).
+            return {(_EMPTY, y): -1}
+        return {(_EMPTY, y): -1, (_EMPTY, x): +1}
+    if kind == COMPOSITION:
+        x, y = first, second
+        return {(_EMPTY, x): -1, (x, y): -1, (_EMPTY, y): +1}
+    # DECOMPOSITION
+    y, x = first, second
+    return {(_EMPTY, y): -1, (_EMPTY, x): +1, (x, y): +1}
 
 
 @dataclass(frozen=True)
@@ -222,7 +237,7 @@ class _FlowState:
         """All Z with δ_{Z|∅} > 0, deterministically ordered."""
         return sorted(
             (y for (x, y), v in self.delta.items() if x == _EMPTY and v > _ZERO),
-            key=lambda s: (len(s), tuple(sorted(s))),
+            key=_subset_key,
         )
 
 
@@ -316,7 +331,7 @@ def _advance(
     # Case (c): rebalance through a negative contributor of inflow(Z).
     # (c1) monotonicity μ_{X,Z}.
     for (x, y), value in sorted(
-        state.mu.items(), key=lambda kv: (len(kv[0][0]), tuple(sorted(kv[0][0])))
+        state.mu.items(), key=lambda kv: _subset_key(kv[0][0])
     ):
         if y == z and value > _ZERO:
             amount = min(value, available)
@@ -331,7 +346,7 @@ def _advance(
 
     # (c2) a conditional δ_{Y|Z} waiting to be composed.
     for (x, y), value in sorted(
-        state.delta.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+        state.delta.items(), key=lambda kv: _subset_key(kv[0][1])
     ):
         if x == z and value > _ZERO:
             amount = min(value, available)
@@ -346,7 +361,7 @@ def _advance(
     # (c3) a submodularity σ_{Z,J}: decompose then shift.  σ is symmetric in
     # {I, J}, so Z may appear as either component.
     for (i, j), value in sorted(
-        state.sigma.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+        state.sigma.items(), key=lambda kv: _subset_key(kv[0][1])
     ):
         if value <= _ZERO:
             continue
@@ -461,7 +476,7 @@ def _probe_walk(state: _FlowState, start: frozenset, cap: Fraction):
         found = False
         # (1) μ_{X,Z} > 0: move deficit down to X.
         for (x, yy), value in sorted(
-            state.mu.items(), key=lambda kv: (len(kv[0][0]), tuple(sorted(kv[0][0])))
+            state.mu.items(), key=lambda kv: _subset_key(kv[0][0])
         ):
             value = get(state.mu, "mu", (x, yy))
             if yy == z and value > _ZERO:
@@ -479,7 +494,7 @@ def _probe_walk(state: _FlowState, start: frozenset, cap: Fraction):
             continue
         # (2) δ_{Y2|Z} > 0: move deficit up to Y2.
         for (x, y2), _ in sorted(
-            state.delta.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+            state.delta.items(), key=lambda kv: _subset_key(kv[0][1])
         ):
             value = get(state.delta, "delta", (x, y2))
             if x == z and value > _ZERO:
@@ -496,7 +511,7 @@ def _probe_walk(state: _FlowState, start: frozenset, cap: Fraction):
         # (3) σ_{Z,J} > 0: move deficit to Z∪J, raising μ_{Z∩J,J}.  σ is
         # symmetric in {I, J}, so Z may appear as either component.
         for (i, j), _ in sorted(
-            state.sigma.items(), key=lambda kv: (len(kv[0][1]), tuple(sorted(kv[0][1])))
+            state.sigma.items(), key=lambda kv: _subset_key(kv[0][1])
         ):
             value = get(state.sigma, "sigma", (i, j))
             if value <= _ZERO:

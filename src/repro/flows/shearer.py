@@ -20,8 +20,9 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping
 
-from repro.core.hypergraph import Hypergraph, powerset
-from repro.core.setfunctions import elemental_inequalities
+from repro.core.hypergraph import Hypergraph
+from repro.core.setfunctions import elemental_inequality_mask_rows
+from repro.core.varmap import VarMap
 from repro.exceptions import WitnessError
 from repro.flows.inequality import FlowInequality, Witness, verify_witness
 from repro.lp import LPModel
@@ -86,30 +87,39 @@ def find_witness(ineq: FlowInequality) -> Witness:
             inequality itself is false).
     """
     universe = tuple(ineq.universe)
+    vm = VarMap.of(universe)
     model = LPModel()
     # Variables: σ per elemental submodularity, μ per single-element
-    # monotonicity step and per (∅, Z) drop.
-    sub_keys = []
-    for elem in elemental_inequalities(universe):
-        if elem.kind != "submodularity":
+    # monotonicity step and per (∅, Z) drop.  All names carry subset masks;
+    # results are converted back to frozensets only once, at the end.
+    sub_keys: list[tuple[tuple, int, int]] = []
+    for kind, i_mask, j_mask, _coeffs in elemental_inequality_mask_rows(vm.n):
+        if kind != "submodularity":
             continue
-        key = ("σ", elem.i, elem.j)
-        sub_keys.append((key, elem.i, elem.j))
+        key = ("σ", i_mask, j_mask)
+        sub_keys.append((key, i_mask, j_mask))
         model.add_variable(key)
-    mono_keys = []
-    subsets = [s for s in powerset(universe) if s]
-    for z in subsets:
-        for v in sorted(z):
-            x = z - {v}
-            key = ("μ", x, z)
-            mono_keys.append((key, x, z))
+    mono_keys: list[tuple[tuple, int, int]] = []
+    masks = [m for m in vm.subset_masks() if m]
+    for z in masks:
+        for bit in vm.bits_by_name(z):
+            key = ("μ", z ^ bit, z)
+            mono_keys.append((key, z ^ bit, z))
             model.add_variable(key)
+
+    delta_masks = {
+        (vm.mask_of(x), vm.mask_of(y)): value
+        for (x, y), value in ineq.delta.items()
+    }
+    lam_masks = {vm.mask_of(b): value for b, value in ineq.lam.items()}
 
     # inflow(Z) >= λ_Z for every non-empty Z, written as <= rows of the
     # negated inequality.  δ contributions are constants.
-    for z in subsets:
+    minus_one = Fraction(-1)
+    one = Fraction(1)
+    for z in masks:
         constant = _ZERO
-        for (x, y), value in ineq.delta.items():
+        for (x, y), value in delta_masks.items():
             if y == z:
                 constant += value
             if x == z:
@@ -121,17 +131,17 @@ def find_witness(ineq: FlowInequality) -> Witness:
 
         for key, i, j in sub_keys:
             if i & j == z or i | j == z:
-                bump(key, Fraction(-1))
+                bump(key, minus_one)
             if i == z or j == z:
-                bump(key, Fraction(1))
+                bump(key, one)
         for key, x, y in mono_keys:
             if y == z:
-                bump(key, Fraction(1))
+                bump(key, one)
             if x == z:
-                bump(key, Fraction(-1))
+                bump(key, minus_one)
         # -inflow_multipliers(Z) <= constant - λ_Z
         model.add_le_constraint(
-            ("inflow", z), coeffs, constant - ineq.lam.get(z, _ZERO)
+            ("inflow", z), coeffs, constant - lam_masks.get(z, _ZERO)
         )
     try:
         solution = model.maximize()
@@ -144,9 +154,9 @@ def find_witness(ineq: FlowInequality) -> Witness:
             continue
         kind, a, b = key
         if kind == "σ":
-            sigma[(a, b)] = value
+            sigma[(vm.set_of(a), vm.set_of(b))] = value
         else:
-            mu[(a, b)] = value
+            mu[(vm.set_of(a), vm.set_of(b))] = value
     witness = Witness(sigma, mu)
     verify_witness(ineq, witness)
     return witness

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable
 
+from repro.core.varmap import VarMap
 from repro.exceptions import WitnessError
 from repro.flows.inequality import (
     FlowInequality,
@@ -109,6 +110,12 @@ class _State:
         self.delta = dict(ineq.delta)
         self.sigma = dict(witness.sigma)
         self.mu = dict(witness.mu)
+        #: mask-kernel interning map: rewrite moves build many fresh unions /
+        #: intersections, so canonicalize them to shared frozenset objects.
+        self._vm = VarMap.of(self.universe)
+
+    def _intern(self, subset: frozenset) -> frozenset:
+        return self._vm.set_of(self._vm.mask_of(subset))
 
     def bump(self, table: dict, key, amount: Fraction) -> None:
         value = table.get(key, _ZERO) + amount
@@ -124,6 +131,7 @@ class _State:
         if i <= j or j <= i:
             # Comparable pair: s_{I,J} is the identity inequality, zero flow.
             return
+        i, j = self._intern(i), self._intern(j)
         if (i, j) in self.sigma:
             key = (i, j)
         elif (j, i) in self.sigma:
@@ -138,7 +146,7 @@ class _State:
             return
         if not x < y:
             raise WitnessError(f"μ key must be nested: {sorted(x)}, {sorted(y)}")
-        self.bump(self.mu, (x, y), amount)
+        self.bump(self.mu, (self._intern(x), self._intern(y)), amount)
 
     def bump_delta(self, x: frozenset, y: frozenset, amount: Fraction) -> None:
         """Add δ mass, dropping the degenerate ``X == Y`` case (zero flow)."""
@@ -146,7 +154,7 @@ class _State:
             return
         if not x < y:
             raise WitnessError(f"δ key must be nested: {sorted(x)}, {sorted(y)}")
-        self.bump(self.delta, (x, y), amount)
+        self.bump(self.delta, (self._intern(x), self._intern(y)), amount)
 
     def to_pair(self) -> tuple[FlowInequality, Witness]:
         ineq = FlowInequality(self.universe, dict(self.lam), dict(self.delta))

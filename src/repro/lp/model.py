@@ -65,6 +65,7 @@ class LPModel:
         self._var_index: dict[Hashable, int] = {}
         self._objective: list[Fraction] = []
         self._con_names: list[Hashable] = []
+        self._con_seen: set[Hashable] = set()
         self._con_rows: list[dict[int, Fraction]] = []
         self._con_rhs: list[Fraction] = []
 
@@ -103,16 +104,25 @@ class LPModel:
         rhs: Fraction | int,
     ) -> None:
         """Add ``sum coefficients[v] * v <= rhs`` (zero coefficients dropped)."""
-        if name in set(self._con_names):
+        if name in self._con_seen:
             raise LPError(f"duplicate constraint {name!r}")
         row: dict[int, Fraction] = {}
+        var_index = self._var_index
         for var, coef in coefficients.items():
-            value = Fraction(coef)
-            if value:
-                row[self._require(var)] = value
+            if not coef:
+                continue
+            # Fractions are immutable: reuse caller-held instances (the LP
+            # builders feed cached per-universe-size rows) instead of
+            # re-allocating one Fraction per coefficient.
+            value = coef if type(coef) is Fraction else Fraction(coef)
+            try:
+                row[var_index[var]] = value
+            except KeyError:
+                raise LPError(f"unknown variable {var!r}") from None
         self._con_names.append(name)
+        self._con_seen.add(name)
         self._con_rows.append(row)
-        self._con_rhs.append(Fraction(rhs))
+        self._con_rhs.append(rhs if type(rhs) is Fraction else Fraction(rhs))
 
     def _require(self, name: Hashable) -> int:
         try:
@@ -142,14 +152,9 @@ class LPModel:
         raise LPError(f"unknown backend {backend!r}")
 
     def _maximize_exact(self) -> LPSolution:
-        n = len(self._objective)
-        a = []
-        for row in self._con_rows:
-            dense = [Fraction(0)] * n
-            for j, coef in row.items():
-                dense[j] = coef
-            a.append(dense)
-        result = simplex.solve_max(a, self._con_rhs, self._objective)
+        result = simplex.solve_max_sparse(
+            self._con_rows, self._con_rhs, self._objective
+        )
         values = {name: result.x[j] for name, j in self._var_index.items()}
         duals = {
             name: result.y[i] for i, name in enumerate(self._con_names)
@@ -171,6 +176,17 @@ class LPModel:
             a.append(dense)
         return a, list(self._con_rhs), list(self._objective)
 
+    def sparse_data(
+        self,
+    ) -> tuple[list[dict[int, Fraction]], list[Fraction], list[Fraction]]:
+        """Return ``(rows, b, c)`` with rows as ``{column: coefficient}`` dicts.
+
+        The row dicts are the model's internal storage — treat them as
+        read-only (the exact backend shares them the same way; copying
+        thousands of 2^n-column rows per solve would double assembly cost).
+        """
+        return (self._con_rows, list(self._con_rhs), list(self._objective))
+
     def constraint_names(self) -> list[Hashable]:
         return list(self._con_names)
 
@@ -178,8 +194,8 @@ class LPModel:
         self, values: Mapping[Hashable, Fraction], tolerance: Fraction = Fraction(0)
     ) -> bool:
         """Check whether a named assignment satisfies all constraints."""
-        for name, row, rhs in zip(self._con_names, self._con_rows, self._con_rhs):
-            index_to_name = {j: v for v, j in self._var_index.items()}
+        index_to_name = {j: v for v, j in self._var_index.items()}
+        for row, rhs in zip(self._con_rows, self._con_rhs):
             total = sum(
                 (coef * Fraction(values.get(index_to_name[j], 0)) for j, coef in row.items()),
                 Fraction(0),

@@ -37,7 +37,7 @@ def rationalize(value: float, limit: int = _DENOMINATOR_LIMIT) -> Fraction:
 
 def maximize_with_scipy(model: LPModel) -> LPSolution:
     """Solve ``max c'x : Ax <= b, x >= 0`` with HiGHS and rationalize."""
-    a_rows, b, c = model.dense_data()
+    a_rows, b, c = model.sparse_data()
     n = len(c)
     m = len(b)
     if n == 0:
@@ -45,12 +45,19 @@ def maximize_with_scipy(model: LPModel) -> LPSolution:
     c_vec = np.array([float(v) for v in c])
     b_vec = np.array([float(v) for v in b])
     if m:
-        a_mat = sparse.lil_matrix((m, n))
+        # Assemble the sparse rows straight into COO triplets — the model
+        # stores {column: coefficient} dicts, so no dense detour is needed.
+        row_idx: list[int] = []
+        col_idx: list[int] = []
+        data: list[float] = []
         for i, row in enumerate(a_rows):
-            for j, coef in enumerate(row):
-                if coef:
-                    a_mat[i, j] = float(coef)
-        a_mat = a_mat.tocsr()
+            for j, coef in row.items():
+                row_idx.append(i)
+                col_idx.append(j)
+                data.append(float(coef))
+        a_mat = sparse.coo_matrix(
+            (data, (row_idx, col_idx)), shape=(m, n)
+        ).tocsr()
         result = linprog(
             -c_vec, A_ub=a_mat, b_ub=b_vec, bounds=(0, None), method="highs"
         )

@@ -51,11 +51,18 @@ def generalized_hypertree_width(
 ) -> Fraction:
     """``ghtw(H)``: the ρ-width (integral edge cover per restricted bag)."""
     best: Fraction | None = None
+    vm = hypergraph.varmap
+    cache: dict[int, Fraction] = {}
     for td in _decompositions(hypergraph, decompositions):
-        worst = max(
-            integral_edge_cover_log_bound(hypergraph.restrict(bag), sizes=None)
-            for bag in td.bags
-        )
+        worst = Fraction(0)
+        for bag in td.bags:
+            mask = vm.mask_of(bag)
+            if mask not in cache:
+                cache[mask] = integral_edge_cover_log_bound(
+                    hypergraph.restrict_mask(mask), sizes=None
+                )
+            if cache[mask] > worst:
+                worst = cache[mask]
         if best is None or worst < best:
             best = worst
     return best
@@ -68,16 +75,18 @@ def fractional_hypertree_width(
 ) -> Fraction:
     """``fhtw(H)``: the ρ*-width (fractional edge cover per restricted bag)."""
     best: Fraction | None = None
-    cache: dict[frozenset, Fraction] = {}
+    vm = hypergraph.varmap
+    cache: dict[int, Fraction] = {}
     for td in _decompositions(hypergraph, decompositions):
         worst = Fraction(0)
         for bag in td.bags:
-            if bag not in cache:
-                cache[bag] = fractional_edge_cover_number(
-                    hypergraph.restrict(bag), backend=backend
+            mask = vm.mask_of(bag)
+            if mask not in cache:
+                cache[mask] = fractional_edge_cover_number(
+                    hypergraph.restrict_mask(mask), backend=backend
                 )
-            if cache[bag] > worst:
-                worst = cache[bag]
+            if cache[mask] > worst:
+                worst = cache[mask]
         if best is None or worst < best:
             best = worst
     return best

@@ -41,12 +41,14 @@ def minimax_width(
     program = PolymatroidProgram(
         hypergraph.vertices, list(log_constraints), function_class
     )
-    cache: dict[frozenset, Fraction] = {}
+    vm = hypergraph.varmap
+    cache: dict[int, Fraction] = {}
 
     def bag_cost(bag: frozenset) -> Fraction:
-        if bag not in cache:
-            cache[bag] = program.maximize(bag, backend=backend).log_value
-        return cache[bag]
+        mask = vm.mask_of(bag)
+        if mask not in cache:
+            cache[mask] = program.maximize(bag, backend=backend).log_value
+        return cache[mask]
 
     return min(
         max(bag_cost(bag) for bag in decomposition.bags)

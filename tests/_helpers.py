@@ -1,0 +1,79 @@
+"""Shared test helpers and instance generators.
+
+These live outside ``conftest.py`` so that test modules can import them
+unambiguously (``from _helpers import ...``): a bare ``from conftest import``
+resolves against whichever conftest pytest put on ``sys.path`` first, which
+breaks when the benchmarks directory is collected alongside the tests.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.setfunctions import SetFunction
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+__all__ = [
+    "coverage_polymatroid",
+    "random_pairs",
+    "path3_database",
+    "four_cycle_database",
+]
+
+
+def coverage_polymatroid(universe, rng, ground_size=8, max_weight=10):
+    """A random *coverage function*: always a polymatroid.
+
+    Each variable maps to a random subset of a weighted ground set;
+    ``h(S) = w(∪ covers)``.  Coverage functions are non-negative, monotone,
+    and submodular, so they make ideal randomized validators for Shannon-flow
+    inequalities and proof steps.
+    """
+    ground = list(range(ground_size))
+    weights = {g: Fraction(rng.randint(0, max_weight)) for g in ground}
+    mapping = {
+        v: frozenset(rng.sample(ground, rng.randint(1, max(1, ground_size - 2))))
+        for v in universe
+    }
+
+    def h(subset):
+        covered = set()
+        for v in subset:
+            covered |= mapping[v]
+        return sum((weights[g] for g in covered), Fraction(0))
+
+    return SetFunction.from_callable(universe, h)
+
+
+def random_pairs(rng, count, domain):
+    rows = set()
+    capacity = domain * domain
+    target = min(count, capacity)
+    while len(rows) < target:
+        rows.add((rng.randrange(domain), rng.randrange(domain)))
+    return rows
+
+
+def path3_database(rng, size, domain=16):
+    """Random instance for the Example 1.4 rule body R12, R23, R34."""
+    return Database(
+        [
+            Relation.from_pairs("R12", "A1", "A2", random_pairs(rng, size, domain)),
+            Relation.from_pairs("R23", "A2", "A3", random_pairs(rng, size, domain)),
+            Relation.from_pairs("R34", "A3", "A4", random_pairs(rng, size, domain)),
+        ]
+    )
+
+
+def four_cycle_database(rng, size, domain=16):
+    """Random instance for the 4-cycle query."""
+    return Database(
+        [
+            Relation.from_pairs("R12", "A1", "A2", random_pairs(rng, size, domain)),
+            Relation.from_pairs("R23", "A2", "A3", random_pairs(rng, size, domain)),
+            Relation.from_pairs("R34", "A3", "A4", random_pairs(rng, size, domain)),
+            Relation.from_pairs("R41", "A4", "A1", random_pairs(rng, size, domain)),
+        ]
+    )

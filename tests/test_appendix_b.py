@@ -31,7 +31,7 @@ from repro.flows import (
 )
 from repro.flows.flow_network import construct_via_flow_network
 
-from conftest import coverage_polymatroid
+from _helpers import coverage_polymatroid
 
 F = Fraction
 f = frozenset

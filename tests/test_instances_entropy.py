@@ -197,7 +197,7 @@ class TestEmpiricalEntropy:
     def test_scan_model_entropy_property(self, rng):
         # Lemma 4.1: the scan model's uniform distribution has h(B) = log|T|
         # for every target B.
-        from conftest import path3_database
+        from _helpers import path3_database
         from repro.relational import Relation as Rel
 
         rule = path_rule()
@@ -227,7 +227,7 @@ class TestZhangYeungMachinery:
         # at minimum the checker runs cleanly on them.
         import random
 
-        from conftest import coverage_polymatroid
+        from _helpers import coverage_polymatroid
 
         rng = random.Random(1)
         h = coverage_polymatroid(("A", "B", "X", "Y"), rng)

@@ -80,7 +80,7 @@ class TestThreeTargetRule:
     )
 
     def test_bound_and_model(self, rng):
-        from conftest import four_cycle_database
+        from _helpers import four_cycle_database
 
         db = four_cycle_database(rng, 32)
         result = panda(self.RULE, db)
@@ -94,7 +94,7 @@ class TestThreeTargetRule:
         assert result.bound.log_value <= single.log_value
 
     def test_proof_sequence_roundtrip(self, rng):
-        from conftest import four_cycle_database
+        from _helpers import four_cycle_database
 
         db = four_cycle_database(rng, 32)
         bound = log_size_bound(
@@ -149,7 +149,7 @@ class TestStatisticsDrivenPipeline:
     """Extract constraints from data, then bound and evaluate with them."""
 
     def test_extracted_constraints_tighten_bound(self, rng):
-        from conftest import four_cycle_database
+        from _helpers import four_cycle_database
 
         db = four_cycle_database(rng, 48, domain=8)
         q = cycle_query(4)
@@ -168,7 +168,7 @@ class TestStatisticsDrivenPipeline:
         assert actual <= dc_bound.value * (1 + 1e-9)
 
     def test_da_subw_with_extracted_stats(self, rng):
-        from conftest import four_cycle_database
+        from _helpers import four_cycle_database
 
         db = four_cycle_database(rng, 32, domain=8)
         q = cycle_query(4)
@@ -184,7 +184,7 @@ class TestDeterminism:
     """The whole pipeline is deterministic: same inputs, same outputs."""
 
     def test_panda_deterministic(self, rng):
-        from conftest import path3_database
+        from _helpers import path3_database
         from repro.instances import path_rule
 
         db = path3_database(rng, 40)

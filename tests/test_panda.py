@@ -11,7 +11,7 @@ from repro.exceptions import PandaError
 from repro.instances import instance_a, instance_b, instance_c, path_rule
 from repro.relational import Database, Relation
 
-from conftest import four_cycle_database, path3_database
+from _helpers import four_cycle_database, path3_database
 
 
 RULE_14 = parse_rule(

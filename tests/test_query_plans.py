@@ -14,7 +14,7 @@ from repro.exceptions import QueryError
 from repro.instances import instance_a, triangle_query, agm_tight_triangle
 from repro.relational import Database, Relation, work_counter
 
-from conftest import four_cycle_database
+from _helpers import four_cycle_database
 
 FOUR_CYCLE = parse_query(
     "Q(A1,A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)"

@@ -1,0 +1,265 @@
+"""Property tests for the bitmask set-function kernel.
+
+Two layers of protection for the frozenset→mask migration:
+
+* *roundtrip*: the ``VarMap`` bijection between subsets and masks is exact in
+  both directions, over every subset of random universes;
+* *reference agreement*: every Figure-3 membership predicate of the
+  mask-indexed :class:`SetFunction` agrees with an independent brute-force
+  frozenset implementation on random set functions (random integer tables,
+  random coverage polymatroids, and adversarial near-polymatroids).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from itertools import chain, combinations
+
+import pytest
+
+from _helpers import coverage_polymatroid
+from repro.core.setfunctions import (
+    SetFunction,
+    elemental_inequalities,
+    elemental_inequality_mask_rows,
+)
+from repro.core.varmap import VarMap
+
+F = Fraction
+
+
+def frozen_powerset(universe):
+    items = tuple(universe)
+    return [
+        frozenset(c)
+        for c in chain.from_iterable(
+            combinations(items, r) for r in range(len(items) + 1)
+        )
+    ]
+
+
+# -- brute-force frozenset reference predicates -------------------------------------
+
+
+def ref_is_monotone(values, universe):
+    subsets = frozen_powerset(universe)
+    return all(
+        values[x] <= values[y] for x in subsets for y in subsets if x <= y
+    )
+
+
+def ref_is_modular(values, universe):
+    return all(
+        values[s] == sum((values[frozenset((v,))] for v in s), F(0))
+        for s in frozen_powerset(universe)
+    )
+
+
+def ref_is_subadditive(values, universe):
+    subsets = frozen_powerset(universe)
+    return all(
+        values[x | y] <= values[x] + values[y] for x in subsets for y in subsets
+    )
+
+
+def ref_is_submodular(values, universe):
+    subsets = frozen_powerset(universe)
+    return all(
+        values[x | y] + values[x & y] <= values[x] + values[y]
+        for x in subsets
+        for y in subsets
+    )
+
+
+def ref_is_nonnegative(values, universe):
+    return all(v >= 0 for v in values.values())
+
+
+def as_value_table(h: SetFunction) -> dict[frozenset, Fraction]:
+    return dict(h.items())
+
+
+UNIVERSES = [
+    ("A",),
+    ("A", "B"),
+    ("B", "A", "C"),  # deliberately not sorted: bit order is universe order
+    ("A1", "A2", "A3", "A4"),
+    ("X", "A", "Y", "B", "C"),
+]
+
+
+class TestVarMapRoundtrip:
+    @pytest.mark.parametrize("universe", UNIVERSES)
+    def test_mask_set_roundtrip(self, universe):
+        vm = VarMap.of(universe)
+        for mask in range(vm.size):
+            assert vm.mask_of(vm.set_of(mask)) == mask
+        for subset in frozen_powerset(universe):
+            assert vm.set_of(vm.mask_of(subset)) == subset
+
+    @pytest.mark.parametrize("universe", UNIVERSES)
+    def test_canonical_order_matches_powerset(self, universe):
+        vm = VarMap.of(universe)
+        assert [vm.set_of(m) for m in vm.subset_masks()] == frozen_powerset(
+            universe
+        )
+
+    def test_interning_shares_instances(self):
+        a = VarMap.of(("A", "B"))
+        b = VarMap.of(("A", "B"))
+        assert a is b
+        assert a.set_of(3) is b.set_of(3)
+
+    def test_unknown_name_raises(self):
+        vm = VarMap.of(("A", "B"))
+        with pytest.raises(KeyError):
+            vm.mask_of(("C",))
+
+    @pytest.mark.parametrize("universe", UNIVERSES)
+    def test_submasks_iter(self, universe):
+        vm = VarMap.of(universe)
+        mask = vm.full_mask & ~1 if vm.n > 1 else vm.full_mask
+        walked = sorted(vm.submasks_iter(mask))
+        expected = sorted(m for m in range(vm.size) if m & ~mask == 0)
+        assert walked == expected
+
+
+def random_set_function(universe, rng, *, monotone_bias=False) -> SetFunction:
+    """A random set function; with ``monotone_bias`` cumulative (often in Γn)."""
+    vm = VarMap.of(universe)
+    table = [F(0)]
+    for mask in range(1, vm.size):
+        if monotone_bias:
+            low = mask & -mask
+            table.append(table[mask ^ low] + F(rng.randint(0, 4)))
+        else:
+            table.append(F(rng.randint(-3, 9)))
+    return SetFunction.from_mask_table(universe, table)
+
+
+class TestPredicateAgreement:
+    @pytest.mark.parametrize("universe", UNIVERSES[:4])
+    def test_random_tables_agree_with_reference(self, universe, rng):
+        for trial in range(25):
+            h = random_set_function(
+                universe, rng, monotone_bias=trial % 2 == 0
+            )
+            values = as_value_table(h)
+            assert h.is_nonnegative() == ref_is_nonnegative(values, universe)
+            assert h.is_monotone() == ref_is_monotone(values, universe)
+            assert h.is_modular() == ref_is_modular(values, universe)
+            assert h.is_subadditive() == ref_is_subadditive(values, universe)
+            assert h.is_submodular() == ref_is_submodular(values, universe)
+
+    def test_coverage_polymatroids_pass_all_figure3_checks(self, rng):
+        for _ in range(10):
+            h = coverage_polymatroid(("A", "B", "C", "D"), rng)
+            values = as_value_table(h)
+            assert h.is_polymatroid()
+            assert ref_is_submodular(values, h.universe)
+            assert ref_is_monotone(values, h.universe)
+
+    def test_single_cell_perturbations_detected(self, rng):
+        # Flip one value of a polymatroid and require the kernel and the
+        # reference to agree on every predicate afterwards.
+        universe = ("A", "B", "C")
+        base = SetFunction.uniform(universe, F(1))
+        vm = base.varmap
+        for mask in range(1, vm.size):
+            table = list(base.mask_table())
+            table[mask] += F(rng.choice([-2, -1, 3]))
+            h = SetFunction.from_mask_table(universe, table)
+            values = as_value_table(h)
+            assert h.is_monotone() == ref_is_monotone(values, universe)
+            assert h.is_submodular() == ref_is_submodular(values, universe)
+            assert h.is_subadditive() == ref_is_subadditive(values, universe)
+            assert h.is_modular() == ref_is_modular(values, universe)
+
+
+class TestConstructorValidation:
+    def test_nonzero_empty_set_rejected_for_any_key_shape(self):
+        from repro.exceptions import ReproError
+
+        base = {
+            frozenset(("A",)): F(1),
+            frozenset(("B",)): F(1),
+            frozenset(("A", "B")): F(2),
+        }
+        for empty_key in (frozenset(), (), 0):
+            with pytest.raises(ReproError):
+                SetFunction(("A", "B"), {**base, empty_key: F(5)})
+
+    def test_out_of_range_mask_keys_rejected(self):
+        from repro.exceptions import ReproError
+
+        base = {1: F(1), 2: F(1), 3: F(2)}
+        for bad_mask in (-1, 4, 100):
+            with pytest.raises(ReproError):
+                SetFunction(("A", "B"), {**base, bad_mask: F(9)})
+
+    def test_valid_mask_keys_accepted(self):
+        h = SetFunction(("A", "B"), {1: F(1), 2: F(2), 3: F(3)})
+        assert h(("A",)) == 1 and h(("A", "B")) == 3
+
+
+class TestLookupAdapters:
+    def test_call_accepts_masks_names_and_frozensets(self):
+        h = SetFunction.modular({"A": F(1), "B": F(2), "C": F(4)})
+        vm = h.varmap
+        for subset in frozen_powerset(h.universe):
+            mask = vm.mask_of(subset)
+            assert h(subset) == h[mask] == h(tuple(subset)) == h(mask)
+
+    def test_conditional_accepts_masks(self):
+        h = SetFunction.uniform(("A", "B"), F(1))
+        vm = h.varmap
+        y, x = vm.mask_of(("A", "B")), vm.mask_of(("A",))
+        assert h.conditional(y, x) == h.conditional(("A", "B"), ("A",)) == 1
+
+    def test_restrict_matches_frozenset_semantics(self):
+        h = SetFunction.modular({"A": F(1), "B": F(2), "C": F(4)})
+        r = h.restrict(("C", "A"))
+        assert r.universe == ("A", "C")
+        for subset in frozen_powerset(("A", "C")):
+            assert r(subset) == h(subset)
+
+    def test_items_covers_full_powerset(self):
+        h = SetFunction.uniform(("A", "B", "C"), F(1))
+        seen = dict(h.items())
+        assert len(seen) == 8
+        assert seen[frozenset(("A", "B"))] == 2
+        assert dict(h.mask_items()) == {m: h[m] for m in range(8)}
+
+    def test_negative_masks_rejected_on_lookup(self):
+        h = SetFunction.uniform(("A", "B"), F(1))
+        for bad in (-1, -2):
+            with pytest.raises(IndexError):
+                h[bad]
+            with pytest.raises(IndexError):
+                h(bad)
+
+
+class TestElementalMaskRows:
+    @pytest.mark.parametrize("universe", UNIVERSES)
+    def test_mask_rows_mirror_frozenset_rows(self, universe):
+        vm = VarMap.of(universe)
+        frozen = list(elemental_inequalities(universe))
+        masks = elemental_inequality_mask_rows(vm.n)
+        assert len(frozen) == len(masks)
+        for ineq, (kind, i_mask, j_mask, coeffs) in zip(frozen, masks):
+            assert ineq.kind == kind
+            assert vm.mask_of(ineq.i) == i_mask
+            assert vm.mask_of(ineq.j) == j_mask
+            assert {
+                vm.mask_of(s): c for s, c in ineq.coefficients
+            } == dict(coeffs)
+
+    def test_rows_cached_per_size(self):
+        assert elemental_inequality_mask_rows(4) is elemental_inequality_mask_rows(4)
+
+    def test_count_formula(self):
+        # n + C(n,2)·2^{n-2} elemental inequalities.
+        for n in (2, 3, 4, 5):
+            expected = n + n * (n - 1) // 2 * 2 ** max(0, n - 2)
+            assert len(elemental_inequality_mask_rows(n)) == expected

@@ -10,7 +10,7 @@ from repro.flows import construct_proof_sequence
 from repro.flows.shearer import find_witness, shearer_inequality
 from repro.instances import cycle_edges
 
-from conftest import coverage_polymatroid
+from _helpers import coverage_polymatroid
 
 F = Fraction
 
