@@ -4,14 +4,31 @@ Paper background claim: Generic-Join-style algorithms run in O~(AGM) [42,43]
 while any binary join plan is Ω(N²) on the AGM-tight triangle instance whose
 output (and AGM bound) is N^{3/2}.  The bench sweeps N, fits both exponents,
 and checks the outputs agree.
+
+On top of the asymptotic checks, ``test_columnar_vs_seed_tuple_engine``
+tracks the *constant factor*: it pits the columnar dictionary-encoded engine
+(sorted ``array('q')`` code columns + the shared
+:class:`~repro.relational.trie.SortedTrieIterator`) against a frozen copy of
+the seed's tuple engine (frozenset tuples, dict tries, per-value hashing) on
+triangle and 4-cycle instances at 10^4+ tuples per relation, cross-checks
+every output, asserts the ≥5× speedup the columnar refactor targets, and
+writes the measurements to a JSON file so CI can archive the perf
+trajectory (env ``WCOJ_BENCH_JSON`` overrides the path).
 """
+
+import gc
+import json
+import os
+import time
+from bisect import bisect_left
 
 from repro.instances import agm_tight_triangle, skew_triangle, triangle_query
 from repro.relational import (
+    Relation,
     binary_join_plan,
     generic_join,
     leapfrog_triejoin,
-    work_counter,
+    scoped_work_counter,
 )
 
 from _bench_utils import loglog_slope, print_table
@@ -28,13 +45,13 @@ def test_generic_join_vs_binary_plan(benchmark):
         db = skew_triangle(m)
         relations = [atom.bind(db) for atom in QUERY.body]
 
-        work_counter.reset()
-        gj = generic_join(relations)
-        gj_work = work_counter.total
+        with scoped_work_counter() as counter:
+            gj = generic_join(relations)
+            gj_work = counter.total
 
-        work_counter.reset()
-        bj = binary_join_plan(relations)
-        bj_work = work_counter.total
+        with scoped_work_counter() as counter:
+            bj = binary_join_plan(relations)
+            bj_work = counter.total
 
         assert gj == bj
         gj_works.append(gj_work)
@@ -66,11 +83,11 @@ def test_generic_join_respects_agm_on_tight_instance(benchmark):
     n = 256
     db = agm_tight_triangle(n)
     relations = [atom.bind(db) for atom in QUERY.body]
-    work_counter.reset()
-    out = generic_join(relations)
+    with scoped_work_counter() as counter:
+        out = generic_join(relations)
+        work = counter.total
     assert len(out) == int(n**1.5)
-    print(f"AGM-tight triangle: output {len(out)} = N^1.5, "
-          f"work {work_counter.total}")
+    print(f"AGM-tight triangle: output {len(out)} = N^1.5, work {work}")
 
     benchmark(lambda: generic_join(relations))
 
@@ -87,9 +104,9 @@ def test_leapfrog_triejoin_is_worst_case_optimal(benchmark):
     for m in sizes:
         db = skew_triangle(m)
         relations = [atom.bind(db) for atom in QUERY.body]
-        work_counter.reset()
-        lf = leapfrog_triejoin(relations)
-        lf_work = work_counter.total
+        with scoped_work_counter() as counter:
+            lf = leapfrog_triejoin(relations)
+            lf_work = counter.total
         assert lf == generic_join(relations)
         lf_works.append(lf_work)
         n = len(db["R"])
@@ -108,3 +125,317 @@ def test_leapfrog_triejoin_is_worst_case_optimal(benchmark):
             [atom.bind(skew_triangle(256)) for atom in QUERY.body]
         )
     )
+
+
+# -- seed tuple engine (frozen pre-columnar baseline) --------------------------------
+#
+# A faithful copy of the engine this repo shipped before the columnar
+# refactor: relations as frozensets of Python tuples with lazy dict indexes,
+# Generic Join over per-prefix frozenset candidate sets, Leapfrog Triejoin
+# over nested-dict tries with per-node sorted key lists.  Kept here (not in
+# src/) so the comparison baseline never drifts.
+
+
+class _SeedRelation:
+    __slots__ = ("name", "schema", "attributes", "_positions", "_tuples", "_indexes")
+
+    def __init__(self, name, schema, tuples):
+        self.name, self.schema = name, tuple(schema)
+        self._positions = {a: i for i, a in enumerate(self.schema)}
+        self.attributes = frozenset(self.schema)
+        self._tuples = frozenset(map(tuple, tuples))
+        self._indexes = {}
+
+    def __iter__(self):
+        return iter(self._tuples)
+
+    def __len__(self):
+        return len(self._tuples)
+
+    def position(self, attr):
+        return self._positions[attr]
+
+    def index_on(self, attrs):
+        key_attrs = tuple(sorted(frozenset(attrs)))
+        cached = self._indexes.get(key_attrs)
+        if cached is not None:
+            return cached
+        index = {}
+        positions = tuple(self._positions[a] for a in key_attrs)
+        for row in self._tuples:
+            index.setdefault(tuple(row[p] for p in positions), []).append(row)
+        self._indexes[key_attrs] = index
+        return index
+
+
+def _seed_generic_join(relations):
+    all_vars = set()
+    for relation in relations:
+        all_vars |= relation.attributes
+    order = tuple(sorted(all_vars))
+    out_rows = []
+    memo = {}
+
+    def candidates_from(rel_idx, var, binding):
+        relation = relations[rel_idx]
+        bound_attrs = tuple(sorted(a for a in relation.attributes if a in binding))
+        key = tuple(binding[a] for a in bound_attrs)
+        memo_key = (rel_idx, var, bound_attrs, key)
+        cached = memo.get(memo_key)
+        if cached is not None:
+            return cached
+        if bound_attrs:
+            rows = relation.index_on(bound_attrs).get(key, ())
+            pos = relation.position(var)
+            values = frozenset(row[pos] for row in rows)
+        else:
+            values = frozenset(k[0] for k in relation.index_on((var,)))
+        memo[memo_key] = values
+        return values
+
+    def recurse(depth, binding):
+        if depth == len(order):
+            out_rows.append(tuple(binding[v] for v in order))
+            return
+        var = order[depth]
+        candidate_sets = [
+            candidates_from(i, var, binding)
+            for i, relation in enumerate(relations)
+            if var in relation.attributes
+        ]
+        candidate_sets.sort(key=len)
+        for value in candidate_sets[0]:
+            if any(value not in other for other in candidate_sets[1:]):
+                continue
+            binding[var] = value
+            recurse(depth + 1, binding)
+            del binding[var]
+
+    recurse(0, {})
+    return set(out_rows)
+
+
+class _SeedKeysSentinel:
+    pass
+
+
+_SEED_KEYS = _SeedKeysSentinel()
+
+
+class _SeedTrieIterator:
+    __slots__ = ("stack",)
+
+    def __init__(self, root):
+        self.stack = [root]
+
+    def keys(self):
+        node = self.stack[-1]
+        cached = node.get(_SEED_KEYS)
+        if cached is None:
+            cached = sorted(k for k in node if k is not _SEED_KEYS)
+            node[_SEED_KEYS] = cached
+        return cached
+
+    def open(self, value):
+        self.stack.append(self.stack[-1][value])
+
+    def up(self):
+        self.stack.pop()
+
+
+def _seed_leapfrog_intersection(key_lists):
+    if any(not keys for keys in key_lists):
+        return []
+    if len(key_lists) == 1:
+        return list(key_lists[0])
+    positions = [0] * len(key_lists)
+    out = []
+    current = max(keys[0] for keys in key_lists)
+    index = 0
+    while True:
+        keys = key_lists[index]
+        pos = bisect_left(keys, current, positions[index])
+        if pos >= len(keys):
+            return out
+        positions[index] = pos
+        value = keys[pos]
+        if value == current:
+            index += 1
+            if index == len(key_lists):
+                out.append(current)
+                last = key_lists[-1]
+                pos = positions[-1] + 1
+                if pos >= len(last):
+                    return out
+                positions[-1] = pos
+                current = last[pos]
+                index = 0
+        else:
+            current = value
+            index = 0
+
+
+def _seed_leapfrog_triejoin(relations):
+    all_vars = set()
+    for relation in relations:
+        all_vars |= relation.attributes
+    order = tuple(sorted(all_vars))
+    iterators = []
+    for relation in relations:
+        attrs = tuple(a for a in order if a in relation.attributes)
+        positions = tuple(relation.position(a) for a in attrs)
+        root = {}
+        for row in relation:
+            node = root
+            for p in positions:
+                node = node.setdefault(row[p], {})
+        iterators.append((relation.attributes, _SeedTrieIterator(root)))
+    out_rows = []
+    binding = []
+
+    def recurse(depth):
+        if depth == len(order):
+            out_rows.append(tuple(binding))
+            return
+        var = order[depth]
+        active = [it for attrs, it in iterators if var in attrs]
+        for value in _seed_leapfrog_intersection([it.keys() for it in active]):
+            for it in active:
+                it.open(value)
+            binding.append(value)
+            recurse(depth + 1)
+            binding.pop()
+            for it in active:
+                it.up()
+
+    recurse(0)
+    return set(out_rows)
+
+
+# -- engine comparison ---------------------------------------------------------------
+
+
+def _grid_triangle_spec(k):
+    """AGM-tight triangle: three k×k bicliques, N = k² per relation."""
+    grid = [(i, j) for i in range(k) for j in range(k)]
+    return [("R", ("A", "B"), grid), ("S", ("B", "C"), grid), ("T", ("A", "C"), grid)]
+
+
+def _block_cycle4_spec(blocks, width):
+    """4-cycle over a union of bicliques: N = blocks·width² per relation."""
+    rows = sorted(
+        {
+            (block * width + i, block * width + j)
+            for block in range(blocks)
+            for i in range(width)
+            for j in range(width)
+        }
+    )
+    names = [("R1", ("A", "B")), ("R2", ("B", "C")), ("R3", ("C", "D")), ("R4", ("D", "A"))]
+    return [(name, attrs, rows) for name, attrs in names]
+
+
+def _best_time(fn, spec, make, reps):
+    """Best-of-``reps`` wall time; relations rebuilt per rep, GC quiesced."""
+    t_best, out = float("inf"), None
+    for _ in range(reps):
+        relations = [make(name, schema, rows) for name, schema, rows in spec]
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = fn(relations)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        if elapsed < t_best:
+            t_best, out = elapsed, result
+    return t_best, out
+
+
+def test_columnar_vs_seed_tuple_engine():
+    """Columnar engine ≥5× the seed tuple engine at 10^4 tuples per relation.
+
+    Cross-checks all four runs (seed/columnar × Generic Join/LFTJ) for
+    identical outputs on every instance, prints the comparison table, writes
+    the JSON perf artifact, and asserts the 5× floor on the triangle and
+    4-cycle instances.
+    """
+    min_speedup = float(os.environ.get("WCOJ_MIN_SPEEDUP", "5.0"))
+    reps = 3 if os.environ.get("CI") is None else 2
+    # The skew instance (output Θ(N), single-key trie levels) is reported
+    # but not gated: it is node-bound, the regime where both engines pay
+    # per-node Python overhead and the columnar constant-factor win is
+    # smallest.
+    skew_spec = [
+        (r.name, r.schema, sorted(r.tuples)) for r in skew_triangle(5000)
+    ]
+    instances = [
+        ("triangle/AGM-tight k=100 (N=10^4)", _grid_triangle_spec(100), True),
+        ("4-cycle/40 bicliques of 16 (N=10^4)", _block_cycle4_spec(40, 16), True),
+        ("triangle/skew m=5000 (N=10^4)", skew_spec, False),
+    ]
+
+    report = {"bench": "wcoj_engine_comparison", "results": []}
+    rows = []
+    for label, spec, gated in instances:
+        t_sg, seed_gj = _best_time(_seed_generic_join, spec, _SeedRelation, reps)
+        t_sl, seed_lf = _best_time(_seed_leapfrog_triejoin, spec, _SeedRelation, reps)
+        t_cg, col_gj = _best_time(generic_join, spec, Relation, reps)
+        t_cl, col_lf = _best_time(leapfrog_triejoin, spec, Relation, reps)
+
+        # Cross-check: all engines, old and new, agree exactly.
+        assert set(col_gj.tuples) == seed_gj
+        assert set(col_lf.tuples) == seed_lf
+        assert seed_gj == seed_lf
+
+        gj_speedup = t_sg / t_cg
+        lf_speedup = t_sl / t_cl
+        rows.append(
+            [
+                label,
+                len(seed_gj),
+                f"{t_sg * 1e3:.0f}",
+                f"{t_cg * 1e3:.0f}",
+                f"{gj_speedup:.1f}x",
+                f"{t_sl * 1e3:.0f}",
+                f"{t_cl * 1e3:.0f}",
+                f"{lf_speedup:.1f}x",
+            ]
+        )
+        report["results"].append(
+            {
+                "instance": label,
+                "output_size": len(seed_gj),
+                "gated": gated,
+                "generic_join": {
+                    "seed_ms": t_sg * 1e3,
+                    "columnar_ms": t_cg * 1e3,
+                    "speedup": gj_speedup,
+                },
+                "leapfrog": {
+                    "seed_ms": t_sl * 1e3,
+                    "columnar_ms": t_cl * 1e3,
+                    "speedup": lf_speedup,
+                },
+            }
+        )
+        if gated:
+            assert gj_speedup >= min_speedup, (
+                f"{label}: generic join speedup {gj_speedup:.2f}x "
+                f"< {min_speedup}x"
+            )
+            assert lf_speedup >= min_speedup, (
+                f"{label}: leapfrog speedup {lf_speedup:.2f}x < {min_speedup}x"
+            )
+
+    print_table(
+        "Columnar dictionary-encoded engine vs seed tuple engine",
+        ["instance", "output", "seed gj ms", "col gj ms", "gj", "seed lf ms", "col lf ms", "lf"],
+        rows,
+    )
+
+    json_path = os.environ.get("WCOJ_BENCH_JSON", "wcoj_engine_comparison.json")
+    with open(json_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"perf artifact written to {json_path}")

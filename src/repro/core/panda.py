@@ -613,9 +613,8 @@ def panda(
     for target in rule.targets:
         attrs = tuple(sorted(target))
         if target in produced:
-            found = produced[target]
-            # Normalize display schema order.
-            tables.append(Relation(f"T_{''.join(attrs)}", found.schema, found.tuples))
+            # Share the columnar storage; only the display name changes.
+            tables.append(produced[target].renamed(f"T_{''.join(attrs)}"))
         else:
             tables.append(Relation(f"T_{''.join(attrs)}", attrs, ()))
     model = TargetModel(tuple(tables))

@@ -54,7 +54,10 @@ class Atom:
             )
         if relation.schema == self.variables:
             return relation
-        return Relation(self.name, self.variables, relation.tuples)
+        # Positional rename: per-column code translation between the stored
+        # attributes' dictionaries and the variables' dictionaries — no
+        # decode/re-encode of whole tuples.
+        return relation.relabeled(self.name, self.variables)
 
     def __str__(self) -> str:
         return f"{self.name}({','.join(self.variables)})"

@@ -7,6 +7,16 @@ annotations multiply) and ⊕-marginalization (project away variables, adding
 the annotations of collapsing tuples).  Over the Boolean semiring these
 degrade to the ordinary join and projection, which the tests exploit as an
 oracle bridge to the relational engine.
+
+The storage mirrors the columnar relational engine: tuples are interned into
+the shared per-attribute dictionaries
+(:class:`~repro.relational.columns.Dictionary`) and the support is kept as a
+map over *code* tuples.  The ⊗-join is a sort-merge over the shared-attribute
+prefix of both operands' sorted code rows (the same sorted-trie layout the
+join algorithms walk), and ⊕-marginalization folds annotation values over
+the sorted runs of the kept-attribute projection.  Both only *reorder*
+exact-domain aggregations — ``Fraction``/``int``/``bool``/``min``/``max``
+annotations come out exactly equal to the historical hash-based evaluation.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.exceptions import SchemaError
 from repro.faq.semiring import Semiring
+from repro.relational.columns import Dictionary, decode_row, merge_runs
 from repro.relational.relation import Relation
 
 __all__ = ["AnnotatedRelation"]
@@ -29,7 +40,7 @@ class AnnotatedRelation:
         semiring: the annotation domain.
     """
 
-    __slots__ = ("name", "schema", "semiring", "_data", "_positions")
+    __slots__ = ("name", "schema", "semiring", "_dicts", "_data", "_positions")
 
     def __init__(
         self,
@@ -44,8 +55,12 @@ class AnnotatedRelation:
             raise SchemaError(f"duplicate attributes in schema {self.schema}")
         self.semiring = semiring
         self._positions = {attr: i for i, attr in enumerate(self.schema)}
+        self._dicts: tuple[Dictionary, ...] = tuple(
+            Dictionary.of(attr) for attr in self.schema
+        )
         arity = len(self.schema)
-        data: dict[tuple, object] = {}
+        encoders = tuple(d.encode for d in self._dicts)
+        data: dict[tuple[int, ...], object] = {}
         items = (
             annotations.items()
             if isinstance(annotations, Mapping)
@@ -60,25 +75,53 @@ class AnnotatedRelation:
                 )
             if value == semiring.zero:
                 continue
-            if row in data:
-                value = semiring.add(data[row], value)
+            coded = tuple(enc(v) for enc, v in zip(encoders, row))
+            if coded in data:
+                value = semiring.add(data[coded], value)
                 if value == semiring.zero:
-                    del data[row]
+                    del data[coded]
                     continue
-            data[row] = value
+            data[coded] = value
         self._data = data
 
     # -- constructors -------------------------------------------------------------
 
     @classmethod
+    def _from_codes(
+        cls,
+        name: str,
+        schema: tuple[str, ...],
+        semiring: Semiring,
+        data: dict,
+    ) -> "AnnotatedRelation":
+        """Internal fast path: adopt an already-encoded code->value map."""
+        out = cls.__new__(cls)
+        out.name = name
+        out.schema = schema
+        out.semiring = semiring
+        out._positions = {attr: i for i, attr in enumerate(schema)}
+        out._dicts = tuple(Dictionary.of(attr) for attr in schema)
+        out._data = data
+        return out
+
+    @classmethod
     def from_relation(
         cls, relation: Relation, semiring: Semiring, weight=None
     ) -> "AnnotatedRelation":
-        """Lift a set relation: every tuple annotated ``one`` (or ``weight(t)``)."""
+        """Lift a set relation: every tuple annotated ``one`` (or ``weight(t)``).
+
+        With the default unit weight the relation's code rows are adopted
+        directly — lifting costs one dict build, no re-encoding.
+        """
         if weight is None:
-            annotations = {row: semiring.one for row in relation}
-        else:
-            annotations = {row: weight(row) for row in relation}
+            one = semiring.one
+            return cls._from_codes(
+                relation.name,
+                relation.schema,
+                semiring,
+                {row: one for row in relation.code_rows},
+            )
+        annotations = {row: weight(row) for row in relation}
         return cls(relation.name, relation.schema, semiring, annotations)
 
     # -- basic protocol -----------------------------------------------------------
@@ -90,18 +133,38 @@ class AnnotatedRelation:
     def __len__(self) -> int:
         return len(self._data)
 
-    def __iter__(self) -> Iterator[tuple]:
-        return iter(self._data)
+    def _decode(self, coded: tuple) -> tuple:
+        return decode_row(self._dicts, coded)
 
-    def items(self):
-        return self._data.items()
+    def __iter__(self) -> Iterator[tuple]:
+        for coded in self._data:
+            yield self._decode(coded)
+
+    def items(self) -> list[tuple[tuple, object]]:
+        """Decoded ``(tuple, value)`` pairs (adapter boundary)."""
+        return [
+            (self._decode(coded), value) for coded, value in self._data.items()
+        ]
 
     def annotation(self, row: tuple) -> object:
         """The value of ``row`` (``zero`` for absent tuples)."""
-        return self._data.get(tuple(row), self.semiring.zero)
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            return self.semiring.zero
+        coded = []
+        for d, value in zip(self._dicts, row):
+            code = d.encode_existing(value)
+            if code is None:
+                return self.semiring.zero
+            coded.append(code)
+        return self._data.get(tuple(coded), self.semiring.zero)
 
     def __eq__(self, other: object) -> bool:
-        """Value equality over the same attribute set (order-insensitive)."""
+        """Value equality over the same attribute set (order-insensitive).
+
+        Shared dictionaries make code equality coincide with value equality,
+        so the comparison never decodes.
+        """
         if not isinstance(other, AnnotatedRelation):
             return NotImplemented
         if self.attributes != other.attributes or len(self) != len(other):
@@ -120,7 +183,9 @@ class AnnotatedRelation:
 
     def support(self) -> Relation:
         """The underlying set relation (tuples with non-zero annotation)."""
-        return Relation(self.name, self.schema, self._data.keys())
+        return Relation.from_codes(
+            self.name, self.schema, list(self._data.keys()), distinct=True
+        )
 
     def scalar(self) -> object:
         """The value of a nullary (fully aggregated) result."""
@@ -137,8 +202,9 @@ class AnnotatedRelation:
     ) -> "AnnotatedRelation":
         """The ⊗-join: match on shared attributes, multiply annotations.
 
-        Hash join on the smaller operand's shared-key index; the output
-        schema is ``self.schema`` followed by ``other``'s fresh attributes.
+        A sort-merge join on the shared-attribute prefix of both operands'
+        sorted code rows; the output schema is ``self.schema`` followed by
+        ``other``'s fresh attributes.
         """
         if self.semiring is not other.semiring:
             raise SchemaError(
@@ -148,23 +214,51 @@ class AnnotatedRelation:
         shared = [a for a in self.schema if a in other._positions]
         fresh = [a for a in other.schema if a not in self._positions]
         out_schema = self.schema + tuple(fresh)
-        left_key = tuple(self._positions[a] for a in shared)
-        right_key = tuple(other._positions[a] for a in shared)
-        fresh_pos = tuple(other._positions[a] for a in fresh)
+        k = len(shared)
+        left_perm = tuple(self._positions[a] for a in shared) + tuple(
+            i for i, a in enumerate(self.schema) if a not in other._positions
+        )
+        right_perm = tuple(other._positions[a] for a in shared) + tuple(
+            other._positions[a] for a in fresh
+        )
+        # Invert the left permutation so merged rows rebuild in schema order.
+        left_inverse = [0] * len(self.schema)
+        for sorted_pos, schema_pos in enumerate(left_perm):
+            left_inverse[schema_pos] = sorted_pos
 
-        index: dict[tuple, list[tuple[tuple, object]]] = {}
-        for row, value in other._data.items():
-            index.setdefault(tuple(row[p] for p in right_key), []).append(
-                (row, value)
-            )
+        # Sort on the permuted row only (never on annotation values, which
+        # need not be orderable); permuted rows are distinct, so the key is
+        # total.
+        by_row = lambda pair: pair[0]  # noqa: E731
+        left_rows = sorted(
+            (
+                (tuple(row[p] for p in left_perm), value)
+                for row, value in self._data.items()
+            ),
+            key=by_row,
+        )
+        right_rows = sorted(
+            (
+                (tuple(row[p] for p in right_perm), value)
+                for row, value in other._data.items()
+            ),
+            key=by_row,
+        )
         mul = self.semiring.mul
+        zero = self.semiring.zero
         out: dict[tuple, object] = {}
-        for row, value in self._data.items():
-            key = tuple(row[p] for p in left_key)
-            for match, match_value in index.get(key, ()):
-                out_row = row + tuple(match[p] for p in fresh_pos)
-                out[out_row] = mul(value, match_value)
-        return AnnotatedRelation(
+        for i, i_end, j, j_end in merge_runs(
+            left_rows, right_rows, lambda pair: pair[0][:k]
+        ):
+            for a in range(i, i_end):
+                row, value = left_rows[a]
+                realigned = tuple(row[p] for p in left_inverse)
+                for b in range(j, j_end):
+                    match, match_value = right_rows[b]
+                    product = mul(value, match_value)
+                    if product != zero:
+                        out[realigned + match[k:]] = product
+        return AnnotatedRelation._from_codes(
             name or f"({self.name}⊗{other.name})",
             out_schema,
             self.semiring,
@@ -174,7 +268,13 @@ class AnnotatedRelation:
     def marginalize(
         self, keep: Iterable[str], name: str | None = None
     ) -> "AnnotatedRelation":
-        """⊕-out every attribute not in ``keep`` (the FAQ ``Σ`` operator)."""
+        """⊕-out every attribute not in ``keep`` (the FAQ ``Σ`` operator).
+
+        A fold over sorted runs: rows are sorted by their kept-attribute
+        projection and each run's annotations are ⊕-combined in that order —
+        exact for exact domains (``Fraction`` end to end), and the same
+        result as hash-grouping for any commutative ⊕.
+        """
         keep_set = frozenset(keep)
         if not keep_set <= self.attributes:
             raise SchemaError(
@@ -184,15 +284,30 @@ class AnnotatedRelation:
         positions = tuple(self._positions[a] for a in out_schema)
         add = self.semiring.add
         zero = self.semiring.zero
+        # Sort on the projected key only: collapsing rows tie on the key, and
+        # annotation values (complex, provenance polynomials, ...) need not
+        # be orderable.
+        projected = sorted(
+            (
+                (tuple(row[p] for p in positions), value)
+                for row, value in self._data.items()
+            ),
+            key=lambda pair: pair[0],
+        )
         out: dict[tuple, object] = {}
-        for row, value in self._data.items():
-            short = tuple(row[p] for p in positions)
-            if short in out:
-                out[short] = add(out[short], value)
+        run_key: tuple | None = None
+        run_value = zero
+        for short, value in projected:
+            if short != run_key:
+                if run_key is not None and run_value != zero:
+                    out[run_key] = run_value
+                run_key = short
+                run_value = value
             else:
-                out[short] = value
-        out = {row: value for row, value in out.items() if value != zero}
-        return AnnotatedRelation(
+                run_value = add(run_value, value)
+        if run_key is not None and run_value != zero:
+            out[run_key] = run_value
+        return AnnotatedRelation._from_codes(
             name or f"Σ[{self.name}]", out_schema, self.semiring, out
         )
 

@@ -7,6 +7,11 @@ remains over the free variables.  The per-step intermediate is the bag
 ``{v} ∪ N(v)`` of the elimination ordering, so the runtime exponent is that
 ordering's induced width, tying the evaluator to the width machinery of §7
 (a bound-first ordering realizes a free-connex decomposition's width).
+
+Each ⊗ is a sort-merge join over the factors' shared code columns and each
+⊕-marginalization a fold over the sorted runs of the kept projection
+(:mod:`repro.faq.annotated` on the columnar engine); annotation values stay
+exact ``Fraction``/``int`` end to end.
 """
 
 from __future__ import annotations
@@ -103,8 +108,9 @@ def variable_elimination(
     )
 
     for variable in order:
-        touching = [f for f in factors if variable in f.attributes]
-        rest = [f for f in factors if variable not in f.attributes]
+        touching, rest = [], []
+        for factor in factors:
+            (touching if variable in factor.attributes else rest).append(factor)
         if not touching:
             continue
         bag: set[str] = set()

@@ -21,6 +21,7 @@ from itertools import permutations
 from typing import Iterable
 
 from repro.core.hypergraph import Hypergraph
+from repro.core.varmap import VarMap
 from repro.decompositions.tree_decomposition import TreeDecomposition
 from repro.exceptions import DecompositionError
 
@@ -131,13 +132,19 @@ def free_connex_decomposition_from_order(
             adjacency[a].discard(v)
 
     # Prune redundant bags *within* each phase only: a free-phase bag must
-    # never be absorbed into a mixed bag (see module docstring).
+    # never be absorbed into a mixed bag (see module docstring).  Subset
+    # tests run on the mask kernel: each bag is one machine int and
+    # absorption is a single ``&`` comparison.
+    varmap = VarMap.of(tuple(sorted(hypergraph.vertices)))
+
     def prune(bags: list[frozenset]) -> list[frozenset]:
+        masks = [varmap.mask_of(bag) for bag in bags]
         kept: list[frozenset] = []
-        for i, bag in enumerate(bags):
+        for i, (bag, mask) in enumerate(zip(bags, masks)):
             absorbed = any(
-                (bag < other) or (bag == other and i < j)
-                for j, other in enumerate(bags)
+                (mask != other and mask & other == mask)
+                or (mask == other and i < j)
+                for j, other in enumerate(masks)
                 if j != i
             )
             if not absorbed:

@@ -1,23 +1,31 @@
 """Relational engine substrate.
 
-Schema'd in-memory relations (:class:`~repro.relational.relation.Relation`),
-database instances, the relational operators PANDA uses (join / semijoin /
-project / union / Lemma 6.1 heavy-light partition), Yannakakis' acyclic-join
-algorithm, and the Generic-Join worst-case-optimal baseline.
+Columnar, dictionary-encoded in-memory relations
+(:class:`~repro.relational.relation.Relation` over
+:mod:`~repro.relational.columns`), the shared sorted-trie iterator every
+join algorithm drives (:mod:`~repro.relational.trie`), database instances,
+the relational operators PANDA uses (join / semijoin / project / union /
+Lemma 6.1 heavy-light partition), Yannakakis' acyclic-join algorithm, and
+the two worst-case-optimal baselines (Generic Join and Leapfrog Triejoin).
 """
 
+from repro.relational.columns import ColumnSet, Dictionary
 from repro.relational.database import Database
 from repro.relational.operators import (
+    WorkCounter,
+    current_counter,
     difference,
     heavy_light_partition,
     natural_join,
     project,
+    scoped_work_counter,
     select_equal,
     semijoin,
     union,
     work_counter,
 )
 from repro.relational.relation import Relation
+from repro.relational.trie import SortedTrieIterator, leapfrog_search
 from repro.relational.leapfrog import build_trie, leapfrog_triejoin
 from repro.relational.wcoj import binary_join_plan, generic_join
 from repro.relational.yannakakis import (
@@ -29,21 +37,28 @@ from repro.relational.yannakakis import (
 )
 
 __all__ = [
+    "ColumnSet",
     "Database",
+    "Dictionary",
     "JoinTree",
     "Relation",
+    "SortedTrieIterator",
+    "WorkCounter",
     "acyclic_boolean",
     "acyclic_join",
     "binary_join_plan",
     "build_trie",
+    "current_counter",
     "difference",
     "full_reduce",
     "generic_join",
+    "leapfrog_search",
     "leapfrog_triejoin",
     "heavy_light_partition",
     "join_tree_from_bags",
     "natural_join",
     "project",
+    "scoped_work_counter",
     "select_equal",
     "semijoin",
     "union",

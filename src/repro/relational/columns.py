@@ -1,0 +1,220 @@
+"""Dictionary encoding and sorted columnar code storage (the relation kernel).
+
+This is the storage layer the whole relational engine sits on, mirroring what
+the bitmask kernel (``core/varmap.py``) did for the entropy/LP layers: replace
+per-operation hashing of arbitrary Python objects with dense machine integers
+fixed once at ingestion time.
+
+* A :class:`Dictionary` interns the values of one *attribute* to dense integer
+  codes.  Dictionaries are shared per attribute name (:meth:`Dictionary.of`),
+  so two relations mentioning the same attribute always agree on codes and
+  every join/semijoin/intersection can run directly on the integers — no
+  decode, no value hashing, no cross-relation translation.
+* A :class:`ColumnSet` materializes one relation's code-tuples *sorted
+  lexicographically* under a chosen attribute order, with one ``array('q')``
+  per attribute built on demand.  Sorted columns are what the shared
+  :class:`~repro.relational.trie.SortedTrieIterator` walks: a trie level is a
+  contiguous code range, descents are C-level binary searches, and seeks
+  gallop (:func:`gallop_left`) instead of probing dicts.
+
+Codes order values by *first appearance*, not by ``<`` on the values — the
+engine only ever needs a total order that all participating relations share,
+which the per-attribute sharing guarantees.  Anything user-facing (CSV dumps,
+``as_dicts``) decodes back to values at the boundary.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterator, Sequence
+
+__all__ = ["Dictionary", "ColumnSet", "decode_row", "gallop_left", "merge_runs"]
+
+
+class Dictionary:
+    """Interns one attribute's values to dense integer codes.
+
+    Attributes:
+        attribute: the attribute name this dictionary encodes.
+
+    The code space is append-only: ``encode`` assigns ``0, 1, 2, ...`` in
+    first-appearance order and never re-assigns, so codes handed out earlier
+    stay valid for the lifetime of the process.  Values must be hashable
+    (exactly the constraint tuple-set relations already imposed).
+    """
+
+    __slots__ = ("attribute", "_codes", "_values")
+
+    #: shared per-attribute-name instances (see :meth:`of`).
+    _registry: dict = {}
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._codes: dict = {}
+        self._values: list = []
+
+    @classmethod
+    def of(cls, attribute: str) -> "Dictionary":
+        """The shared dictionary for ``attribute`` (one per name per process).
+
+        The registry is append-only and retains every value ever encoded, so
+        a long-lived process cycling through many unrelated datasets should
+        call :meth:`reset_registry` at workload boundaries.
+        """
+        found = cls._registry.get(attribute)
+        if found is None:
+            found = cls(attribute)
+            cls._registry[attribute] = found
+        return found
+
+    @classmethod
+    def reset_registry(cls) -> None:
+        """Drop all shared dictionaries (reclaiming their interned values).
+
+        Only safe at a workload boundary: relations built *before* the reset
+        keep their (still-valid) dictionary objects, but they no longer share
+        codes with relations built afterwards, so mixing the two in one join
+        is undefined.  Intended for long-running processes and test harnesses
+        that churn through many unrelated datasets.
+        """
+        cls._registry.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode(self, value) -> int:
+        """The code of ``value``, interning it on first sight."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def encode_existing(self, value) -> int | None:
+        """The code of ``value`` if already interned, else ``None``."""
+        return self._codes.get(value)
+
+    def decode(self, code: int):
+        """The value behind ``code``."""
+        return self._values[code]
+
+    @property
+    def values(self) -> list:
+        """The interned values, indexable by code (do not mutate)."""
+        return self._values
+
+    def __repr__(self) -> str:
+        return f"Dictionary({self.attribute!r}: {len(self)} values)"
+
+
+def decode_row(dictionaries: Sequence[Dictionary], code_row: tuple) -> tuple:
+    """Decode one code tuple through its aligned dictionaries."""
+    return tuple(d.values[c] for d, c in zip(dictionaries, code_row))
+
+
+class ColumnSet:
+    """Code-tuples over an ordered attribute list, lexicographically sorted.
+
+    ``rows`` is the full multiset of the owning relation's tuples projected
+    onto ``attrs`` (duplicates preserved, one entry per relation tuple), kept
+    sorted so that
+
+    * every trie level (a fixed prefix) is a contiguous index range,
+    * distinct prefixes are run boundaries (projection/degree = linear scan),
+    * per-attribute ``array('q')`` columns support C-speed binary search.
+
+    Columns are materialized lazily — operators that only need row tuples
+    (merge joins, partitions) never pay for the arrays.
+    """
+
+    __slots__ = ("attrs", "rows", "_columns")
+
+    def __init__(self, attrs: Sequence[str], rows: list, presorted: bool = False) -> None:
+        self.attrs: tuple[str, ...] = tuple(attrs)
+        if not presorted:
+            rows = sorted(rows)
+        self.rows: list = rows
+        self._columns: tuple | None = None
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def columns(self) -> tuple:
+        """One sorted-aligned ``array('q')`` per attribute (built on demand)."""
+        cols = self._columns
+        if cols is None:
+            rows = self.rows
+            cols = tuple(
+                array("q", (row[i] for row in rows))
+                for i in range(len(self.attrs))
+            )
+            self._columns = cols
+        return cols
+
+    def distinct_prefix_count(self, depth: int) -> int:
+        """Number of distinct length-``depth`` prefixes among the rows."""
+        if depth == 0:
+            return 1 if self.rows else 0
+        rows = self.rows
+        count = 0
+        previous = None
+        for row in rows:
+            head = row[:depth]
+            if head != previous:
+                count += 1
+                previous = head
+        return count
+
+    def __repr__(self) -> str:
+        return f"ColumnSet({self.attrs}: {self.nrows} rows)"
+
+
+def gallop_left(column, code: int, lo: int, hi: int) -> int:
+    """First index in ``[lo, hi)`` with ``column[i] >= code``.
+
+    Exponential (galloping) probe from ``lo`` followed by a binary search in
+    the located bracket — the LFTJ seek primitive [47, §3.1]: cost is
+    logarithmic in the *distance moved*, not in the range size, which is what
+    keeps leapfrogging within the AGM bound.
+    """
+    step = 1
+    probe = lo
+    while probe < hi and column[probe] < code:
+        lo = probe + 1
+        probe += step
+        step <<= 1
+    return bisect_left(column, code, lo, min(probe, hi))
+
+
+def merge_runs(left: Sequence, right: Sequence, key) -> Iterator[tuple[int, int, int, int]]:
+    """Pair up matching key runs of two ``key``-sorted sequences.
+
+    The shared inner loop of every sort-merge ⋈ in the engine (set joins in
+    :mod:`repro.relational.operators`, ⊗-joins in
+    :mod:`repro.faq.annotated`): for each key present on both sides, yields
+    the half-open index ranges ``(i, i_end, j, j_end)`` of its left and
+    right runs; the caller cross-combines the two blocks however it likes.
+    """
+    i = j = 0
+    n_left, n_right = len(left), len(right)
+    while i < n_left and j < n_right:
+        left_key = key(left[i])
+        right_key = key(right[j])
+        if left_key < right_key:
+            i += 1
+            continue
+        if left_key > right_key:
+            j += 1
+            continue
+        i_end = i + 1
+        while i_end < n_left and key(left[i_end]) == left_key:
+            i_end += 1
+        j_end = j + 1
+        while j_end < n_right and key(right[j_end]) == left_key:
+            j_end += 1
+        yield i, i_end, j, j_end
+        i, j = i_end, j_end

@@ -97,29 +97,21 @@ class Database:
         """The tightest degree constraints each relation satisfies.
 
         For every relation ``R`` and every pair ``X ⊂ Y ⊆ attrs(R)`` (or just
-        cardinalities plus single-attribute conditionals when
-        ``include_projections`` is False) emit ``(X, Y, deg_R(Y|X))``.
+        cardinalities when ``include_projections`` is False) emit
+        ``(X, Y, deg_R(Y|X))``; the per-relation profiling is
+        :func:`repro.relational.stats.relation_statistics` — pairs enumerated
+        on the mask kernel, degrees as run scans over sorted code columns.
         """
+        from repro.relational.stats import relation_statistics
+
         constraints: list[DegreeConstraint] = []
         for relation in self._relations.values():
             attrs = tuple(sorted(relation.attributes))
             constraints.append(
                 DegreeConstraint.make((), attrs, max(1, len(relation)))
             )
-            if not include_projections:
-                continue
-            from repro.core.hypergraph import powerset
-
-            subsets = [s for s in powerset(attrs)]
-            for y in subsets:
-                if not y:
-                    continue
-                for x in subsets:
-                    if x < y:
-                        bound = max(1, relation.degree(y, x))
-                        constraints.append(
-                            DegreeConstraint.make(x, y, bound)
-                        )
+            if include_projections:
+                constraints.extend(relation_statistics(relation))
         return ConstraintSet(constraints)
 
     # -- hypergraph view -----------------------------------------------------------------

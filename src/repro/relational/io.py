@@ -5,6 +5,14 @@ can run the paper's machinery on their own data.  One CSV file per relation:
 the header row is the schema, every following row a tuple.  Values are
 integer-coerced when the whole column parses as integers (the bounds and
 PANDA are domain-agnostic; coercion only normalizes equality).
+
+Ingestion streams straight into dictionary codes: each cell is interned into
+a per-column staging dictionary as it is read, so the loader holds one code
+tuple per row plus one string per *distinct* value — never an all-string row
+list.  After the stream ends, each column's distinct values are coerced (or
+not) in one pass and translated into the schema attributes' shared
+:class:`~repro.relational.columns.Dictionary` codes, and the relation is
+built directly from the final code tuples.
 """
 
 from __future__ import annotations
@@ -12,29 +20,11 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 from repro.exceptions import SchemaError
+from repro.relational.columns import Dictionary
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
 __all__ = ["load_relation_csv", "save_relation_csv", "load_database_dir"]
-
-
-def _coerce_columns(rows: list[list[str]]) -> list[tuple]:
-    """Convert columns that are all-integer to ints, per column."""
-    if not rows:
-        return []
-    width = len(rows[0])
-    numeric = [True] * width
-    for row in rows:
-        for i, value in enumerate(row):
-            if numeric[i]:
-                try:
-                    int(value)
-                except ValueError:
-                    numeric[i] = False
-    return [
-        tuple(int(v) if numeric[i] else v for i, v in enumerate(row))
-        for row in rows
-    ]
 
 
 def load_relation_csv(
@@ -51,19 +41,57 @@ def load_relation_csv(
         SchemaError: on an empty file or ragged rows.
     """
     path = Path(path)
+    header: tuple[str, ...] | None = None
+    staging: list[dict[str, int]] = []
+    distinct: list[list[str]] = []
+    code_rows: list[tuple[int, ...]] = []
     with open(path, newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        rows = [row for row in reader if row]
-    if not rows:
+        for row in csv.reader(handle, delimiter=delimiter):
+            if not row:
+                continue
+            if header is None:
+                header = tuple(column.strip() for column in row)
+                staging = [{} for _ in header]
+                distinct = [[] for _ in header]
+                continue
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}: row {row} does not match header {header}"
+                )
+            coded = []
+            for i, cell in enumerate(row):
+                column = staging[i]
+                code = column.get(cell)
+                if code is None:
+                    code = len(distinct[i])
+                    column[cell] = code
+                    distinct[i].append(cell)
+                coded.append(code)
+            code_rows.append(tuple(coded))
+    if header is None:
         raise SchemaError(f"{path} is empty (need a header row)")
-    header = tuple(column.strip() for column in rows[0])
-    body = rows[1:]
-    for row in body:
-        if len(row) != len(header):
-            raise SchemaError(
-                f"{path}: row {row} does not match header {header}"
-            )
-    return Relation(name or path.stem, header, _coerce_columns(body))
+
+    # Per column: coerce the distinct values to int when they all parse,
+    # then translate staging codes into the attribute's shared dictionary.
+    translations: list[list[int]] = []
+    for attr, values in zip(header, distinct):
+        coerced: list[object] = []
+        numeric = True
+        for value in values:
+            try:
+                coerced.append(int(value))
+            except ValueError:
+                numeric = False
+                break
+        final_values = coerced if numeric else values
+        encode = Dictionary.of(attr).encode
+        translations.append([encode(v) for v in final_values])
+
+    rows = [
+        tuple(translation[code] for translation, code in zip(translations, row))
+        for row in code_rows
+    ]
+    return Relation.from_codes(name or path.stem, header, rows)
 
 
 def save_relation_csv(

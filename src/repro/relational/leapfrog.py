@@ -1,13 +1,24 @@
 """Leapfrog Triejoin — the sorted-iterator WCOJ algorithm of Veldhuizen [47].
 
 The second worst-case optimal baseline of §2.1.1, distinct from Generic Join
-(:mod:`repro.relational.wcoj`) in mechanism: every relation is stored as a
-*trie* keyed by the global variable order, and per variable the unary
+(:mod:`repro.relational.wcoj`) in mechanism: per variable, the unary
 iterators of the participating tries are intersected by *leapfrogging* —
 repeatedly seeking the lagging iterator to the current maximum with a
-galloping/binary search.  The total work is within a log factor of the
-AGM bound ``2^{ρ*}`` [47, Thm 3.4]; the bench cross-checks both baselines
+galloping binary search.  The total work is within a log factor of the AGM
+bound ``2^{ρ*}`` [47, Thm 3.4]; the bench cross-checks both baselines
 against the naive join and against each other.
+
+The tries are the *implicit* sorted tries of the columnar storage: every
+relation contributes one shared
+:class:`~repro.relational.trie.SortedTrieIterator` keyed by the global
+variable order restricted to its attributes.  Per inner level the active
+tries' cached sorted key runs are intersected with the §3.1 leapfrog loop
+(:func:`_leapfrog_intersection`, memoized per node combination); the leaf
+level — with nothing left to descend into — intersects whole blocks over the
+cached per-node key sets and emits them at C speed.
+:func:`~repro.relational.trie.leapfrog_search` is the pipelined
+iterator-protocol form of the same loop, and :func:`build_trie` a decoded
+reference trie; tests use both as oracles for the columnar path.
 """
 
 from __future__ import annotations
@@ -16,18 +27,20 @@ from bisect import bisect_left
 from typing import Sequence
 
 from repro.exceptions import QueryError
-from repro.relational.operators import work_counter
+from repro.relational.execution import execute_join
+from repro.relational.operators import current_counter
 from repro.relational.relation import Relation
 
 __all__ = ["leapfrog_triejoin", "build_trie"]
 
 
 def build_trie(relation: Relation, attr_order: Sequence[str]) -> dict:
-    """The sorted trie of ``relation`` keyed by ``attr_order``.
+    """The (decoded) sorted trie of ``relation`` keyed by ``attr_order``.
 
-    Each level is a dict ``value -> child``; leaves are empty dicts.  Key
-    *sorting* is applied lazily by the join (dicts preserve nothing useful);
-    the trie itself is plain nested dicts so construction is linear.
+    Each level is a dict ``value -> child``; leaves are empty dicts.  This is
+    the value-level *reference* trie — the join itself walks the implicit
+    columnar trie via :meth:`Relation.trie_iterator` — kept for tests,
+    debugging, and downstream users who want a materialized view.
 
     Raises:
         QueryError: if ``attr_order`` is not a permutation of the schema.
@@ -48,46 +61,18 @@ def build_trie(relation: Relation, attr_order: Sequence[str]) -> dict:
     return root
 
 
-class _TrieIterator:
-    """One relation's cursor: a stack of (sorted keys, node) levels."""
-
-    __slots__ = ("stack",)
-
-    def __init__(self, root: dict) -> None:
-        self.stack: list[dict] = [root]
-
-    def keys(self) -> list:
-        """Sorted keys at the current level (materialized once per node)."""
-        node = self.stack[-1]
-        cached = node.get(_KEYS_SENTINEL)
-        if cached is None:
-            cached = sorted(k for k in node if k is not _KEYS_SENTINEL)
-            node[_KEYS_SENTINEL] = cached
-        return cached
-
-    def open(self, value) -> None:
-        self.stack.append(self.stack[-1][value])
-
-    def up(self) -> None:
-        self.stack.pop()
-
-
-class _KeysSentinel:
-    """Private dict key caching each trie node's sorted key list."""
-
-    def __repr__(self) -> str:
-        return "<keys>"
-
-
-_KEYS_SENTINEL = _KeysSentinel()
-
-
 def _leapfrog_intersection(key_lists: list[list]) -> list:
-    """Intersect sorted lists by leapfrogging (galloping seeks) [47, §3.1]."""
+    """Intersect sorted lists by leapfrogging (galloping seeks) [47, §3.1].
+
+    The inner-level intersection of the triejoin: repeatedly binary-search
+    the lagging list to the current maximum.  Each seek charges one scan to
+    the current work counter.
+    """
+    counter = current_counter()
     if any(not keys for keys in key_lists):
         return []
     if len(key_lists) == 1:
-        work_counter.tuples_scanned += len(key_lists[0])
+        counter.tuples_scanned += len(key_lists[0])
         return list(key_lists[0])
     positions = [0] * len(key_lists)
     out = []
@@ -97,7 +82,7 @@ def _leapfrog_intersection(key_lists: list[list]) -> list:
     while True:
         keys = key_lists[index]
         pos = bisect_left(keys, current, positions[index])
-        work_counter.tuples_scanned += 1
+        counter.tuples_scanned += 1
         if pos >= len(keys):
             return out
         positions[index] = pos
@@ -137,47 +122,19 @@ def leapfrog_triejoin(
     """
     if not relations:
         raise QueryError("leapfrog triejoin needs at least one relation")
-    all_vars: set[str] = set()
-    for relation in relations:
-        all_vars |= relation.attributes
-    if variable_order is None:
-        order = tuple(sorted(all_vars))
-    else:
-        order = tuple(variable_order)
-        if set(order) != all_vars:
-            raise QueryError(
-                f"variable order {order} does not cover variables "
-                f"{sorted(all_vars)}"
-            )
+    return execute_join(relations, variable_order, name, _leapfrog_inner)
 
-    iterators: list[tuple[frozenset, _TrieIterator]] = []
-    for relation in relations:
-        attrs = tuple(a for a in order if a in relation.attributes)
-        iterators.append(
-            (relation.attributes, _TrieIterator(build_trie(relation, attrs)))
-        )
 
-    out_rows: list[tuple] = []
-    binding: list = []
+def _leapfrog_inner(active: list, counter) -> list[int]:
+    """Inner-level intersection by leapfrogging the sorted key runs.
 
-    def recurse(depth: int) -> None:
-        if depth == len(order):
-            out_rows.append(tuple(binding))
-            work_counter.tuples_emitted += 1
-            return
-        var = order[depth]
-        active = [it for attrs, it in iterators if var in attrs]
-        if not active:
-            raise QueryError(f"variable {var!r} appears in no relation")
-        matches = _leapfrog_intersection([it.keys() for it in active])
-        for value in matches:
-            for it in active:
-                it.open(value)
-            binding.append(value)
-            recurse(depth + 1)
-            binding.pop()
-            for it in active:
-                it.up()
-
-    recurse(0)
-    return Relation(name, order, out_rows)
+    The algorithm-specific half of the shared
+    :func:`~repro.relational.execution.execute_join` driver: where Generic
+    Join hash-intersects candidate sets, the triejoin leapfrogs the active
+    levels' sorted unary iterators per [47, §3.1] (seek charging happens
+    inside :func:`_leapfrog_intersection`, which reads the current work
+    counter itself).
+    """
+    return _leapfrog_intersection(
+        [iterator.child_keys() for iterator in active]
+    )

@@ -2,9 +2,24 @@
 
 These are the only operations PANDA performs (§1.3: "join, horizontal
 partition, union" — plus the projections of monotonicity steps and the
-semijoins of the query drivers).  Every operator counts the tuple-level work
-it performs into a module-level :class:`WorkCounter`, so benchmarks can report
-machine-independent work alongside wall-clock time.
+semijoins of the query drivers).  All of them run directly on the sorted
+integer code columns of :mod:`repro.relational.columns`:
+
+* projections and partitions are run scans over a column set sorted with the
+  kept/grouping attributes first;
+* the natural join is a sort-merge join on the shared-attribute prefix;
+* the semijoin probes the right side's cached distinct-key set;
+* union/difference are set algebra on code tuples (shared dictionaries make
+  codes directly comparable across relations).
+
+Every operator counts the tuple-level work it performs into the *current*
+:class:`WorkCounter`, so benchmarks can report machine-independent work
+alongside wall-clock time.  The counter is scoped through a
+:class:`~contextvars.ContextVar` — concurrent or interleaved runs (parallel
+pytest, async drivers) each see their own counter under
+:func:`scoped_work_counter`, while the module-level :data:`work_counter`
+proxy keeps the historical ``work_counter.reset()`` / ``work_counter.total``
+call sites working against whichever counter is current.
 
 The heavy/light partition implements Lemma 6.1: a table ``T(A_Y)`` with
 ``X ⊂ Y`` splits into ``O(log |T|)`` pieces ``T^(j)`` with
@@ -14,15 +29,21 @@ The heavy/light partition implements Lemma 6.1: a table ``T(A_Y)`` with
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.exceptions import SchemaError
+from repro.relational.columns import decode_row, merge_runs
 from repro.relational.relation import Relation
 
 __all__ = [
     "WorkCounter",
     "work_counter",
+    "current_counter",
+    "scoped_work_counter",
     "project",
     "select_equal",
     "natural_join",
@@ -57,38 +78,138 @@ class WorkCounter:
         return self.tuples_scanned + self.tuples_emitted
 
 
-#: Global counter used by all operators.  Benchmarks reset it around runs.
-work_counter = WorkCounter()
+#: Process-wide fallback counter (what un-scoped code observes).
+_DEFAULT_COUNTER = WorkCounter()
+
+_counter_var: ContextVar[WorkCounter] = ContextVar(
+    "repro_work_counter", default=_DEFAULT_COUNTER
+)
+
+
+def current_counter() -> WorkCounter:
+    """The :class:`WorkCounter` active in the current context."""
+    return _counter_var.get()
+
+
+@contextmanager
+def scoped_work_counter(counter: WorkCounter | None = None) -> Iterator[WorkCounter]:
+    """Run the body against its own work counter.
+
+    Every operator inside the ``with`` block charges the scoped counter
+    instead of the process-wide one, so interleaved runs cannot corrupt each
+    other's scan/emit counts.  Scoping follows :mod:`contextvars` semantics:
+    asyncio tasks spawned inside the block inherit the counter, but worker
+    *threads* start from a fresh context and see the process-wide default —
+    to count inside a thread, enter ``scoped_work_counter(counter)`` in the
+    thread body (or run it under ``contextvars.copy_context()``)::
+
+        with scoped_work_counter() as counter:
+            generic_join(relations)
+            print(counter.total)
+    """
+    if counter is None:
+        counter = WorkCounter()
+    token = _counter_var.set(counter)
+    try:
+        yield counter
+    finally:
+        _counter_var.reset(token)
+
+
+class _WorkCounterProxy:
+    """Module-level facade forwarding to the context's current counter.
+
+    Keeps the historical ``from repro.relational import work_counter`` call
+    sites (tests, benchmarks, downstream users) working unchanged: attribute
+    reads, writes, and ``reset()`` all hit whatever counter is current.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        return getattr(_counter_var.get(), name)
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(_counter_var.get(), name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"work_counter -> {_counter_var.get()!r}"
+
+
+#: Context-following proxy used by legacy call sites.  Benchmarks reset it
+#: around runs; new code should prefer :func:`scoped_work_counter`.
+work_counter = _WorkCounterProxy()
 
 
 def project(relation: Relation, attrs: Iterable[str], name: str | None = None) -> Relation:
-    """``Π_attrs(relation)``; output schema order follows the input schema."""
+    """``Π_attrs(relation)``; output schema order follows the input schema.
+
+    A run scan over the column set sorted by the kept attributes: distinct
+    projections are exactly the run starts, so no hashing is needed and the
+    output rows come out pre-sorted.
+    """
     attr_set = frozenset(attrs)
     if not attr_set <= relation.attributes:
         raise SchemaError(
             f"cannot project {relation.schema} onto {sorted(attr_set)}"
         )
     out_schema = tuple(a for a in relation.schema if a in attr_set)
-    positions = tuple(relation.position(a) for a in out_schema)
-    rows = {tuple(row[p] for p in positions) for row in relation}
-    work_counter.tuples_scanned += len(relation)
-    work_counter.tuples_emitted += len(rows)
-    return Relation(name or f"Π({relation.name})", out_schema, rows)
+    rows = relation.column_set(out_schema).rows
+    out_rows: list[tuple] = []
+    previous = None
+    for row in rows:
+        if row != previous:
+            out_rows.append(row)
+            previous = row
+    counter = _counter_var.get()
+    counter.tuples_scanned += len(relation)
+    counter.tuples_emitted += len(out_rows)
+    return Relation.from_codes(
+        name or f"Π({relation.name})",
+        out_schema,
+        out_rows,
+        presorted=True,
+        distinct=True,
+    )
 
 
 def select_equal(relation: Relation, attr: str, value, name: str | None = None) -> Relation:
-    """``σ_{attr = value}(relation)`` using the single-attribute index."""
-    index = relation.index_on((attr,))
-    rows = index.get((value,), [])
-    work_counter.tuples_scanned += len(rows)
-    work_counter.tuples_emitted += len(rows)
-    return Relation(name or f"σ({relation.name})", relation.schema, rows)
+    """``σ_{attr = value}(relation)`` via binary search on the sorted column."""
+    position = relation.position(attr)
+    code = relation.dictionaries[position].encode_existing(value)
+    counter = _counter_var.get()
+    if code is None or relation.is_empty():
+        return Relation.from_codes(
+            name or f"σ({relation.name})", relation.schema, [], presorted=True,
+            distinct=True,
+        )
+    order = (attr,) + tuple(a for a in relation.schema if a != attr)
+    column_set = relation.column_set(order)
+    column = column_set.columns[0]
+    lo = bisect_left(column, code)
+    hi = bisect_right(column, code, lo)
+    selected = column_set.rows[lo:hi]
+    # Reorder each row back to schema layout; with the selected attribute
+    # constant, sortedness under `order` implies sortedness under the schema.
+    inverse = tuple(order.index(a) for a in relation.schema)
+    out_rows = [tuple(row[i] for i in inverse) for row in selected]
+    counter.tuples_scanned += len(out_rows)
+    counter.tuples_emitted += len(out_rows)
+    return Relation.from_codes(
+        name or f"σ({relation.name})",
+        relation.schema,
+        out_rows,
+        presorted=True,
+        distinct=True,
+    )
 
 
 def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
-    """``left ⋈ right`` via hash join on the shared attributes.
+    """``left ⋈ right`` via sort-merge join on the shared attributes.
 
-    The output schema is left's schema followed by right's private attributes.
+    Both sides are sorted shared-attributes-major; matching key runs are
+    paired by a linear merge and their row blocks cross-multiplied.  The
+    output schema is left's schema followed by right's private attributes.
     A cross product (no shared attributes) is supported but counted at full
     cost, as it should be.
     """
@@ -97,62 +218,74 @@ def natural_join(left: Relation, right: Relation, name: str | None = None) -> Re
         a for a in right.schema if a not in left.attributes
     )
     right_private = tuple(a for a in right.schema if a not in left.attributes)
-    right_positions = tuple(right.position(a) for a in right_private)
 
-    # Build on the smaller side, probe with the larger.
-    build_on_right = len(right) <= len(left)
-    rows = set()
-    if build_on_right:
-        index = right.index_on(shared)
-        work_counter.tuples_scanned += len(right)
-        for row in left:
-            work_counter.tuples_scanned += 1
-            key = left.key_of(row, shared)
-            for match in index.get(key, ()):
-                rows.add(row + tuple(match[p] for p in right_positions))
-                work_counter.tuples_emitted += 1
-    else:
-        index = left.index_on(shared)
-        work_counter.tuples_scanned += len(left)
-        for match in right:
-            work_counter.tuples_scanned += 1
-            key = right.key_of(match, shared)
-            for row in index.get(key, ()):
-                rows.add(row + tuple(match[p] for p in right_positions))
-                work_counter.tuples_emitted += 1
-    work_counter.joins += 1
-    return Relation(name or f"({left.name}⋈{right.name})", out_schema, rows)
+    k = len(shared)
+    left_order = shared + tuple(a for a in left.schema if a not in shared)
+    right_order = shared + right_private
+    left_rows = left.column_set(left_order).rows
+    right_rows = right.column_set(right_order).rows
+    # Positions mapping a left-order row back to left-schema layout.
+    left_inverse = tuple(left_order.index(a) for a in left.schema)
+
+    counter = _counter_var.get()
+    counter.tuples_scanned += len(left_rows) + len(right_rows)
+    out_rows: list[tuple] = []
+    for i, i_end, j, j_end in merge_runs(
+        left_rows, right_rows, lambda row: row[:k]
+    ):
+        for a in range(i, i_end):
+            realigned = tuple(left_rows[a][p] for p in left_inverse)
+            for b in range(j, j_end):
+                out_rows.append(realigned + right_rows[b][k:])
+    counter.tuples_emitted += len(out_rows)
+    counter.joins += 1
+    return Relation.from_codes(
+        name or f"({left.name}⋈{right.name})", out_schema, out_rows,
+        distinct=True,
+    )
 
 
 def semijoin(left: Relation, right: Relation, name: str | None = None) -> Relation:
-    """``left ⋉ right``: the left tuples with a join partner in right."""
+    """``left ⋉ right``: the left tuples with a join partner in right.
+
+    Probes the right side's cached distinct-key set with code tuples; the
+    left side streams in canonical order, so the output is pre-sorted.
+    """
     shared = tuple(sorted(left.attributes & right.attributes))
-    index = right.index_on(shared)
-    rows = []
-    for row in left:
-        work_counter.tuples_scanned += 1
-        if left.key_of(row, shared) in index:
-            rows.append(row)
-            work_counter.tuples_emitted += 1
-    return Relation(name or left.name, left.schema, rows)
+    keys = right.key_set(shared)
+    positions = tuple(left.position(a) for a in shared)
+    counter = _counter_var.get()
+    out_rows = []
+    for row in left.code_rows:
+        counter.tuples_scanned += 1
+        if tuple(row[p] for p in positions) in keys:
+            out_rows.append(row)
+            counter.tuples_emitted += 1
+    return Relation.from_codes(
+        name or left.name, left.schema, out_rows, presorted=True, distinct=True
+    )
 
 
 def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
     """Set union of two relations over the same attribute set.
 
-    Schemas may order attributes differently; the left order wins.
+    Schemas may order attributes differently; the left order wins.  Shared
+    dictionaries let the realignment work purely on code tuples.
     """
     if left.attributes != right.attributes:
         raise SchemaError(
             f"union needs equal attribute sets, got {left.schema} vs {right.schema}"
         )
     positions = tuple(right.position(a) for a in left.schema)
-    realigned = (tuple(row[p] for p in positions) for row in right)
-    work_counter.tuples_scanned += len(left) + len(right)
-    rows = set(left.tuples)
-    rows.update(realigned)
-    work_counter.tuples_emitted += len(rows)
-    return Relation(name or f"({left.name}∪{right.name})", left.schema, rows)
+    counter = _counter_var.get()
+    counter.tuples_scanned += len(left) + len(right)
+    rows = set(left.code_rows)
+    rows.update(tuple(row[p] for p in positions) for row in right.code_rows)
+    counter.tuples_emitted += len(rows)
+    return Relation.from_codes(
+        name or f"({left.name}∪{right.name})", left.schema, list(rows),
+        distinct=True,
+    )
 
 
 def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
@@ -162,11 +295,15 @@ def difference(left: Relation, right: Relation, name: str | None = None) -> Rela
             f"difference needs equal attribute sets, got {left.schema} vs {right.schema}"
         )
     positions = tuple(right.position(a) for a in left.schema)
-    removed = {tuple(row[p] for p in positions) for row in right}
-    rows = [row for row in left if row not in removed]
-    work_counter.tuples_scanned += len(left) + len(right)
-    work_counter.tuples_emitted += len(rows)
-    return Relation(name or f"({left.name}-{right.name})", left.schema, rows)
+    removed = {tuple(row[p] for p in positions) for row in right.code_rows}
+    out_rows = [row for row in left.code_rows if row not in removed]
+    counter = _counter_var.get()
+    counter.tuples_scanned += len(left) + len(right)
+    counter.tuples_emitted += len(out_rows)
+    return Relation.from_codes(
+        name or f"({left.name}-{right.name})", left.schema, out_rows,
+        presorted=True, distinct=True,
+    )
 
 
 @dataclass(frozen=True)
@@ -196,6 +333,8 @@ def heavy_light_partition(
         piece.x_count * piece.y_degree <= len(relation).
 
     Returns at most ``2·log2|T| + O(1)`` pieces whose union is ``relation``.
+    The ``X``-groups are the runs of the ``X``-major sorted column set — one
+    linear scan, no hashing.
     """
     x_attrs = tuple(sorted(frozenset(x)))
     if not frozenset(x_attrs) < relation.attributes:
@@ -206,18 +345,44 @@ def heavy_light_partition(
     if total == 0:
         return []
 
-    groups: dict[tuple, list[tuple]] = {}
-    positions = tuple(relation.position(a) for a in x_attrs)
-    for row in relation:
-        work_counter.tuples_scanned += 1
-        groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+    k = len(x_attrs)
+    order = x_attrs + tuple(a for a in relation.schema if a not in x_attrs)
+    rows = relation.column_set(order).rows
+    inverse = tuple(order.index(a) for a in relation.schema)
+    counter = _counter_var.get()
+    counter.tuples_scanned += len(rows)
+
+    # X-groups = runs of the X-prefix; rows realigned back to schema layout.
+    groups: list[tuple[tuple, list[tuple]]] = []
+    i = 0
+    n = len(rows)
+    while i < n:
+        key = rows[i][:k]
+        i_end = i + 1
+        while i_end < n and rows[i_end][:k] == key:
+            i_end += 1
+        groups.append(
+            (key, [tuple(row[p] for p in inverse) for row in rows[i:i_end]])
+        )
+        i = i_end
 
     buckets: dict[int, list[tuple[tuple, list[tuple]]]] = {}
-    for key, rows in groups.items():
-        buckets.setdefault(len(rows).bit_length() - 1, []).append((key, rows))
+    for key, group_rows in groups:
+        buckets.setdefault(len(group_rows).bit_length() - 1, []).append(
+            (key, group_rows)
+        )
+
+    # Bucket halving sorts by decoded x-*values*, not codes: codes order by
+    # process-global first-appearance, so splitting on them would make the
+    # partition (and every PANDA run built on it) depend on interning
+    # history rather than on the relation's contents.
+    x_dicts = tuple(relation.dictionaries[relation.position(a)] for a in x_attrs)
+
+    def decoded_x(entry: tuple) -> tuple:
+        return decode_row(x_dicts, entry[0])
 
     pieces: list[PartitionPiece] = []
-    counter = 0
+    piece_count = 0
     for j in sorted(buckets):
         # Each entry in the stack is a list of (x_key, rows) pairs sharing
         # log-degree bucket j; halve until the Lemma 6.1 product bound holds.
@@ -225,19 +390,22 @@ def heavy_light_partition(
         while stack:
             entries = stack.pop()
             x_count = len(entries)
-            y_degree = max(len(rows) for _, rows in entries)
+            y_degree = max(len(group_rows) for _, group_rows in entries)
             if x_count * y_degree > total and x_count > 1:
-                entries_sorted = sorted(entries, key=lambda e: e[0])
+                entries_sorted = sorted(entries, key=decoded_x)
                 half = len(entries_sorted) // 2
                 stack.append(entries_sorted[:half])
                 stack.append(entries_sorted[half:])
                 continue
-            all_rows = [row for _, rows in entries for row in rows]
-            work_counter.tuples_emitted += len(all_rows)
-            counter += 1
-            piece = Relation(
-                f"{relation.name}[{counter}]", relation.schema, all_rows
+            all_rows = [row for _, group_rows in entries for row in group_rows]
+            counter.tuples_emitted += len(all_rows)
+            piece_count += 1
+            piece = Relation.from_codes(
+                f"{relation.name}[{piece_count}]",
+                relation.schema,
+                all_rows,
+                distinct=True,
             )
             pieces.append(PartitionPiece(piece, x_count, y_degree))
-    work_counter.partitions += 1
+    counter.partitions += 1
     return pieces

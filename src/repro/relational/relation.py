@@ -1,34 +1,53 @@
-"""In-memory relations with hash indexes.
+"""Columnar, dictionary-encoded in-memory relations.
 
 A :class:`Relation` is a named set of tuples over a fixed schema (an ordered
-tuple of attribute names).  Tuples are plain Python tuples aligned with the
-schema.  Hash indexes on attribute subsets are built lazily and cached; they
-back the join, semijoin, and degree computations that PANDA and the baseline
-algorithms perform.
+tuple of attribute names).  Internally the tuples live as *code* tuples —
+each attribute's values interned to dense integers by the shared
+per-attribute :class:`~repro.relational.columns.Dictionary` — kept in one
+canonical sorted :class:`~repro.relational.columns.ColumnSet` per requested
+attribute order.  Every operator, join algorithm, degree computation, and
+statistic runs on those sorted integer columns (via the shared
+:class:`~repro.relational.trie.SortedTrieIterator` or direct run scans);
+values are decoded only at the API boundary.
 
-Relations are treated as immutable once constructed — every operator in
-:mod:`repro.relational.operators` returns a new relation — which makes the
-sharing of inputs across PANDA's recursive branches safe.
+The historical tuple-facing API survives as thin adapters: ``__iter__`` /
+``tuples`` / ``index_on`` / ``key_of`` decode on demand (and cache), so
+bounds/width/PANDA consumers are unchanged.  Relations remain immutable once
+constructed — every operator in :mod:`repro.relational.operators` returns a
+new relation — which keeps sharing across PANDA's recursive branches safe.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchemaError
+from repro.relational.columns import ColumnSet, Dictionary, decode_row
+from repro.relational.trie import SortedTrieIterator
 
 __all__ = ["Relation"]
 
 
 class Relation:
-    """A named set of tuples over an ordered schema.
+    """A named set of tuples over an ordered schema, stored columnar.
 
     Attributes:
         name: display name (targets are ``T_...``, inputs ``R_...``).
         schema: ordered attribute names; ``len(schema)`` is the arity.
     """
 
-    __slots__ = ("name", "schema", "_tuples", "_indexes", "_positions")
+    __slots__ = (
+        "name",
+        "schema",
+        "_positions",
+        "_dicts",
+        "_rows",
+        "_row_set",
+        "_column_sets",
+        "_key_sets",
+        "_decoded",
+        "_indexes",
+    )
 
     def __init__(
         self,
@@ -41,8 +60,12 @@ class Relation:
         if len(set(self.schema)) != len(self.schema):
             raise SchemaError(f"duplicate attributes in schema {self.schema}")
         self._positions = {attr: i for i, attr in enumerate(self.schema)}
+        self._dicts: tuple[Dictionary, ...] = tuple(
+            Dictionary.of(attr) for attr in self.schema
+        )
         arity = len(self.schema)
-        data = set()
+        encoders = tuple(d.encode for d in self._dicts)
+        rows: set[tuple[int, ...]] = set()
         for row in tuples:
             row = tuple(row)
             if len(row) != arity:
@@ -50,26 +73,148 @@ class Relation:
                     f"tuple {row} has arity {len(row)}, schema {self.schema} "
                     f"expects {arity}"
                 )
-            data.add(row)
-        self._tuples: frozenset = frozenset(data)
+            rows.add(tuple(enc(v) for enc, v in zip(encoders, row)))
+        self._init_storage(sorted(rows))
+
+    def _init_storage(self, sorted_rows: list) -> None:
+        """Install the canonical (schema-order) sorted code rows."""
+        self._rows: list = sorted_rows
+        self._row_set: frozenset | None = None
+        self._column_sets: dict[tuple[str, ...], ColumnSet] = {
+            self.schema: ColumnSet(self.schema, sorted_rows, presorted=True)
+        }
+        self._key_sets: dict[tuple[str, ...], frozenset] = {}
+        self._decoded: frozenset | None = None
         self._indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
+
+    @classmethod
+    def from_codes(
+        cls,
+        name: str,
+        schema: Iterable[str],
+        code_rows: Iterable[tuple],
+        presorted: bool = False,
+        distinct: bool = False,
+    ) -> "Relation":
+        """Build a relation directly from already-encoded code tuples.
+
+        The fast path for operators and join outputs: codes must come from
+        the schema attributes' shared dictionaries.  ``presorted`` asserts
+        the rows are already in ascending order, ``distinct`` that they are
+        duplicate-free; both skip the corresponding normalization pass.
+        """
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.schema = tuple(schema)
+        if len(set(relation.schema)) != len(relation.schema):
+            raise SchemaError(f"duplicate attributes in schema {relation.schema}")
+        relation._positions = {a: i for i, a in enumerate(relation.schema)}
+        relation._dicts = tuple(Dictionary.of(a) for a in relation.schema)
+        rows = code_rows if isinstance(code_rows, list) else list(code_rows)
+        if not distinct:
+            rows = list(set(rows))
+            presorted = False
+        if not presorted:
+            rows = sorted(rows)
+        relation._init_storage(rows)
+        return relation
+
+    # -- columnar internals -------------------------------------------------------
+
+    @property
+    def dictionaries(self) -> tuple[Dictionary, ...]:
+        """The shared per-attribute dictionaries, schema-aligned."""
+        return self._dicts
+
+    @property
+    def code_rows(self) -> list:
+        """Canonical sorted code rows in schema order (do not mutate)."""
+        return self._rows
+
+    def column_set(self, order: Sequence[str]) -> ColumnSet:
+        """The rows sorted under ``order`` (any distinct schema attributes).
+
+        Cached per order; the schema-order set exists from construction.
+        Partial orders keep one row per relation tuple (duplicates under the
+        projection preserved) so run boundaries give exact distinct counts.
+        """
+        order = tuple(order)
+        cached = self._column_sets.get(order)
+        if cached is not None:
+            return cached
+        positions = tuple(self.position(a) for a in order)
+        if len(set(positions)) != len(positions):
+            raise SchemaError(f"column order {order} repeats an attribute")
+        rows = sorted(
+            [tuple(row[p] for p in positions) for row in self._rows]
+        )
+        cached = ColumnSet(order, rows, presorted=True)
+        self._column_sets[order] = cached
+        return cached
+
+    def trie_iterator(self, order: Sequence[str]) -> SortedTrieIterator:
+        """A :class:`SortedTrieIterator` over the rows sorted under ``order``."""
+        return SortedTrieIterator(self.column_set(tuple(order)))
+
+    def key_set(self, attrs: Sequence[str]) -> frozenset:
+        """The distinct code-tuples of the ``attrs`` projection (cached).
+
+        The probe side of semijoins: one frozenset of small int tuples per
+        attribute order, shared across sweeps.
+        """
+        attrs = tuple(attrs)
+        cached = self._key_sets.get(attrs)
+        if cached is None:
+            positions = tuple(self.position(a) for a in attrs)
+            cached = frozenset(
+                tuple(row[p] for p in positions) for row in self._rows
+            )
+            self._key_sets[attrs] = cached
+        return cached
+
+    def encode_key(self, attrs: Sequence[str], values: tuple) -> tuple | None:
+        """Encode a value tuple for ``attrs``; ``None`` if any value is unseen."""
+        out = []
+        for attr, value in zip(attrs, values):
+            code = self._dicts[self.position(attr)].encode_existing(value)
+            if code is None:
+                return None
+            out.append(code)
+        return tuple(out)
+
+    def decode_row(self, code_row: tuple) -> tuple:
+        """Decode one schema-aligned code tuple back to values."""
+        return decode_row(self._dicts, code_row)
+
+    def _code_set(self) -> frozenset:
+        row_set = self._row_set
+        if row_set is None:
+            row_set = frozenset(self._rows)
+            self._row_set = row_set
+        return row_set
 
     # -- basic protocol ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[tuple]:
-        return iter(self._tuples)
+        return iter(self.tuples)
 
     def __contains__(self, row: tuple) -> bool:
-        return tuple(row) in self._tuples
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            return False
+        coded = self.encode_key(self.schema, row)
+        return coded is not None and coded in self._code_set()
 
     def __eq__(self, other: object) -> bool:
         """Content equality over the same attribute set (order-insensitive).
 
         Two relations are equal when they have the same attributes and the
-        same tuples once columns are aligned; names are display only.
+        same tuples once columns are aligned; names are display only.  The
+        comparison runs on codes — shared dictionaries make code equality
+        coincide with value equality.
         """
         if not isinstance(other, Relation):
             return NotImplemented
@@ -78,15 +223,15 @@ class Relation:
         if len(self) != len(other):
             return False
         if self.schema == other.schema:
-            return self._tuples == other._tuples
+            return self._rows == other._rows
         positions = tuple(other.position(a) for a in self.schema)
-        realigned = {tuple(row[p] for p in positions) for row in other._tuples}
-        return self._tuples == realigned
+        realigned = {tuple(row[p] for p in positions) for row in other._rows}
+        return self._code_set() == realigned
 
     def __hash__(self) -> int:
         canonical = tuple(sorted(self.schema))
         positions = tuple(self._positions[a] for a in canonical)
-        rows = frozenset(tuple(row[p] for p in positions) for row in self._tuples)
+        rows = frozenset(tuple(row[p] for p in positions) for row in self._rows)
         return hash((canonical, rows))
 
     def __repr__(self) -> str:
@@ -99,10 +244,19 @@ class Relation:
 
     @property
     def tuples(self) -> frozenset:
-        return self._tuples
+        """The decoded value tuples (adapter boundary; cached)."""
+        decoded = self._decoded
+        if decoded is None:
+            values = tuple(d.values for d in self._dicts)
+            decoded = frozenset(
+                tuple(col[c] for col, c in zip(values, row))
+                for row in self._rows
+            )
+            self._decoded = decoded
+        return decoded
 
     def is_empty(self) -> bool:
-        return not self._tuples
+        return not self._rows
 
     # -- tuple access -------------------------------------------------------------
 
@@ -124,15 +278,17 @@ class Relation:
 
     def as_dicts(self) -> list[dict[str, object]]:
         """Human-friendly dump: each tuple as an attr->value dict."""
-        return [dict(zip(self.schema, row)) for row in sorted(self._tuples)]
+        return [dict(zip(self.schema, row)) for row in sorted(self.tuples)]
 
     # -- indexes ---------------------------------------------------------------------
 
     def index_on(self, attrs: Iterable[str]) -> Mapping[tuple, list[tuple]]:
-        """A hash index from ``attrs``-keys to the tuples carrying them.
+        """A hash index from ``attrs``-keys to the (decoded) tuples carrying them.
 
-        The key order is the sorted attribute order, so callers on both sides
-        of a join agree on key layout.  Indexes are cached per relation.
+        Tuple-facing compatibility adapter (the join algorithms themselves
+        now run on sorted code columns).  The key order is the sorted
+        attribute order, so callers on both sides of a join agree on key
+        layout.  Indexes are cached per relation.
         """
         key_attrs = tuple(sorted(frozenset(attrs)))
         for attr in key_attrs:
@@ -142,45 +298,60 @@ class Relation:
             return cached
         index: dict[tuple, list[tuple]] = {}
         positions = tuple(self._positions[a] for a in key_attrs)
-        for row in self._tuples:
+        for row in self.tuples:
             key = tuple(row[p] for p in positions)
             index.setdefault(key, []).append(row)
         self._indexes[key_attrs] = index
         return index
 
     def distinct_keys(self, attrs: Iterable[str]) -> int:
-        """Number of distinct ``attrs``-projections (``|Π_attrs(R)|``)."""
-        return len(self.index_on(attrs))
+        """Number of distinct ``attrs``-projections (``|Π_attrs(R)|``).
+
+        A run count over the sorted code columns — no hashing.
+        """
+        key_attrs = tuple(sorted(frozenset(attrs)))
+        column_set = self.column_set(key_attrs)
+        return column_set.distinct_prefix_count(len(key_attrs))
 
     # -- degrees (Definition 2.10) -----------------------------------------------------
 
     def degree(self, y: Iterable[str], x: Iterable[str]) -> int:
         """``deg_R(Y | X) = max_t |Π_Y(σ_{X=t}(R))|`` (0 for an empty relation).
 
-        ``X`` may be empty, in which case this is ``|Π_Y(R)|``.
-        Requires ``X ⊆ Y ⊆ schema``.
+        ``X`` may be empty, in which case this is ``|Π_Y(R)|``.  Requires
+        ``X ⊆ Y ⊆ schema``.  Computed as one linear scan over the rows
+        sorted ``X``-major: group boundaries are ``X``-prefix changes,
+        distinct ``Y``-extensions are row changes inside a group.
         """
         x_set = frozenset(x)
         y_set = frozenset(y)
         if not x_set <= y_set:
-            raise SchemaError(f"degree needs X ⊆ Y, got {sorted(x_set)} vs {sorted(y_set)}")
+            raise SchemaError(
+                f"degree needs X ⊆ Y, got {sorted(x_set)} vs {sorted(y_set)}"
+            )
         if not y_set <= self.attributes:
             raise SchemaError(
                 f"degree attrs {sorted(y_set)} not all in schema {self.schema}"
             )
-        if not self._tuples:
+        if not self._rows:
             return 0
-        if not x_set:
-            return self.distinct_keys(y_set)
-        x_attrs = tuple(sorted(x_set))
-        y_attrs = tuple(sorted(y_set))
-        groups: dict[tuple, set] = {}
-        x_positions = tuple(self._positions[a] for a in x_attrs)
-        y_positions = tuple(self._positions[a] for a in y_attrs)
-        for row in self._tuples:
-            key = tuple(row[p] for p in x_positions)
-            groups.setdefault(key, set()).add(tuple(row[p] for p in y_positions))
-        return max(len(v) for v in groups.values())
+        order = tuple(sorted(x_set)) + tuple(sorted(y_set - x_set))
+        split = len(x_set)
+        if split == 0:
+            return self.column_set(order).distinct_prefix_count(len(order))
+        rows = self.column_set(order).rows
+        best = 0
+        count = 0
+        previous = None
+        for row in rows:
+            if previous is None or row[:split] != previous[:split]:
+                if count > best:
+                    best = count
+                count = 1
+            elif row != previous:
+                count += 1
+            previous = row
+        return best if best >= count else count
 
     def guards(self, constraint) -> bool:
         """True if this relation guards a degree constraint (Def. 2.10)."""
@@ -198,11 +369,56 @@ class Relation:
         return cls(name, (a, b), pairs)
 
     def renamed(self, name: str) -> "Relation":
-        """The same content under a different display name (indexes shared)."""
+        """The same content under a different display name (storage shared)."""
         clone = Relation.__new__(Relation)
         clone.name = name
         clone.schema = self.schema
         clone._positions = self._positions
-        clone._tuples = self._tuples
+        clone._dicts = self._dicts
+        clone._rows = self._rows
+        clone._row_set = self._row_set
+        clone._column_sets = self._column_sets
+        clone._key_sets = self._key_sets
+        clone._decoded = self._decoded
         clone._indexes = self._indexes
         return clone
+
+    def relabeled(self, name: str, schema: Sequence[str]) -> "Relation":
+        """The same rows under positionally renamed attributes.
+
+        Used by atom binding (``R(x, y)`` read as ``R(A, B)``): column ``i``
+        keeps its data but is re-interned into attribute ``schema[i]``'s
+        dictionary via a per-column code-translation table — one dictionary
+        lookup per *distinct* value instead of one per tuple occurrence.
+        """
+        schema = tuple(schema)
+        if len(schema) != len(self.schema):
+            raise SchemaError(
+                f"relabel needs {len(self.schema)} attributes, got {schema}"
+            )
+        if schema == self.schema:
+            return self.renamed(name)
+        translations: list[dict[int, int]] = []
+        for old_dict, attr in zip(self._dicts, schema):
+            new_dict = Dictionary.of(attr)
+            if new_dict is old_dict:
+                translations.append(None)  # type: ignore[arg-type]
+            else:
+                translations.append({})
+        new_rows = []
+        values = tuple(d.values for d in self._dicts)
+        encoders = tuple(Dictionary.of(a).encode for a in schema)
+        for row in self._rows:
+            out = []
+            for i, code in enumerate(row):
+                table = translations[i]
+                if table is None:
+                    out.append(code)
+                    continue
+                new_code = table.get(code)
+                if new_code is None:
+                    new_code = encoders[i](values[i][code])
+                    table[code] = new_code
+                out.append(new_code)
+            new_rows.append(tuple(out))
+        return Relation.from_codes(name, schema, new_rows, distinct=True)

@@ -3,6 +3,13 @@
 Helpers that turn a concrete database into the degree-constraint sets the
 bound/width machinery consumes: full per-relation statistics, the cardinality
 skeleton, and functional-dependency discovery.
+
+Profiling a relation ranges over every pair ``X ⊂ Y ⊆ attrs(R)``; the pairs
+are enumerated on the bitmask kernel (:class:`~repro.core.varmap.VarMap` —
+submask loops over machine ints in the canonical size-lexicographic order)
+instead of hashing ``4^n`` frozenset pairs, and each ``deg_R(Y|X)`` is one
+linear run scan over the sorted code columns (:meth:`Relation.degree`), so
+wide relations profile without any per-tuple hashing.
 """
 
 from __future__ import annotations
@@ -10,7 +17,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.constraints import ConstraintSet, DegreeConstraint
-from repro.core.hypergraph import powerset
+from repro.core.varmap import VarMap
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -34,13 +41,24 @@ def relation_statistics(
     Args:
         relation: the relation to profile.
         pairs: restrict to the given ``(X, Y)`` pairs; default is every pair
-            ``X ⊂ Y ⊆ attrs(R)`` with ``X`` possibly empty.
+            ``X ⊂ Y ⊆ attrs(R)`` with ``X`` possibly empty, enumerated over
+            masks in the canonical size-lexicographic order.
     """
     attrs = tuple(sorted(relation.attributes))
+    constraints: list[DegreeConstraint] = []
     if pairs is None:
-        subsets = list(powerset(attrs))
-        pairs = [(x, y) for y in subsets if y for x in subsets if x < y]
-    constraints = []
+        varmap = VarMap.of(attrs)
+        for y_mask in varmap.subset_masks():
+            if not y_mask:
+                continue
+            y_set = varmap.set_of(y_mask)
+            for x_mask in varmap.subset_masks(y_mask):
+                if x_mask == y_mask:
+                    continue
+                x_set = varmap.set_of(x_mask)
+                bound = max(1, relation.degree(y_set, x_set))
+                constraints.append(DegreeConstraint.make(x_set, y_set, bound))
+        return ConstraintSet(constraints)
     for x, y in pairs:
         bound = max(1, relation.degree(y, x))
         constraints.append(DegreeConstraint.make(x, y, bound))
@@ -52,19 +70,26 @@ def discover_functional_dependencies(relation: Relation) -> list[DegreeConstrain
 
     Returns constraints with bound 1 for every pair ``X ⊂ Y`` where each
     ``X``-value determines the ``Y``-value, keeping only the inclusion-minimal
-    left-hand sides per ``Y``.
+    left-hand sides per ``Y``.  Minimality tests are single ``&`` ops on the
+    candidate masks.
     """
     attrs = tuple(sorted(relation.attributes))
-    subsets = [s for s in powerset(attrs)]
+    varmap = VarMap.of(attrs)
     found: list[DegreeConstraint] = []
-    for y in subsets:
-        if not y:
+    for y_mask in varmap.subset_masks():
+        if not y_mask:
             continue
-        minimal_lhs: list[frozenset] = []
-        for x in sorted((x for x in subsets if x < y), key=len):
-            if any(m <= x for m in minimal_lhs):
+        y_set = varmap.set_of(y_mask)
+        minimal_lhs: list[int] = []
+        # Canonical submask order is size-lexicographic, matching the
+        # historical sorted-by-len scan.
+        for x_mask in varmap.subset_masks(y_mask):
+            if x_mask == y_mask:
                 continue
-            if relation.degree(y, x) <= 1:
-                minimal_lhs.append(x)
-                found.append(DegreeConstraint.make(x, y, 1))
+            if any(m & x_mask == m for m in minimal_lhs):
+                continue
+            x_set = varmap.set_of(x_mask)
+            if relation.degree(y_set, x_set) <= 1:
+                minimal_lhs.append(x_mask)
+                found.append(DegreeConstraint.make(x_set, y_set, 1))
     return found

@@ -1,0 +1,292 @@
+"""The one shared sorted-trie iterator every join algorithm drives.
+
+A sorted :class:`~repro.relational.columns.ColumnSet` *is* a trie: fixing the
+first ``d`` codes of a row selects a contiguous index range, the distinct
+codes at depth ``d`` within that range are its children, and each child's
+subtree is again a contiguous sub-range.  :class:`SortedTrieIterator` exposes
+that implicit trie through the Leapfrog-Triejoin iterator protocol
+[47, §3.2]:
+
+=============  ==============================================================
+``open()``     descend to the first child of the current node
+``up()``       return to the parent node
+``key()``      the code at the current position
+``next()``     advance to the next sibling (``False`` when exhausted)
+``seek(c)``    advance to the least sibling ``>= c`` (``False`` when none)
+``at_end()``   whether the current level is exhausted
+=============  ==============================================================
+
+``seek`` gallops on the level's ``array('q')`` column — ``O(log(distance
+moved))``, the property Veldhuizen's analysis needs for the ``O~(2^rho*)``
+worst-case-optimality bound — while ``open``/``next``/``open_at`` are
+C-level binary searches over the node's range.
+
+Both WCOJ baselines (:mod:`repro.relational.wcoj` Generic Join and
+:mod:`repro.relational.leapfrog` Leapfrog Triejoin), the Yannakakis semijoin
+sweeps, and the FAQ semiring folds run over this single iterator (or over the
+same sorted runs directly); there is no per-algorithm trie anymore.
+
+Iteration is over *codes* (see :mod:`repro.relational.columns`); all
+relations sharing an attribute share its dictionary, so codes are directly
+comparable across iterators and the intersection of levels is exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator
+
+from repro.relational.columns import ColumnSet, gallop_left
+
+__all__ = ["SortedTrieIterator", "leapfrog_search"]
+
+
+class SortedTrieIterator:
+    """Cursor over the implicit sorted trie of one :class:`ColumnSet`.
+
+    The iterator starts at the (virtual) root; ``open()`` enters depth 0.
+    A level's state is ``(lo, hi, blo, bhi, key)``: the parent's index range,
+    the current key's run ``[blo, bhi)`` inside it, and the key itself.
+    ``None`` keys mark an exhausted level (``at_end``).
+    """
+
+    __slots__ = ("_cols", "_nrows", "_stack", "_keys_cache", "_sets_cache")
+
+    def __init__(self, column_set: ColumnSet) -> None:
+        self._cols = column_set.columns
+        self._nrows = column_set.nrows
+        #: stack of [lo, hi, blo, bhi, key] per open depth.
+        self._stack: list[list] = []
+        #: (depth, lo) -> materialized distinct keys of that node's children.
+        self._keys_cache: dict[tuple[int, int], list[int]] = {}
+        #: (depth, lo) -> the same keys as a frozenset (C-speed intersection).
+        self._sets_cache: dict[tuple[int, int], frozenset] = {}
+
+    # -- position ---------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Current depth; ``-1`` at the root."""
+        return len(self._stack) - 1
+
+    def key(self) -> int:
+        """The code at the current position (undefined when ``at_end``)."""
+        return self._stack[-1][4]
+
+    def at_end(self) -> bool:
+        """Whether the current level is exhausted."""
+        return self._stack[-1][4] is None
+
+    # -- movement ---------------------------------------------------------------
+
+    def open(self) -> bool:
+        """Descend to the first key one level down; ``False`` on empty trie.
+
+        From the root the child range is the whole relation; from a key it is
+        that key's run.  Only an empty relation can make ``open`` fail.
+        """
+        if self._stack:
+            frame = self._stack[-1]
+            lo, hi = frame[2], frame[3]
+        else:
+            lo, hi = 0, self._nrows
+        if lo >= hi:
+            self._stack.append([lo, hi, lo, lo, None])
+            return False
+        column = self._cols[len(self._stack)]
+        code = column[lo]
+        end = bisect_right(column, code, lo, hi)
+        self._stack.append([lo, hi, lo, end, code])
+        return True
+
+    def up(self) -> None:
+        """Return to the parent node."""
+        self._stack.pop()
+
+    def next(self) -> bool:
+        """Advance to the next distinct key at this level; ``False`` at end."""
+        frame = self._stack[-1]
+        hi = frame[1]
+        start = frame[3]
+        if start >= hi:
+            frame[2] = frame[3] = hi
+            frame[4] = None
+            return False
+        column = self._cols[len(self._stack) - 1]
+        code = column[start]
+        frame[2] = start
+        frame[3] = bisect_right(column, code, start, hi)
+        frame[4] = code
+        return True
+
+    def seek(self, code: int) -> bool:
+        """Advance to the least key ``>= code``; ``False`` when none remains.
+
+        Never moves backwards (codes sought must be non-decreasing within a
+        level, as in [47]); a no-op when already at or past ``code``.  The
+        search gallops from the current run's end
+        (:func:`~repro.relational.columns.gallop_left`), so the cost is
+        logarithmic in the *distance moved* — the property [47, Thm 3.4]'s
+        amortized analysis needs.
+        """
+        frame = self._stack[-1]
+        current = frame[4]
+        if current is None:
+            return False
+        if current >= code:
+            return True
+        hi = frame[1]
+        column = self._cols[len(self._stack) - 1]
+        start = gallop_left(column, code, frame[3], hi)
+        if start >= hi:
+            frame[2] = frame[3] = hi
+            frame[4] = None
+            return False
+        found = column[start]
+        frame[2] = start
+        frame[3] = bisect_right(column, found, start, hi)
+        frame[4] = found
+        return True
+
+    def open_at(self, code: int) -> None:
+        """Descend directly to child ``code`` (which must be present).
+
+        The fast descent for callers that already intersected the child key
+        sets: two binary searches locate the child's run, with no iterator
+        state touched in between.
+        """
+        if self._stack:
+            frame = self._stack[-1]
+            lo, hi = frame[2], frame[3]
+        else:
+            lo, hi = 0, self._nrows
+        column = self._cols[len(self._stack)]
+        start = bisect_left(column, code, lo, hi)
+        end = bisect_right(column, code, start, hi)
+        self._stack.append([lo, hi, start, end, code])
+
+    # -- level views ------------------------------------------------------------
+
+    def _node_keys(self, depth: int, lo: int, hi: int) -> list[int]:
+        if lo >= hi:
+            # Exhausted ranges are not cached: real (non-empty) nodes at one
+            # depth have pairwise-distinct ``lo``, but an exhausted level
+            # (``lo == hi``) may coincide with a sibling's start index and
+            # must not poison its cache entry.
+            return []
+        cache_key = (depth, lo)
+        cached = self._keys_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        column = self._cols[depth]
+        keys: list[int] = []
+        index = lo
+        while index < hi:
+            code = column[index]
+            keys.append(code)
+            index = bisect_right(column, code, index, hi)
+        self._keys_cache[cache_key] = keys
+        return keys
+
+    def level_keys(self) -> list[int]:
+        """All distinct keys of the *current level*, from its beginning.
+
+        Materialized once per trie node and cached — the candidate lists of
+        Generic Join; each distinct prefix's extension list is charged once,
+        like the dict-trie memo it replaces.  Does not move the iterator.
+        """
+        frame = self._stack[-1]
+        return self._node_keys(len(self._stack) - 1, frame[0], frame[1])
+
+    def child_keys(self) -> list[int]:
+        """The sorted distinct keys one level below, without descending.
+
+        At the root these are the depth-0 keys; on a key they are its
+        extensions.  Cached per node, shared with :meth:`level_keys`.
+        """
+        if self._stack:
+            frame = self._stack[-1]
+            lo, hi = frame[2], frame[3]
+        else:
+            lo, hi = 0, self._nrows
+        return self._node_keys(len(self._stack), lo, hi)
+
+    def node_token(self) -> int:
+        """Cheap identity of the *child* node this iterator stands over.
+
+        Node ranges at a fixed depth are disjoint, so the child range's start
+        index identifies the node; joins key their per-depth intersection
+        memos on the tuple of active tokens (the columnar analogue of the
+        bound-prefix memo of the dict-trie engines).
+        """
+        if self._stack:
+            return self._stack[-1][2]
+        return 0
+
+    def child_key_set(self) -> frozenset:
+        """:meth:`child_keys` as a frozenset (cached; C-speed intersections)."""
+        if self._stack:
+            frame = self._stack[-1]
+            lo = frame[2]
+            hi = frame[3]
+        else:
+            lo, hi = 0, self._nrows
+        if lo >= hi:
+            return frozenset()
+        depth = len(self._stack)
+        cache_key = (depth, lo)
+        cached = self._sets_cache.get(cache_key)
+        if cached is None:
+            cached = frozenset(self._node_keys(depth, lo, hi))
+            self._sets_cache[cache_key] = cached
+        return cached
+
+
+def leapfrog_search(iterators: list, counter=None) -> Iterator[int]:
+    """Yield the intersection of the iterators' current levels by leapfrogging.
+
+    The classic leapfrog join [47, §3.1]: keep the iterators sorted by key,
+    repeatedly seek the smallest to the current maximum; every time all agree
+    a match is yielded with *every* iterator positioned on it (so callers can
+    ``open()`` them, recurse, and ``up()`` between yields).
+
+    Args:
+        iterators: :class:`SortedTrieIterator`\\ s positioned at a level.
+        counter: optional work counter; each seek/next bumps
+            ``tuples_scanned`` by one (machine-independent cost accounting).
+    """
+    if not iterators:
+        return
+    for iterator in iterators:
+        if iterator.at_end():
+            return
+    if len(iterators) == 1:
+        iterator = iterators[0]
+        while True:
+            if counter is not None:
+                counter.tuples_scanned += 1
+            yield iterator.key()
+            if not iterator.next():
+                return
+    its = sorted(iterators, key=lambda it: it.key())
+    k = len(its)
+    p = 0
+    x_max = its[-1].key()
+    while True:
+        iterator = its[p]
+        x = iterator.key()
+        if x == x_max:
+            # All k iterators sit on x_max (each was seeked to >= the
+            # previous max and none overshot): a match.
+            yield x
+            if counter is not None:
+                counter.tuples_scanned += 1
+            if not iterator.next():
+                return
+        else:
+            if counter is not None:
+                counter.tuples_scanned += 1
+            if not iterator.seek(x_max):
+                return
+        x_max = iterator.key()
+        p = (p + 1) % k

@@ -7,9 +7,16 @@ by every relation containing that variable, always iterating the smallest
 candidate set.
 
 This is the paper's §2.1.1 baseline ("there are known algorithms with runtime
-``O~(2^{ρ*})``: they are worst-case optimal").  The contrasting *binary* join
-plan — which is provably not worst-case optimal on e.g. the triangle query —
-is :func:`binary_join_plan`.
+``O~(2^{ρ*})``: they are worst-case optimal").  The execution substrate is
+the shared :class:`~repro.relational.trie.SortedTrieIterator` driven through
+:func:`repro.relational.execution.execute_join`: each relation is viewed as a
+sorted trie keyed by the global variable order restricted to its attributes,
+a variable's candidate set is the current trie level's distinct-key set
+(materialized once per node, like the memoized dict tries this replaces), and
+the per-level intersection iterates the smallest candidate set against the
+others at C speed (:func:`~repro.relational.execution.set_intersection`).
+The contrasting *binary* join plan — which is provably not worst-case optimal
+on e.g. the triangle query — is :func:`binary_join_plan`.
 """
 
 from __future__ import annotations
@@ -17,7 +24,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.exceptions import QueryError
-from repro.relational.operators import natural_join, work_counter
+from repro.relational.execution import execute_join, set_intersection
+from repro.relational.operators import natural_join
 from repro.relational.relation import Relation
 
 __all__ = ["generic_join", "binary_join_plan"]
@@ -43,72 +51,7 @@ def generic_join(
     """
     if not relations:
         raise QueryError("generic join needs at least one relation")
-    all_vars: set[str] = set()
-    for relation in relations:
-        all_vars |= relation.attributes
-    if variable_order is None:
-        order = tuple(sorted(all_vars))
-    else:
-        order = tuple(variable_order)
-        if set(order) != all_vars:
-            raise QueryError(
-                f"variable order {order} does not cover variables {sorted(all_vars)}"
-            )
-
-    out_rows: list[tuple] = []
-    # Candidate-set memo: (relation index, var, bound key) -> value set.
-    # This is the trie structure of Leapfrog Triejoin: each distinct prefix's
-    # extension list is materialized (and charged) exactly once.
-    memo: dict[tuple, frozenset] = {}
-
-    def candidates_from(rel_idx: int, var: str, binding: dict) -> frozenset:
-        relation = relations[rel_idx]
-        bound_attrs = tuple(
-            sorted(a for a in relation.attributes if a in binding)
-        )
-        key = tuple(binding[a] for a in bound_attrs)
-        memo_key = (rel_idx, var, bound_attrs, key)
-        cached = memo.get(memo_key)
-        if cached is not None:
-            return cached
-        if bound_attrs:
-            rows = relation.index_on(bound_attrs).get(key, ())
-            pos = relation.position(var)
-            values = frozenset(row[pos] for row in rows)
-            work_counter.tuples_scanned += len(rows)
-        else:
-            values = frozenset(k[0] for k in relation.index_on((var,)))
-            work_counter.tuples_scanned += len(values)
-        memo[memo_key] = values
-        return values
-
-    def recurse(depth: int, binding: dict[str, object]) -> None:
-        if depth == len(order):
-            out_rows.append(tuple(binding[v] for v in order))
-            work_counter.tuples_emitted += 1
-            return
-        var = order[depth]
-        candidate_sets = [
-            candidates_from(i, var, binding)
-            for i, relation in enumerate(relations)
-            if var in relation.attributes
-        ]
-        if not candidate_sets:
-            raise QueryError(f"variable {var!r} appears in no relation")
-        # Iterate the smallest set and probe the others (hash intersection):
-        # the per-node cost is the min candidate-set size.
-        candidate_sets.sort(key=len)
-        smallest = candidate_sets[0]
-        work_counter.tuples_scanned += len(smallest)
-        for value in smallest:
-            if any(value not in other for other in candidate_sets[1:]):
-                continue
-            binding[var] = value
-            recurse(depth + 1, binding)
-            del binding[var]
-
-    recurse(0, {})
-    return Relation(name, order, out_rows)
+    return execute_join(relations, variable_order, name, set_intersection)
 
 
 def binary_join_plan(

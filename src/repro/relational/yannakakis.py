@@ -11,6 +11,13 @@ attribute's occurrences form a connected subtree — the algorithm:
 
 The PANDA query drivers (Corollaries 7.11 and 7.13) call this on the tree
 decomposition whose bags were materialized by PANDA.
+
+The semijoin sweeps and the bottom-up join run on the columnar engine: each
+semijoin probes the neighbour's cached distinct-key set of shared-attribute
+code tuples, and each join is a sort-merge over the shared sorted-trie
+layout (:mod:`repro.relational.operators`).  Since every sweep preserves
+schemas, the intermediate trees reuse :meth:`JoinTree.with_relations` and
+skip re-validating the running-intersection property.
 """
 
 from __future__ import annotations
@@ -57,6 +64,19 @@ class JoinTree:
                     f"attribute {attr!r} violates the running-intersection "
                     f"property (occurs at nodes {sorted(nodes)})"
                 )
+
+    def with_relations(self, relations: list[Relation]) -> "JoinTree":
+        """A same-shape tree over schema-compatible replacement relations.
+
+        Skips the running-intersection re-validation: semijoin sweeps only
+        shrink node contents, never schemas, so the property is inherited.
+        """
+        if len(relations) != len(self.relations):
+            raise DecompositionError("replacement relation count mismatch")
+        clone = JoinTree.__new__(JoinTree)
+        clone.relations = relations
+        clone.parent = list(self.parent)
+        return clone
 
     @property
     def root(self) -> int:
@@ -113,7 +133,7 @@ def full_reduce(tree: JoinTree) -> JoinTree:
         parent = tree.parent[node]
         if parent != -1:
             relations[node] = semijoin(relations[node], relations[parent])
-    return JoinTree(relations, list(tree.parent))
+    return tree.with_relations(relations)
 
 
 def acyclic_boolean(tree: JoinTree) -> bool:
