@@ -1,0 +1,133 @@
+"""Plan-cache benchmark: cold-vs-warm ``dasubw_plan`` on cycle workloads.
+
+Before the planner subsystem, every ``panda()`` call re-solved the exact
+bound LP and rebuilt the proof sequence from scratch — per bag, per selector
+image, per query — even though that work is data-independent (profiled at
+~50–80 % of a ``dasubw_plan`` run).  This bench measures what the planner
+buys on the ISSUE 3 repro workloads (4- and 5-cycle, ``(i, 3i mod 11)``
+relations):
+
+* ``scratch``      — planning disabled (``Planner(cache_plans=False)``): the
+  pre-planner cost every evaluation used to pay;
+* ``shared_cold``  — first evaluation with an empty cache: isomorphic
+  selector images already share one plan build per isomorphism class;
+* ``warm``         — steady-state repeated evaluation on a persistent
+  :class:`~repro.planner.QueryEngine`.
+
+Every output is cross-checked against the Generic Join oracle, and the
+measurements are written to a JSON perf artifact (env ``PLAN_CACHE_JSON``
+overrides the path) so CI can archive the trajectory, mirroring
+``wcoj_engine_comparison.json``.  The CI gate asserts
+``scratch / warm >= PLAN_CACHE_MIN_SPEEDUP`` (default 5).
+"""
+
+import json
+import os
+import time
+
+from repro.core.query_plans import dasubw_plan
+from repro.instances import cycle_query
+from repro.planner import Planner, QueryEngine
+from repro.relational import Database, Relation, generic_join
+
+from _bench_utils import print_table
+
+MIN_SPEEDUP = float(os.environ.get("PLAN_CACHE_MIN_SPEEDUP", "5.0"))
+JSON_PATH = os.environ.get("PLAN_CACHE_JSON", "plan_cache_benchmark.json")
+WARM_ROUNDS = 5
+
+
+def modular_cycle_database(length, size=40, mod=11):
+    query = cycle_query(length)
+    relations = []
+    for atom in query.body:
+        pairs = [(i, (3 * i) % mod) for i in range(size)]
+        relations.append(
+            Relation.from_pairs(atom.name, atom.variables[0], atom.variables[1], pairs)
+        )
+    return Database(relations)
+
+
+def normalized_rows(relation):
+    return sorted(tuple(sorted(zip(relation.schema, row))) for row in relation.tuples)
+
+
+def _measure(length):
+    query = cycle_query(length)
+    db = modular_cycle_database(length)
+    oracle = normalized_rows(generic_join([a.bind(db) for a in query.body]))
+
+    start = time.perf_counter()
+    scratch_result = dasubw_plan(query, db, planner=Planner(cache_plans=False))
+    scratch = time.perf_counter() - start
+    assert normalized_rows(scratch_result.relation) == oracle
+
+    engine = QueryEngine(query)
+    start = time.perf_counter()
+    cold_result = engine.execute(db)
+    shared_cold = time.perf_counter() - start
+    assert normalized_rows(cold_result.relation) == oracle
+
+    warm_times = []
+    for _ in range(WARM_ROUNDS):
+        start = time.perf_counter()
+        warm_result = engine.execute(db)
+        warm_times.append(time.perf_counter() - start)
+        assert normalized_rows(warm_result.relation) == oracle
+    warm = min(warm_times)
+
+    stats = engine.cache_stats
+    return {
+        "workload": f"{length}-cycle",
+        "oracle_rows": len(oracle),
+        "scratch_s": round(scratch, 6),
+        "shared_cold_s": round(shared_cold, 6),
+        "warm_s": round(warm, 6),
+        "scratch_over_warm": round(scratch / warm, 2),
+        "cold_over_warm": round(shared_cold / warm, 2),
+        "cache": stats.as_dict(),
+    }
+
+
+def test_plan_cache_speedup(benchmark):
+    """Gate: warm evaluation >= MIN_SPEEDUP x faster than scratch planning."""
+    results = [_measure(length) for length in (4, 5)]
+
+    print_table(
+        "Plan cache: scratch vs shared-cold vs warm dasubw_plan",
+        ["workload", "scratch ms", "cold ms", "warm ms", "scratch/warm", "hit rate"],
+        [
+            [
+                r["workload"],
+                round(r["scratch_s"] * 1000, 1),
+                round(r["shared_cold_s"] * 1000, 1),
+                round(r["warm_s"] * 1000, 1),
+                r["scratch_over_warm"],
+                r["cache"]["hit_rate"],
+            ]
+            for r in results
+        ],
+    )
+
+    payload = {
+        "benchmark": "plan_cache",
+        "min_speedup_gate": MIN_SPEEDUP,
+        "warm_rounds": WARM_ROUNDS,
+        "results": results,
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {JSON_PATH}")
+
+    for r in results:
+        assert r["scratch_over_warm"] >= MIN_SPEEDUP, (
+            f"{r['workload']}: scratch/warm {r['scratch_over_warm']}x "
+            f"below the {MIN_SPEEDUP}x gate"
+        )
+
+    # One steady-state evaluation as the tracked benchmark body.
+    query = cycle_query(4)
+    db = modular_cycle_database(4)
+    engine = QueryEngine(query)
+    engine.execute(db)
+    benchmark(lambda: engine.execute(db))

@@ -191,6 +191,11 @@ class PolymatroidProgram:
                 raise LPError(
                     f"constraint {constraint} outside universe {self.universe}"
                 )
+        #: base models (all rows except the per-solve target rows/objective),
+        #: built lazily once per (maximin?) flavour and cloned per solve —
+        #: batched bound queries over the same program share every class and
+        #: degree-constraint row instead of rebuilding them per LP.
+        self._bases: dict[bool, LPModel] = {}
 
     # -- model construction -----------------------------------------------------------
     #
@@ -198,35 +203,44 @@ class PolymatroidProgram:
     # canonical size-lexicographic order; constraint names carry masks too.
     # The frozenset-facing results are reassembled in :meth:`maximize`.
 
+    def _base_model(self, maximin: bool) -> LPModel:
+        base = self._bases.get(maximin)
+        if base is None:
+            vm = self.varmap
+            base = LPModel()
+            if maximin:
+                base.add_variable("w", objective=1)
+            for mask in vm.subset_masks():
+                if mask:
+                    base.add_variable(mask, objective=0)
+            self._add_class_rows(base)
+            one = Fraction(1)
+            for constraint in self.log_constraints:
+                y_mask = vm.mask_of(constraint.y)
+                x_mask = vm.mask_of(constraint.x)
+                coeffs: dict = {y_mask: one}
+                if x_mask:
+                    coeffs[x_mask] = -one
+                base.add_le_constraint(
+                    ("dc", x_mask, y_mask), coeffs, constraint.log_bound
+                )
+            self._bases[maximin] = base
+        return base
+
     def _build(self, targets: Sequence[int]) -> LPModel:
-        vm = self.varmap
-        model = LPModel()
         maximin = len(targets) > 1
         if maximin:
-            model.add_variable("w", objective=1)
-        for mask in vm.subset_masks():
-            if mask:
-                model.add_variable(mask, objective=0)
-        if maximin:
-            for target in targets:
-                model.add_le_constraint(
-                    ("target", target), {"w": 1, target: -1}, 0
-                )
-        else:
-            model.set_objective(targets[0], 1)
-
-        self._add_class_rows(model)
-
-        one = Fraction(1)
-        for constraint in self.log_constraints:
-            y_mask = vm.mask_of(constraint.y)
-            x_mask = vm.mask_of(constraint.x)
-            coeffs: dict = {y_mask: one}
-            if x_mask:
-                coeffs[x_mask] = -one
-            model.add_le_constraint(
-                ("dc", x_mask, y_mask), coeffs, constraint.log_bound
+            # Target rows prepended so the row order (targets, class rows,
+            # degree rows) — and hence the exact simplex pivot sequence —
+            # matches a from-scratch build exactly.
+            return self._base_model(True).clone(
+                prefix_constraints=[
+                    (("target", target), {"w": 1, target: -1}, 0)
+                    for target in targets
+                ]
             )
+        model = self._base_model(False).clone()
+        model.set_objective(targets[0], 1)
         return model
 
     def _add_class_rows(self, model: LPModel) -> None:

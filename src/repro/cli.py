@@ -103,7 +103,16 @@ def _targets_of(statement) -> list[frozenset]:
 
 
 def _log2_display(value: Fraction) -> str:
-    return f"2^{value} = {float(2 ** float(value)):,.0f}"
+    """Render ``2^value``, showing the decimal log2 with the exact fraction.
+
+    A raw ``2^1079882313/81269242`` reads like ``(2^1079882313)/81269242``
+    and hides the magnitude; print the decimal exponent and parenthesize the
+    exact rational (omitted when it already is an integer).
+    """
+    size = float(2 ** float(value))
+    if value.denominator == 1:
+        return f"2^{value.numerator} = {size:,.0f}"
+    return f"2^{float(value):.6f} (= 2^({value})) = {size:,.0f}"
 
 
 def cmd_bound(args) -> int:
@@ -188,6 +197,7 @@ def cmd_run(args) -> int:
     from repro.core.panda import panda
     from repro.core.query_plans import dasubw_plan, proper_query_plan
     from repro.datalog.rule import DisjunctiveRule
+    from repro.planner import Planner
     from repro.relational.io import load_database_dir, save_relation_csv
 
     statement = _parse_statement(args.statement)
@@ -195,9 +205,15 @@ def cmd_run(args) -> int:
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
+    planner = Planner()
+
+    def report_stats() -> None:
+        if args.stats:
+            print(f"plan cache: {planner.stats} "
+                  f"({len(planner.cache)} plan(s) cached)")
 
     if isinstance(statement, DisjunctiveRule):
-        result = panda(statement, database)
+        result = panda(statement, database, planner=planner)
         print(f"PANDA: budget 2^OBJ = {result.budget:,.0f}, "
               f"max intermediate {result.stats.max_intermediate}, "
               f"{result.stats.restarts} restart(s)")
@@ -205,14 +221,16 @@ def cmd_run(args) -> int:
             print(f"  {table.name}: {len(table)} tuples")
             if out_dir:
                 save_relation_csv(table, out_dir / f"{table.name}.csv")
+        report_stats()
         return 0
 
     if statement.is_full or statement.is_boolean:
-        plan = dasubw_plan(statement, database)
+        plan = dasubw_plan(statement, database, planner=planner)
     else:
-        plan = proper_query_plan(statement, database)
+        plan = proper_query_plan(statement, database, planner=planner)
     if statement.is_boolean:
         print(f"{statement.name}: {plan.boolean}")
+        report_stats()
         return 0
     print(f"{statement.name}: {len(plan.relation)} tuples "
           f"({len(plan.panda_runs)} PANDA run(s))")
@@ -224,6 +242,7 @@ def cmd_run(args) -> int:
             print("  " + ", ".join(map(str, row)))
         if len(plan.relation) > args.limit:
             print(f"  ... ({len(plan.relation) - args.limit} more)")
+    report_stats()
     return 0
 
 
@@ -263,6 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", help="directory to write result CSVs")
     p_run.add_argument("--limit", type=int, default=20,
                        help="max rows to print without --out")
+    p_run.add_argument("--stats", action="store_true",
+                       help="report plan-cache hit/miss statistics")
     p_run.set_defaults(func=cmd_run)
     return parser
 

@@ -46,12 +46,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from fractions import Fraction
 
-from repro.bounds.polymatroid import BoundResult, log_size_bound
+from repro.bounds.polymatroid import BoundResult
 from repro.core.constraints import ConstraintSet, log2_fraction
 from repro.core.varmap import VarMap
 from repro.datalog.rule import DisjunctiveRule, TargetModel
 from repro.exceptions import PandaError
-from repro.flows.inequality import FlowInequality, Witness, flow_from_bound
+from repro.flows.inequality import FlowInequality, Witness
 from repro.flows.proof_sequence import (
     COMPOSITION,
     DECOMPOSITION,
@@ -530,6 +530,8 @@ def panda(
     constraints: ConstraintSet | None = None,
     backend: str = "exact",
     check_invariants: bool = True,
+    planner=None,
+    plan=None,
 ) -> PandaResult:
     """Evaluate a disjunctive datalog rule with PANDA (Theorem 1.7).
 
@@ -541,22 +543,50 @@ def panda(
         backend: LP backend for the bound computation (``"exact"`` needed for
             exact rational proof sequences; the default).
         check_invariants: assert the §6.1 invariants at every recursive call.
+        planner: an optional :class:`repro.planner.Planner`; when given, the
+            bound LP and proof sequence come from its plan cache (shared
+            across bags/images/databases) instead of being rebuilt.
+        plan: an optional precomputed :class:`repro.planner.PandaPlan` for
+            exactly this (rule, constraints); overrides ``planner``.
 
     Returns:
         A :class:`PandaResult` whose ``model`` is a valid model of ``P`` with
         every table of size at most ``2^{OBJ}``.
 
     Raises:
-        PandaError: if the database violates a constraint, or the bound is
-            degenerate (zero — every feasible polymatroid pins some target to
-            a single tuple, a case the paper does not treat algorithmically).
+        PandaError: if the database violates a constraint, if a supplied plan
+            does not match the rule, or the bound is degenerate (zero — every
+            feasible polymatroid pins some target to a single tuple, a case
+            the paper does not treat algorithmically).
     """
+    from repro.planner.engine import build_panda_plan, constraints_fingerprint
+
     if constraints is None:
         constraints = database.extract_cardinalities()
     universe = tuple(sorted(rule.variable_set))
 
-    bound = log_size_bound(universe, list(rule.targets), constraints, backend=backend)
-    if bound.log_value <= _ZERO:
+    if plan is None:
+        if planner is not None:
+            plan = planner.plan_rule(
+                universe, rule.targets, constraints, backend=backend
+            )
+        else:
+            plan = build_panda_plan(
+                universe, list(rule.targets), constraints, backend=backend
+            )
+    if plan.universe != universe or set(plan.targets) != set(rule.targets):
+        raise PandaError(
+            f"plan is for {plan.universe}/{sorted(map(sorted, plan.targets))}, "
+            f"not this rule's {universe}/{sorted(map(sorted, rule.targets))}"
+        )
+    if plan.constraints_key != constraints_fingerprint(constraints):
+        raise PandaError(
+            "plan was built under different degree constraints than this "
+            "call's; its budget and proof sequence do not apply — replan"
+        )
+
+    bound = plan.bound
+    if plan.degenerate:
         # Degenerate bound: every feasible polymatroid pins some target to a
         # single tuple, so Lemma 5.2's positive-optimum requirement fails.
         # The inputs are then tiny/heavily constrained; fall back to the
@@ -569,11 +599,12 @@ def panda(
             stats=PandaStats(),
             proof_sequence_length=0,
         )
-    ineq, witness, log_supports = flow_from_bound(bound)
+    ineq = plan.ineq
 
-    # Resolve guards for the initial supports (degree-support invariant).
+    # Resolve guards for the initial supports (degree-support invariant) —
+    # the only data-dependent planning step, re-run per database.
     supports: dict[Pair, Support] = {}
-    for pair, log_constraint in log_supports.items():
+    for pair, log_constraint in plan.log_supports.items():
         origin = log_constraint.origin
         if origin is None:
             raise PandaError(
@@ -585,9 +616,6 @@ def panda(
             raise PandaError(f"database does not guard {origin}")
         supports[pair] = Support(origin.x, origin.y, origin.bound, guard)
 
-    witness_log: list[Witness] = []
-    sequence = construct_proof_sequence(ineq, witness, witness_log=witness_log)
-
     engine = _PandaEngine(
         universe,
         tuple(rule.targets),
@@ -595,8 +623,8 @@ def panda(
         check_invariants=check_invariants,
     )
     steps = [
-        (ws.weight, engine.intern_step(ws.step), snap)
-        for ws, snap in zip(sequence, witness_log)
+        (weight, engine.intern_step(step), snap)
+        for weight, step, snap in plan.steps
     ]
     base_relations = [atom.bind(database) for atom in rule.body]
     root = _Branch(
@@ -622,5 +650,5 @@ def panda(
         model=model,
         bound=bound,
         stats=engine.stats,
-        proof_sequence_length=len(sequence),
+        proof_sequence_length=len(plan.steps),
     )

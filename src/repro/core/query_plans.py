@@ -64,6 +64,36 @@ class PlanResult:
     decompositions_used: list[TreeDecomposition] = field(default_factory=list)
 
 
+def _new_planner():
+    """A fresh per-call planner: plans are shared across the bags, selector
+    images, and decompositions of this one driver invocation.  Pass an
+    explicit planner (or use :class:`repro.planner.QueryEngine`) to also
+    share plans across invocations and databases."""
+    from repro.planner import Planner
+
+    return Planner()
+
+
+def _best_decomposition(
+    planner,
+    hypergraph,
+    constraints: ConstraintSet,
+    decompositions: Sequence[TreeDecomposition],
+    backend: str,
+) -> TreeDecomposition:
+    """The decomposition minimizing its worst bag's polymatroid bound.
+
+    All bag LPs go through the planner's shared batched solver, so repeated
+    bags (within and across driver calls) solve once.
+    """
+    solver = planner.bound_solver(hypergraph.vertices, constraints)
+
+    def bag_cost(bag: frozenset):
+        return solver.solve(bag, backend=backend).log_value
+
+    return min(decompositions, key=lambda td: max(bag_cost(b) for b in td.bags))
+
+
 def _check_query(query: ConjunctiveQuery) -> None:
     if not (query.is_full or query.is_boolean):
         raise QueryError(
@@ -81,12 +111,17 @@ def panda_full_query(
     database: Database,
     constraints: ConstraintSet | None = None,
     backend: str = "exact",
+    planner=None,
 ) -> PlanResult:
     """Corollary 7.10: evaluate a full/Boolean CQ in ``O~(N + 2^{DAPB})``."""
     _check_query(query)
+    if planner is None:
+        planner = _new_planner()
     variables = tuple(sorted(query.variable_set))
     rule = DisjunctiveRule((frozenset(variables),), query.body, name=query.name)
-    result = panda(rule, database, constraints=constraints, backend=backend)
+    result = panda(
+        rule, database, constraints=constraints, backend=backend, planner=planner
+    )
     table = result.model.tables[0]
     for atom in query.body:
         table = semijoin(table, atom.bind(database))
@@ -113,14 +148,32 @@ def _bag_atoms(query: ConjunctiveQuery, bag: frozenset, database: Database) -> l
 def tree_decomposition_plan(
     query: ConjunctiveQuery,
     database: Database,
-    decomposition: TreeDecomposition,
+    decomposition: TreeDecomposition | None = None,
+    constraints: ConstraintSet | None = None,
+    decompositions: Sequence[TreeDecomposition] | None = None,
+    backend: str = "exact",
+    planner=None,
 ) -> PlanResult:
     """The non-adaptive baseline: one decomposition, bags via Generic Join.
 
     This is the classic fhtw-style strategy (§2.1.3): each bag is fully
     materialized — worst-case ``N^{ρ*(bag)}`` — then Yannakakis finishes.
+    When no ``decomposition`` is given, the degree-aware-fhtw-optimal one is
+    chosen by its worst bag's polymatroid bound, with the bound LPs served
+    by the planner's shared (and cached) batched solver.
     """
     _check_query(query)
+    if decomposition is None:
+        if planner is None:
+            planner = _new_planner()
+        if constraints is None:
+            constraints = database.extract_cardinalities()
+        hypergraph = query.hypergraph()
+        if decompositions is None:
+            decompositions = tree_decompositions(hypergraph)
+        decomposition = _best_decomposition(
+            planner, hypergraph, constraints, decompositions, backend
+        )
     bag_tables = []
     for bag in decomposition.bags:
         atoms = _bag_atoms(query, bag, database)
@@ -148,6 +201,7 @@ def dafhtw_plan(
     constraints: ConstraintSet | None = None,
     decompositions: Sequence[TreeDecomposition] | None = None,
     backend: str = "exact",
+    planner=None,
 ) -> PlanResult:
     """Corollary 7.11: evaluate at the degree-aware fractional hypertree width.
 
@@ -156,6 +210,8 @@ def dafhtw_plan(
     runs Yannakakis.
     """
     _check_query(query)
+    if planner is None:
+        planner = _new_planner()
     if constraints is None:
         constraints = database.extract_cardinalities()
     hypergraph = query.hypergraph()
@@ -163,25 +219,21 @@ def dafhtw_plan(
         decompositions = tree_decompositions(hypergraph)
 
     # Choose the da-fhtw-optimal decomposition by its worst bag bound.
-    from repro.bounds.polymatroid import constraints_to_log, PolymatroidProgram
-
-    program = PolymatroidProgram(
-        hypergraph.vertices, constraints_to_log(constraints), "polymatroid"
+    best = _best_decomposition(
+        planner, hypergraph, constraints, decompositions, backend
     )
-    cache: dict[frozenset, object] = {}
-
-    def bag_cost(bag: frozenset):
-        if bag not in cache:
-            cache[bag] = program.maximize(bag, backend=backend).log_value
-        return cache[bag]
-
-    best = min(decompositions, key=lambda td: max(bag_cost(b) for b in td.bags))
 
     runs: list[PandaResult] = []
     bag_tables: list[Relation] = []
     for bag in best.bags:
         rule = DisjunctiveRule((bag,), query.body, name=f"P_{''.join(sorted(bag))}")
-        result = panda(rule, database, constraints=constraints, backend=backend)
+        result = panda(
+            rule,
+            database,
+            constraints=constraints,
+            backend=backend,
+            planner=planner,
+        )
         runs.append(result)
         table = result.model.tables[0]
         for atom in query.body:
@@ -217,6 +269,7 @@ def dasubw_plan(
     constraints: ConstraintSet | None = None,
     decompositions: Sequence[TreeDecomposition] | None = None,
     backend: str = "exact",
+    planner=None,
 ) -> PlanResult:
     """Corollary 7.13 / Theorem 1.9: evaluate at the degree-aware submodular width.
 
@@ -225,8 +278,15 @@ def dasubw_plan(
     images, semijoin-reduced against all inputs, and finally every
     decomposition associated with some choice tuple is evaluated by Yannakakis
     and the results combined.
+
+    Selector images of a symmetric query are heavily isomorphic (a cycle's
+    images map onto each other under rotation), so the planner's canonical
+    plan cache collapses the per-image LP + proof-sequence work to one build
+    per isomorphism class.
     """
     _check_query(query)
+    if planner is None:
+        planner = _new_planner()
     if constraints is None:
         constraints = database.extract_cardinalities()
     hypergraph = query.hypergraph()
@@ -242,7 +302,13 @@ def dasubw_plan(
         targets = sorted(image, key=lambda b: tuple(sorted(b)))
         image_targets.append(targets)
         rule = DisjunctiveRule(tuple(targets), query.body, name="P_image")
-        result = panda(rule, database, constraints=constraints, backend=backend)
+        result = panda(
+            rule,
+            database,
+            constraints=constraints,
+            backend=backend,
+            planner=planner,
+        )
         runs.append(result)
         for table in result.model.tables:
             bag = table.attributes
@@ -266,8 +332,16 @@ def dasubw_plan(
     # Yannakakis result is a subset of the true answer because every atom
     # fits inside one of its bags.  |TD| is a query-complexity quantity, so
     # the runtime bound of Theorem 1.9 is unaffected.
+    #
+    # ``selector_images`` returns only ⊆-minimal images, so a bag may appear
+    # in no image at all and have no produced table.  Decompositions using
+    # such a bag can be skipped soundly: the Claim 1 choice function can
+    # always be drawn from the minimal sub-image, so every output tuple's
+    # associated decomposition has all its bags among the produced ones.
     used: dict[frozenset, TreeDecomposition] = {
-        td.bag_set: td for td in decompositions
+        td.bag_set: td
+        for td in decompositions
+        if all(bag in produced for bag in td.bags)
     }
 
     answer: Relation | None = None
@@ -311,6 +385,7 @@ def proper_query_plan(
     constraints: ConstraintSet | None = None,
     decompositions: Sequence[TreeDecomposition] | None = None,
     backend: str = "exact",
+    planner=None,
 ) -> PlanResult:
     """§8: evaluate a *proper* CQ over free-connex decompositions.
 
@@ -351,19 +426,11 @@ def proper_query_plan(
         )
 
     # da-fhtw-optimal free-connex decomposition by its worst bag bound.
-    from repro.bounds.polymatroid import PolymatroidProgram, constraints_to_log
-
-    program = PolymatroidProgram(
-        hypergraph.vertices, constraints_to_log(constraints), "polymatroid"
+    if planner is None:
+        planner = _new_planner()
+    best = _best_decomposition(
+        planner, hypergraph, constraints, decompositions, backend
     )
-    cache: dict[frozenset, object] = {}
-
-    def bag_cost(bag: frozenset):
-        if bag not in cache:
-            cache[bag] = program.maximize(bag, backend=backend).log_value
-        return cache[bag]
-
-    best = min(decompositions, key=lambda td: max(bag_cost(b) for b in td.bags))
 
     # PANDA per bag + semijoin reduction (every atom has a home bag, so the
     # join of the reduced bag tables equals the full join exactly).
@@ -371,7 +438,13 @@ def proper_query_plan(
     bag_tables: list[Relation] = []
     for index, bag in enumerate(best.bags):
         rule = DisjunctiveRule((bag,), query.body, name=f"P_{''.join(sorted(bag))}")
-        result = panda(rule, database, constraints=constraints, backend=backend)
+        result = panda(
+            rule,
+            database,
+            constraints=constraints,
+            backend=backend,
+            planner=planner,
+        )
         runs.append(result)
         table = result.model.tables[0]
         for atom in query.body:

@@ -124,9 +124,10 @@ class DisjunctiveRule:
         domains: dict[str, set] = {v: set() for v in self.variable_set}
         for atom in self.body:
             relation = atom.bind(database)
-            for i, var in enumerate(atom.variables):
-                for row in relation:
-                    domains[var].add(row[i])
+            atom_domains = [domains[var] for var in atom.variables]
+            for row in relation:
+                for value, domain in zip(row, atom_domains):
+                    domain.add(value)
         tables = []
         for target in self.targets:
             attrs = tuple(sorted(target))
@@ -165,9 +166,10 @@ class DisjunctiveRule:
     def minimal_model_size(self, database: Database, limit: int = 1 << 16) -> int:
         """Exact ``|P(D)|`` by brute force (tests/tiny instances only).
 
-        Searches sizes ``k = 0, 1, ...``: is there a model with every target
-        of size ``<= k``?  Greedy covering with exact verification; falls back
-        to exhaustive subset search for very small body joins.
+        Exhaustively assigns every body tuple to one of its target
+        projections and takes the assignment minimizing the largest target
+        table — ``|targets|^|body join|`` assignments, so only feasible for
+        tiny instances.
 
         Raises:
             QueryError: if the search space exceeds ``limit``.

@@ -9,7 +9,6 @@ the target set of one disjunctive datalog rule.
 
 from __future__ import annotations
 
-from itertools import product
 from typing import Iterable, Sequence
 
 from repro.decompositions.tree_decomposition import TreeDecomposition
@@ -24,29 +23,57 @@ def selector_images(
 ) -> list[frozenset]:
     """All distinct images ``{β(T, χ) : (T, χ)}`` of bag selectors.
 
-    Each image is a frozenset of bags (each bag a frozenset of variables).
-    Images are deduplicated; the count is bounded by ``prod |bags|``.
+    Each image is a frozenset of bags (each bag a frozenset of variables),
+    and only the ``⊆``-*minimal* images are returned.  Minimal images are
+    exactly what every consumer needs: ``max_β min_{B∈image}`` widths are
+    attained on minimal images (dropping bags can only raise the inner min),
+    and a PANDA model for ``B' ⊆ B`` is a fortiori a model for ``B`` (fewer
+    targets is the stronger rule), so Cor. 7.13's Claim 1/2 argument goes
+    through with a covering bag drawn from the minimal subimage.
+
+    The frontier of distinct partial images is pruned to its minimal
+    antichain after every decomposition — completions commute with ``⊆``, so
+    every minimal final image descends from a minimal partial one.  That
+    bounds the work by the antichain sizes times the decomposition count,
+    not by ``prod |bags|`` (already ``2.7e8`` on the 6-cycle, where the
+    minimal image count stays in the hundreds).
 
     Raises:
-        DecompositionError: if the selector space exceeds ``max_images``
-            before deduplication (pathological inputs).
+        DecompositionError: if the minimal frontier exceeds ``max_images``
+            (pathological inputs).
     """
     if not decompositions:
         return []
-    total = 1
+    frontier: set[frozenset] = {frozenset()}
     for decomposition in decompositions:
-        total *= len(decomposition.bags)
-        if total > max_images:
+        # An image already selecting a bag of this decomposition is kept
+        # as-is (adding any other bag only yields a dominated superset).
+        extended = set()
+        for image in frontier:
+            if image & decomposition.bag_set:
+                extended.add(image)
+            else:
+                for bag in decomposition.bags:
+                    extended.add(image | {bag})
+        frontier = _minimal_antichain(extended)
+        if len(frontier) > max_images:
             raise DecompositionError(
-                f"selector space exceeds {max_images}; restrict the "
-                "decomposition set"
+                f"distinct selector images exceed {max_images}; restrict "
+                "the decomposition set"
             )
-    images: dict[frozenset, None] = {}
-    for choice in product(*(d.bags for d in decompositions)):
-        images.setdefault(frozenset(choice), None)
     return sorted(
-        images, key=lambda img: tuple(sorted(tuple(sorted(b)) for b in img))
+        frontier, key=lambda img: tuple(sorted(tuple(sorted(b)) for b in img))
     )
+
+
+def _minimal_antichain(images: set[frozenset]) -> set[frozenset]:
+    """The ``⊆``-minimal elements of a family of bag sets."""
+    by_size = sorted(images, key=len)
+    minimal: list[frozenset] = []
+    for image in by_size:
+        if not any(kept <= image for kept in minimal):
+            minimal.append(image)
+    return set(minimal)
 
 
 def associated_decomposition(

@@ -474,10 +474,15 @@ def _probe_walk(state: _FlowState, start: frozenset, cap: Fraction):
             plan.append((lam_z, pay))
             return plan
         found = False
-        # (1) μ_{X,Z} > 0: move deficit down to X.
-        for (x, yy), value in sorted(
-            state.mu.items(), key=lambda kv: _subset_key(kv[0][0])
-        ):
+        # (1) μ_{X,Z} > 0: move deficit down to X.  The walk's own σ moves
+        # *create* μ mass (case (3) below raises μ_{I∩J,J}); those entries
+        # live only in ``virtual`` until the replay, so the search must cover
+        # the union of the real and virtually-created μ keys — iterating
+        # ``state.mu`` alone gets stuck on exactly the coordinates the walk
+        # itself funded (the Case-4b odd-cycle crash).
+        mu_keys = set(state.mu)
+        mu_keys.update(key for kind, key in virtual if kind == "mu")
+        for (x, yy) in sorted(mu_keys, key=lambda k: _subset_key(k[0])):
             value = get(state.mu, "mu", (x, yy))
             if yy == z and value > _ZERO:
                 def act(chunk: Fraction, x=x, yy=yy) -> None:

@@ -124,6 +124,39 @@ class LPModel:
         self._con_rows.append(row)
         self._con_rhs.append(rhs if type(rhs) is Fraction else Fraction(rhs))
 
+    def clone(
+        self,
+        prefix_constraints: Iterable[
+            tuple[Hashable, Mapping[Hashable, Fraction | int], Fraction | int]
+        ] = (),
+    ) -> "LPModel":
+        """A copy of the model, optionally with constraints *prepended*.
+
+        The copy shares this model's (immutable-by-convention) row dicts, so
+        cloning a large base model costs list copies only — the batched bound
+        solvers build the class/degree rows once per universe and clone per
+        target set.  ``prefix_constraints`` rows (``(name, coefficients,
+        rhs)``) are inserted *before* the existing rows, preserving the row
+        order the exact simplex pivots on; their names must not collide with
+        existing constraint names.
+        """
+        out = LPModel.__new__(LPModel)
+        out._var_index = dict(self._var_index)
+        out._objective = list(self._objective)
+        out._con_names = []
+        out._con_seen = set()
+        out._con_rows = []
+        out._con_rhs = []
+        for name, coefficients, rhs in prefix_constraints:
+            if name in self._con_seen:
+                raise LPError(f"duplicate constraint {name!r}")
+            out.add_le_constraint(name, coefficients, rhs)
+        out._con_names.extend(self._con_names)
+        out._con_seen.update(self._con_seen)
+        out._con_rows.extend(self._con_rows)
+        out._con_rhs.extend(self._con_rhs)
+        return out
+
     def _require(self, name: Hashable) -> int:
         try:
             return self._var_index[name]

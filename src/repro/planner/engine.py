@@ -1,0 +1,362 @@
+"""The planner: build PANDA plans once, cache them, execute them many times.
+
+A :class:`PandaPlan` is everything about a PANDA invocation that does *not*
+depend on the data: the bound LP's optimum and dual certificates, the Shannon
+flow inequality and witness, the Theorem 5.9 proof sequence with the per-step
+witness snapshots Case 4b restarts from, and the degree constraints
+supporting each positive δ coordinate.  Profiling shows this pipeline is
+~50–80 % of a ``dasubw_plan`` run — and it is identical across databases and
+across variable renamings of the instance.
+
+:class:`Planner` is the policy object threaded through
+:mod:`repro.core.panda` and all of the :mod:`repro.core.query_plans` drivers:
+it canonicalizes each planning request (:mod:`repro.planner.signature`),
+serves cached plans re-keyed into the instance's variable names
+(:mod:`repro.planner.cache`), and routes every bound query of a driver
+through one shared :class:`~repro.planner.batch.BatchedBoundSolver` per
+``(universe, constraints)``.
+
+:class:`QueryEngine` is the user-facing facade: construct it once for a
+query, call :meth:`QueryEngine.execute` per database; all planning work is
+reused across executions (and across isomorphic sub-instances within one).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.bounds.polymatroid import BoundResult, LogConstraint
+from repro.core.constraints import ConstraintSet
+from repro.exceptions import PandaError
+from repro.flows.inequality import FlowInequality, Witness, flow_from_bound
+from repro.flows.proof_sequence import ProofStep, construct_proof_sequence
+from repro.planner.batch import BatchedBoundSolver
+from repro.planner.cache import PlanCache, PlanCacheStats
+from repro.planner.signature import (
+    rename_bound_result,
+    rename_flow_inequality,
+    rename_log_constraint,
+    rename_set,
+    rename_step,
+    rename_witness,
+)
+
+__all__ = ["PandaPlan", "Planner", "QueryEngine", "build_panda_plan", "rename_plan"]
+
+_ZERO = Fraction(0)
+
+Pair = tuple[frozenset, frozenset]
+
+
+@dataclass(frozen=True)
+class PandaPlan:
+    """The data-independent part of one PANDA invocation.
+
+    Attributes:
+        universe: the rule's variables, sorted.
+        targets: the rule's target sets.
+        bound: the maximin bound LP result (λ, δ, σ, μ duals included).
+        ineq: the Shannon-flow inequality of the bound's dual (None when
+            degenerate).
+        witness: its witness (None when degenerate).
+        steps: the proof sequence as ``(weight, step, witness snapshot)``
+            triples — the snapshot is the evolved (σ, μ) Case 4b needs.
+        log_supports: the degree constraint supporting each positive δ pair
+            (§6.1 invariant 1); guards are resolved per database at
+            execution time.
+        constraints_key: fingerprint of the degree constraints the plan was
+            built under (sorted ``(x_key, y_key, bound)`` triples) —
+            ``panda()`` rejects a plan whose constraints do not match the
+            call's, since a stale plan carries a wrong budget.
+        degenerate: True when the bound is zero — PANDA falls back to the
+            Lemma 4.1 scan model and no proof sequence exists.
+    """
+
+    universe: tuple[str, ...]
+    targets: tuple[frozenset, ...]
+    bound: BoundResult
+    ineq: FlowInequality | None
+    witness: Witness | None
+    steps: tuple[tuple[Fraction, ProofStep, Witness], ...]
+    log_supports: Mapping[Pair, LogConstraint]
+    constraints_key: tuple = ()
+    degenerate: bool = False
+
+
+def constraints_fingerprint(constraints: ConstraintSet) -> tuple:
+    """The order-insensitive identity of a degree-constraint set."""
+    return tuple(sorted((c.x_key, c.y_key, c.bound) for c in constraints))
+
+
+def build_panda_plan(
+    universe: Sequence[str],
+    targets: Sequence[frozenset],
+    constraints: ConstraintSet,
+    backend: str = "exact",
+    solver: BatchedBoundSolver | None = None,
+) -> PandaPlan:
+    """Solve the bound LP and construct the proof sequence — no caching.
+
+    This is the single code path for plan construction; the
+    :class:`Planner` wraps it with canonicalization and the plan cache, and
+    a bare ``panda()`` call (no planner) uses it directly.
+    """
+    universe = tuple(universe)
+    if solver is None:
+        solver = BatchedBoundSolver(universe, constraints)
+    fingerprint = constraints_fingerprint(constraints)
+    bound = solver.solve(list(targets), backend=backend)
+    if bound.log_value <= _ZERO:
+        return PandaPlan(
+            universe=universe,
+            targets=tuple(bound.targets),
+            bound=bound,
+            ineq=None,
+            witness=None,
+            steps=(),
+            log_supports={},
+            constraints_key=fingerprint,
+            degenerate=True,
+        )
+    ineq, witness, log_supports = flow_from_bound(bound)
+    witness_log: list[Witness] = []
+    sequence = construct_proof_sequence(ineq, witness, witness_log=witness_log)
+    steps = tuple(
+        (ws.weight, ws.step, snapshot)
+        for ws, snapshot in zip(sequence, witness_log)
+    )
+    return PandaPlan(
+        universe=universe,
+        targets=tuple(bound.targets),
+        bound=bound,
+        ineq=ineq,
+        witness=witness,
+        steps=steps,
+        log_supports=log_supports,
+        constraints_key=fingerprint,
+        degenerate=False,
+    )
+
+
+def rename_plan(plan: PandaPlan, mapping: Mapping[str, str]) -> PandaPlan:
+    """Translate every component of a plan through a variable bijection."""
+    if all(old == new for old, new in mapping.items()):
+        return plan
+    return PandaPlan(
+        universe=tuple(sorted(mapping[v] for v in plan.universe)),
+        targets=tuple(rename_set(t, mapping) for t in plan.targets),
+        bound=rename_bound_result(plan.bound, mapping),
+        ineq=None if plan.ineq is None else rename_flow_inequality(plan.ineq, mapping),
+        witness=None if plan.witness is None else rename_witness(plan.witness, mapping),
+        steps=tuple(
+            (weight, rename_step(step, mapping), rename_witness(snapshot, mapping))
+            for weight, step, snapshot in plan.steps
+        ),
+        log_supports={
+            (rename_set(x, mapping), rename_set(y, mapping)): rename_log_constraint(
+                c, mapping
+            )
+            for (x, y), c in plan.log_supports.items()
+        },
+        constraints_key=tuple(
+            sorted(
+                (
+                    tuple(sorted(mapping[v] for v in x_key)),
+                    tuple(sorted(mapping[v] for v in y_key)),
+                    bound,
+                )
+                for x_key, y_key, bound in plan.constraints_key
+            )
+        ),
+        degenerate=plan.degenerate,
+    )
+
+
+class Planner:
+    """Plan provider with canonical-signature caching and batched bounds.
+
+    ``cache_plans=False`` disables the plan cache *and* the shared bound
+    solvers, so every plan is rebuilt from scratch — the pre-planner
+    behavior, kept as the baseline arm of ``benchmarks/bench_plan_cache.py``.
+    """
+
+    #: Retained bound solvers (each holds a full polymatroid program with its
+    #: cloned-base LP rows): least-recently-used beyond this many are dropped,
+    #: so a long-lived planner fed a stream of changing constraint sets stays
+    #: bounded like its plan cache.
+    MAX_SOLVERS = 32
+
+    def __init__(
+        self, cache: PlanCache | None = None, cache_plans: bool = True
+    ) -> None:
+        self.cache = cache if cache is not None else PlanCache()
+        self.cache_plans = cache_plans
+        self._solvers: OrderedDict[tuple, BatchedBoundSolver] = OrderedDict()
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        return self.cache.stats
+
+    def bound_solver(
+        self,
+        universe: Sequence[str],
+        constraints: ConstraintSet,
+        function_class: str = "polymatroid",
+    ) -> BatchedBoundSolver:
+        """The shared bound solver for this (universe, DC, class) triple."""
+        key = (tuple(universe), constraints, function_class)
+        solver = self._solvers.get(key)
+        if solver is None:
+            solver = BatchedBoundSolver(universe, constraints, function_class)
+            self._solvers[key] = solver
+            while len(self._solvers) > self.MAX_SOLVERS:
+                self._solvers.popitem(last=False)
+        else:
+            self._solvers.move_to_end(key)
+        return solver
+
+    def plan_rule(
+        self,
+        universe: Sequence[str],
+        targets: Iterable[frozenset],
+        constraints: ConstraintSet,
+        backend: str = "exact",
+    ) -> PandaPlan:
+        """A plan for the disjunctive rule, from cache when possible.
+
+        Cache keys are canonical signatures, so a hit may come from an
+        isomorphic instance with different variable names; the stored plan is
+        then re-keyed through the composed renaming before it is returned.
+        """
+        universe = tuple(universe)
+        targets = tuple(targets)
+        if not self.cache_plans:
+            return build_panda_plan(
+                universe, list(targets), constraints, backend=backend
+            )
+        exact_key = self.cache.instance_key(universe, targets, constraints)
+        instance_plan = self.cache.lookup_instance((exact_key, backend))
+        if instance_plan is not None:
+            return instance_plan
+        sig_key, canonical_to_instance = self.cache.signature(
+            universe, targets, constraints, exact_key=exact_key
+        )
+        key = (sig_key, backend)
+        entry = self.cache.get(key)
+        if entry is not None:
+            mapping = {
+                stored: instance
+                for stored, instance in zip(
+                    entry.canonical_to_instance, canonical_to_instance
+                )
+            }
+            plan = rename_plan(entry.plan, mapping)
+        else:
+            plan = build_panda_plan(
+                universe,
+                list(targets),
+                constraints,
+                backend=backend,
+                solver=self.bound_solver(universe, constraints),
+            )
+            self.cache.put(key, plan, canonical_to_instance)
+        self.cache.store_instance((exact_key, backend), plan)
+        return plan
+
+
+class QueryEngine:
+    """Plan a query once; execute it against many databases.
+
+    Example:
+        >>> engine = QueryEngine(cycle_query(4))        # doctest: +SKIP
+        >>> first = engine.execute(database_monday)     # cold: plans + runs
+        >>> second = engine.execute(database_tuesday)   # warm: plans cached
+        >>> engine.cache_stats.hit_rate                 # doctest: +SKIP
+    """
+
+    DRIVERS = ("dasubw", "dafhtw", "panda_full", "tree_decomposition")
+
+    def __init__(
+        self,
+        query,
+        constraints: ConstraintSet | None = None,
+        backend: str = "exact",
+        planner: Planner | None = None,
+    ) -> None:
+        self.query = query
+        self.constraints = constraints
+        self.backend = backend
+        self.planner = planner if planner is not None else Planner()
+        self._decompositions = None
+
+    @property
+    def cache_stats(self) -> PlanCacheStats:
+        return self.planner.stats
+
+    def _query_decompositions(self):
+        if self._decompositions is None:
+            from repro.decompositions.enumeration import tree_decompositions
+
+            self._decompositions = tree_decompositions(self.query.hypergraph())
+        return self._decompositions
+
+    def execute(
+        self,
+        database,
+        driver: str = "dasubw",
+        constraints: ConstraintSet | None = None,
+    ):
+        """Evaluate the query on one database with the chosen driver.
+
+        Constraint resolution: an explicit ``constraints`` argument wins,
+        then the engine-level constraints, then the database's extracted
+        cardinalities.  Plans are cached across calls whenever the resolved
+        constraints (and hence the bound LPs) coincide.
+        """
+        from repro.core import query_plans
+
+        if constraints is None:
+            constraints = self.constraints
+        if constraints is None:
+            constraints = database.extract_cardinalities()
+        if driver == "dasubw":
+            return query_plans.dasubw_plan(
+                self.query,
+                database,
+                constraints=constraints,
+                decompositions=self._query_decompositions(),
+                backend=self.backend,
+                planner=self.planner,
+            )
+        if driver == "dafhtw":
+            return query_plans.dafhtw_plan(
+                self.query,
+                database,
+                constraints=constraints,
+                decompositions=self._query_decompositions(),
+                backend=self.backend,
+                planner=self.planner,
+            )
+        if driver == "panda_full":
+            return query_plans.panda_full_query(
+                self.query,
+                database,
+                constraints=constraints,
+                backend=self.backend,
+                planner=self.planner,
+            )
+        if driver == "tree_decomposition":
+            return query_plans.tree_decomposition_plan(
+                self.query,
+                database,
+                constraints=constraints,
+                decompositions=self._query_decompositions(),
+                backend=self.backend,
+                planner=self.planner,
+            )
+        raise PandaError(
+            f"unknown driver {driver!r}; pick from {self.DRIVERS}"
+        )

@@ -65,7 +65,9 @@ def maximin_width(
 ) -> Fraction:
     """``max_{h∈F∩H} min_TD max_bag h(bag)`` via Lemma 7.12 selector images.
 
-    One maximin LP per distinct selector image; the width is the max.
+    One maximin LP per ``⊆``-minimal selector image; the width is the max
+    (dropping bags from an image can only raise its inner min, so the max
+    over minimal images equals the max over all images).
     """
     program = PolymatroidProgram(
         hypergraph.vertices, list(log_constraints), function_class
