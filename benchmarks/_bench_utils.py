@@ -13,8 +13,28 @@ pytest collected.
 from __future__ import annotations
 
 import math
+import os
 
-__all__ = ["loglog_slope", "print_table"]
+__all__ = ["artifact_path", "loglog_slope", "print_table"]
+
+
+def artifact_path(filename: str, override: str | None = None) -> str:
+    """The home of a JSON perf artifact: ``benchmarks/out/<file>`` by default.
+
+    ``override`` (an env-var value, possibly empty/None) wins when set; in
+    either case the target directory is created on demand, so benchmark runs
+    stop dropping artifacts into the repository root — and a fresh CI
+    checkout (where the gitignored ``benchmarks/out/`` does not exist yet)
+    can still write to it.
+    """
+    if override:
+        parent = os.path.dirname(override)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        return override
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    return os.path.join(out_dir, filename)
 
 
 def loglog_slope(xs: list[float], ys: list[float]) -> float:

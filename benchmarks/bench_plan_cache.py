@@ -15,9 +15,9 @@ relations):
   :class:`~repro.planner.QueryEngine`.
 
 Every output is cross-checked against the Generic Join oracle, and the
-measurements are written to a JSON perf artifact (env ``PLAN_CACHE_JSON``
-overrides the path) so CI can archive the trajectory, mirroring
-``wcoj_engine_comparison.json``.  The CI gate asserts
+measurements are written to a JSON perf artifact under ``benchmarks/out/``
+(env ``PLAN_CACHE_JSON`` overrides the path) so CI can archive the
+trajectory, mirroring ``wcoj_engine_comparison.json``.  The CI gate asserts
 ``scratch / warm >= PLAN_CACHE_MIN_SPEEDUP`` (default 5).
 """
 
@@ -30,10 +30,12 @@ from repro.instances import cycle_query
 from repro.planner import Planner, QueryEngine
 from repro.relational import Database, Relation, generic_join
 
-from _bench_utils import print_table
+from _bench_utils import artifact_path, print_table
 
 MIN_SPEEDUP = float(os.environ.get("PLAN_CACHE_MIN_SPEEDUP", "5.0"))
-JSON_PATH = os.environ.get("PLAN_CACHE_JSON", "plan_cache_benchmark.json")
+JSON_PATH = artifact_path(
+    "plan_cache_benchmark.json", os.environ.get("PLAN_CACHE_JSON")
+)
 WARM_ROUNDS = 5
 
 

@@ -12,8 +12,8 @@ tracks the *constant factor*: it pits the columnar dictionary-encoded engine
 the seed's tuple engine (frozenset tuples, dict tries, per-value hashing) on
 triangle and 4-cycle instances at 10^4+ tuples per relation, cross-checks
 every output, asserts the ≥5× speedup the columnar refactor targets, and
-writes the measurements to a JSON file so CI can archive the perf
-trajectory (env ``WCOJ_BENCH_JSON`` overrides the path).
+writes the measurements to a JSON file under ``benchmarks/out/`` so CI can
+archive the perf trajectory (env ``WCOJ_BENCH_JSON`` overrides the path).
 """
 
 import gc
@@ -31,7 +31,7 @@ from repro.relational import (
     scoped_work_counter,
 )
 
-from _bench_utils import loglog_slope, print_table
+from _bench_utils import artifact_path, loglog_slope, print_table
 
 QUERY = triangle_query()
 
@@ -435,7 +435,9 @@ def test_columnar_vs_seed_tuple_engine():
         rows,
     )
 
-    json_path = os.environ.get("WCOJ_BENCH_JSON", "wcoj_engine_comparison.json")
+    json_path = artifact_path(
+        "wcoj_engine_comparison.json", os.environ.get("WCOJ_BENCH_JSON")
+    )
     with open(json_path, "w") as handle:
         json.dump(report, handle, indent=2)
     print(f"perf artifact written to {json_path}")

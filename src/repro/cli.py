@@ -199,6 +199,7 @@ def cmd_run(args) -> int:
     from repro.datalog.rule import DisjunctiveRule
     from repro.planner import Planner
     from repro.relational.io import load_database_dir, save_relation_csv
+    from repro.relational.operators import scoped_work_counter
 
     statement = _parse_statement(args.statement)
     database = load_database_dir(args.data)
@@ -207,13 +208,39 @@ def cmd_run(args) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
     planner = Planner()
 
+    workers = max(1, args.workers)
+    # An explicit --driver opts into the parallel engine even at 1 worker
+    # (the driver then runs in-process over the same shard plan).
+    parallel = workers > 1 or args.driver is not None
+    if parallel and (
+        isinstance(statement, DisjunctiveRule)
+        or not (statement.is_full or statement.is_boolean)
+    ):
+        print(
+            "note: --workers/--driver apply to full/Boolean conjunctive "
+            "queries; running this statement serially",
+            file=sys.stderr,
+        )
+        parallel = False
+
+    counter = None
+
     def report_stats() -> None:
         if args.stats:
             print(f"plan cache: {planner.stats} "
                   f"({len(planner.cache)} plan(s) cached)")
+            if counter is not None:
+                print(
+                    f"work: {counter.tuples_scanned} scanned, "
+                    f"{counter.tuples_emitted} emitted "
+                    f"({counter.total} total"
+                    + (f", {workers} worker(s)" if parallel else "")
+                    + ")"
+                )
 
     if isinstance(statement, DisjunctiveRule):
-        result = panda(statement, database, planner=planner)
+        with scoped_work_counter() as counter:
+            result = panda(statement, database, planner=planner)
         print(f"PANDA: budget 2^OBJ = {result.budget:,.0f}, "
               f"max intermediate {result.stats.max_intermediate}, "
               f"{result.stats.restarts} restart(s)")
@@ -224,10 +251,18 @@ def cmd_run(args) -> int:
         report_stats()
         return 0
 
-    if statement.is_full or statement.is_boolean:
-        plan = dasubw_plan(statement, database, planner=planner)
-    else:
-        plan = proper_query_plan(statement, database, planner=planner)
+    with scoped_work_counter() as counter:
+        if parallel:
+            from repro.parallel import ParallelQueryEngine
+
+            with ParallelQueryEngine(
+                statement, planner=planner, workers=workers
+            ) as engine:
+                plan = engine.execute(database, driver=args.driver or "generic")
+        elif statement.is_full or statement.is_boolean:
+            plan = dasubw_plan(statement, database, planner=planner)
+        else:
+            plan = proper_query_plan(statement, database, planner=planner)
     if statement.is_boolean:
         print(f"{statement.name}: {plan.boolean}")
         report_stats()
@@ -283,7 +318,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--limit", type=int, default=20,
                        help="max rows to print without --out")
     p_run.add_argument("--stats", action="store_true",
-                       help="report plan-cache hit/miss statistics")
+                       help="report plan-cache hit/miss statistics and "
+                            "tuple-level work totals (worker counts "
+                            "aggregated back into the parent)")
+    p_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="evaluate full/Boolean CQs across N worker processes: the "
+             "query is range-sharded on its first variable (heavy keys "
+             "split further) and the sorted per-shard outputs merge into "
+             "a result bit-identical to serial evaluation",
+    )
+    p_run.add_argument(
+        "--driver", default=None,
+        choices=("generic", "leapfrog", "yannakakis", "panda"),
+        help="per-shard execution strategy of the parallel engine "
+             "(default generic; giving it opts into the engine even "
+             "at --workers 1)",
+    )
     p_run.set_defaults(func=cmd_run)
     return parser
 

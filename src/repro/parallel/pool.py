@@ -1,0 +1,511 @@
+"""The persistent worker pool and the per-shard task execution.
+
+Data ships once, work ships per shard: when a :class:`WorkerPool` is bound
+to a database (:meth:`WorkerPool.ensure_database`), every worker process
+receives the dictionary-encoded relations as raw column-major ``array('q')``
+buffers through its initializer — no per-tuple pickling, no decoding — and
+rebuilds them exactly once.  A shard task is then just ``(driver, order,
+row ranges, extra)``: the worker executes its shard through the serial
+drivers with :func:`repro.relational.execution.execute_join`'s zero-copy
+root-range restriction over its resident relations, so per-shard marginal
+cost is pure join work (and the shared per-node trie caches of
+:meth:`~repro.relational.columns.ColumnSet.trie_caches` accumulate across
+shards and executes).
+
+Codes are parent-process codes throughout; workers never decode.  The one
+exception is the ``panda`` driver, whose Lemma 6.1 bucket halving orders
+heavy keys by decoded *values* — those tasks ship the relevant
+dictionaries' value lists and :func:`adopt_dictionaries` installs them
+wholesale.  The data-independent :class:`~repro.planner.PandaPlan` bundle
+(one plan per isomorphism class, exported by the parent's planner) is also
+cached worker-side under a fingerprint token, so repeated executions seed
+each worker exactly once.
+
+Every task runs under its own
+:func:`~repro.relational.operators.scoped_work_counter` and reports the
+counts home, so the parent can absorb them into its scope and ``repro run
+--stats`` stays truthful about the total work performed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from array import array
+from typing import Sequence
+
+from repro.relational.operators import scoped_work_counter
+from repro.relational.relation import Relation
+
+__all__ = [
+    "WorkerPool",
+    "adopt_dictionaries",
+    "default_worker_count",
+    "pack_column_range",
+    "pack_output_rows",
+    "run_faq_task",
+    "run_shard_task",
+    "unpack_column_arrays",
+    "unpack_columns",
+]
+
+
+# -- raw code buffers ---------------------------------------------------------------
+
+
+def pack_output_rows(rows: Sequence[tuple], arity: int) -> bytes:
+    """Serialize output rows column-major (C-speed ``zip`` + array fills).
+
+    The transpose back is :func:`unpack_columns`; for the large outputs the
+    emission-heavy workloads produce, this keeps both ends of the result
+    pipe out of per-tuple Python loops.
+    """
+    if arity == 0 or not rows:
+        return b""
+    return b"".join(
+        array("q", column).tobytes() for column in zip(*rows)
+    )
+
+
+def pack_column_range(column_set, lo: int, hi: int) -> bytes:
+    """Serialize rows ``[lo, hi)`` of a column set, column-major.
+
+    Slicing the materialized ``array('q')`` columns is a C-speed copy — the
+    parent pays no per-tuple Python work to ship a relation.  (Columns
+    materialize once per relation and are cached on the column set.)
+    """
+    parts = []
+    for column in column_set.columns:
+        view = memoryview(column)[lo:hi]
+        parts.append(view.tobytes())
+    return b"".join(parts)
+
+
+def unpack_column_arrays(buffer: bytes, arity: int) -> tuple:
+    """Split a column-major code buffer back into its ``array('q')`` columns."""
+    if arity == 0:
+        return ()
+    n = len(buffer) // (8 * arity)
+    columns = []
+    for i in range(arity):
+        column = array("q")
+        column.frombytes(buffer[i * 8 * n : (i + 1) * 8 * n])
+        columns.append(column)
+    return tuple(columns)
+
+
+def unpack_columns(buffer: bytes, arity: int) -> tuple[list[tuple], tuple]:
+    """Invert :func:`pack_column_range`: ``(row tuples, column arrays)``.
+
+    Rows come from one C-speed ``zip(*columns)``; the arrays are returned
+    too so the receiver's column set can adopt them instead of rebuilding.
+    """
+    columns = unpack_column_arrays(buffer, arity)
+    if not columns:
+        return [], ()
+    return list(zip(*columns)), columns
+
+
+def default_worker_count() -> int:
+    """Default pool size: the machine's cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+# -- worker-side state --------------------------------------------------------------
+
+#: The database resident in this process: ``(token, entries)`` with one
+#: ``(name, attrs, relation)`` entry per query atom, installed either by the
+#: pool initializer (worker processes) or directly (in-process execution).
+_WORKER_DB: tuple | None = None
+
+#: Per-worker caches, keyed by the parent's fingerprint tokens.
+_WORKER_PLANNERS: dict = {}
+_WORKER_DICTS: dict = {}
+
+
+def _init_worker_db(token, payload: list[tuple]) -> None:
+    """Pool initializer: rebuild the database from raw column buffers."""
+    global _WORKER_DB
+    entries = []
+    for name, attrs, buffer in payload:
+        rows, columns = unpack_columns(buffer, len(attrs))
+        relation = Relation.from_codes(
+            name, attrs, rows, presorted=True, distinct=True
+        )
+        relation.column_set(attrs).adopt_columns(columns)
+        entries.append((name, attrs, relation))
+    _WORKER_DB = (token, entries)
+
+
+def install_local_database(token, entries: list[tuple]) -> None:
+    """Adopt already-built relations for in-process shard execution."""
+    global _WORKER_DB
+    _WORKER_DB = (token, entries)
+
+
+def _release_local_database(token) -> None:
+    """Drop the resident database if it is still the one ``token`` names.
+
+    Called by :meth:`WorkerPool.close`; guarded by token so closing one
+    pool never evicts a database another live engine re-installed.
+    """
+    global _WORKER_DB
+    if _WORKER_DB is not None and _WORKER_DB[0] == token:
+        _WORKER_DB = None
+
+
+def adopt_dictionaries(dict_values: dict[str, list]) -> None:
+    """Install the parent's dictionary value lists wholesale.
+
+    Worker processes otherwise run on bare codes; drivers that must decode
+    (PANDA's value-ordered bucket halving) need each attribute's code→value
+    table to mirror the parent's exactly.  Adoption replaces the shared
+    per-attribute dictionary so that codes — all minted by the parent — stay
+    valid.
+    """
+    from repro.relational.columns import Dictionary
+
+    for attribute, values in dict_values.items():
+        # Compare contents, not just length: a registry reset in the parent
+        # can produce a same-length dictionary with different values behind
+        # the same codes.
+        if _WORKER_DICTS.get(attribute) == values:
+            continue
+        fresh = Dictionary(attribute)
+        for value in values:
+            fresh.encode(value)
+        Dictionary._registry[attribute] = fresh
+        _WORKER_DICTS[attribute] = list(values)
+
+
+def _seeded_planner(plans_token, plans_blob: bytes | None):
+    """The worker's planner, seeded once per plan-bundle fingerprint."""
+    from repro.planner import Planner
+
+    planner = _WORKER_PLANNERS.get(plans_token)
+    if planner is not None:
+        return planner
+    planner = Planner()
+    if plans_blob is not None:
+        for universe, targets, constraints, backend, plan in pickle.loads(plans_blob):
+            exact_key = planner.cache.instance_key(universe, targets, constraints)
+            sig_key, canonical_to_instance = planner.cache.signature(
+                universe, targets, constraints, exact_key=exact_key
+            )
+            planner.cache.put((sig_key, backend), plan, canonical_to_instance)
+            planner.cache.store_instance((exact_key, backend), plan)
+    _WORKER_PLANNERS[plans_token] = planner
+    return planner
+
+
+# -- per-shard execution ------------------------------------------------------------
+
+
+def _resident_database(token) -> list[tuple]:
+    if _WORKER_DB is None or _WORKER_DB[0] != token:
+        raise RuntimeError(
+            "shard task arrived before its database was installed — "
+            "WorkerPool.ensure_database must run first"
+        )
+    return _WORKER_DB[1]
+
+
+def _sliced_relation(relation: Relation, attrs: tuple, lo: int, hi: int) -> Relation:
+    """The shard's slice of one resident relation, as its own relation.
+
+    Rows come from the order-restricted column set, so the slice is a
+    contiguous pointer-copy; full-range slices reuse the resident relation
+    outright when its schema already matches.
+    """
+    column_set = relation.column_set(attrs)
+    if lo == 0 and hi == column_set.nrows and relation.schema == attrs:
+        return relation
+    rows = column_set.rows[lo:hi]
+    if not isinstance(rows, list):
+        rows = list(rows)
+    return Relation.from_codes(
+        relation.name, attrs, rows, presorted=True, distinct=True
+    )
+
+
+def _panda_shard(sliced: list[Relation], order: tuple[str, ...], extra: dict):
+    """Run the serial da-subw PANDA driver on one shard's database."""
+    from repro.core.query_plans import dasubw_plan
+    from repro.datalog.atoms import Atom
+    from repro.datalog.conjunctive import ConjunctiveQuery
+    from repro.relational.database import Database
+
+    if extra.get("parent_pid") != os.getpid():
+        # In-process (single-worker) runs already share the parent's
+        # dictionaries; only real worker processes adopt.
+        adopt_dictionaries(extra["dict_values"])
+    planner = _seeded_planner(extra["plans_token"], extra.get("plans_blob"))
+    # Atoms are renamed R__0, R__1, ... because self-joins restrict the two
+    # occurrences of a base relation *differently* per shard — each slice
+    # must be its own database entry.
+    atoms = []
+    db_relations = []
+    for i, (relation, variables) in enumerate(zip(sliced, extra["atom_vars"])):
+        atom_name = f"{relation.name}__{i}"
+        positions = tuple(relation.schema.index(v) for v in variables)
+        rows = [tuple(row[p] for p in positions) for row in relation.code_rows]
+        db_relations.append(
+            Relation.from_codes(atom_name, variables, rows, distinct=True)
+        )
+        atoms.append(Atom(atom_name, variables))
+    if extra["boolean"]:
+        query = ConjunctiveQuery.boolean(tuple(atoms), name=extra["query_name"])
+    else:
+        query = ConjunctiveQuery.full(tuple(atoms), name=extra["query_name"])
+    result = dasubw_plan(
+        query,
+        Database(db_relations),
+        constraints=extra["constraints"],
+        backend=extra["backend"],
+        planner=planner,
+    )
+    return result.relation, result.boolean
+
+
+def _yannakakis_shard(sliced: list[Relation], order: tuple[str, ...], extra: dict):
+    """Materialize the shipped decomposition's bags and run Yannakakis."""
+    from repro.relational.operators import project
+    from repro.relational.wcoj import generic_join
+    from repro.relational.yannakakis import (
+        acyclic_boolean,
+        acyclic_join,
+        join_tree_from_bags,
+    )
+
+    bag_tables = []
+    for bag in extra["bags"]:
+        bag_atoms = []
+        for relation in sliced:
+            overlap = relation.attributes & bag
+            if overlap:
+                bag_atoms.append(project(relation, overlap))
+        bag_tables.append(
+            generic_join(bag_atoms, name=f"T_{''.join(sorted(bag))}")
+        )
+    tree = join_tree_from_bags(bag_tables)
+    if extra["boolean"]:
+        non_empty = acyclic_boolean(tree)
+        return Relation("Q", order), non_empty
+    joined = acyclic_join(tree)
+    return joined, not joined.is_empty()
+
+
+def run_shard_task(task: tuple) -> tuple[bytes, bool, dict]:
+    """Execute one shard over the resident database (worker-side entry).
+
+    ``task`` is ``(db_token, driver, order, ranges, extra)`` with one
+    ``(lo, hi)`` row range per resident relation.  Returns the shard's
+    output rows as a raw column-major buffer (sorted under ``order``), the
+    shard's Boolean answer, and the shard's work counts.
+    """
+    db_token, driver, order, ranges, extra = task
+    entries = _resident_database(db_token)
+    with scoped_work_counter() as counter:
+        if driver in ("generic", "leapfrog"):
+            if driver == "generic":
+                from repro.relational.wcoj import generic_join as join
+            else:
+                from repro.relational.leapfrog import leapfrog_triejoin as join
+
+            relations = [relation for _, _, relation in entries]
+            out = join(relations, order, root_ranges=ranges)
+            boolean = not out.is_empty()
+        else:
+            sliced = [
+                _sliced_relation(relation, attrs, lo, hi)
+                for (_, attrs, relation), (lo, hi) in zip(entries, ranges)
+            ]
+            if driver == "yannakakis":
+                out, boolean = _yannakakis_shard(sliced, order, extra)
+            elif driver == "panda":
+                out, boolean = _panda_shard(sliced, order, extra)
+            else:  # pragma: no cover - guarded by the engine
+                raise ValueError(f"unknown shard driver {driver!r}")
+        if extra.get("boolean") or not out.schema:
+            # Boolean queries only need the flag (which travels separately);
+            # don't serialize join rows the parent would discard.
+            rows = []
+        elif out.schema == tuple(order):
+            rows = out.code_rows
+        else:
+            rows = out.column_set(tuple(order)).rows
+        buffer = pack_output_rows(rows, len(order))
+        counts = counter.as_dict()
+    return buffer, boolean, counts
+
+
+def run_faq_task(task: tuple) -> tuple[bytes, list, dict]:
+    """⊗-join the shard's factors and ⊕-marginalize (worker-side entry point).
+
+    ``task`` is ``(semiring_ref, free, factor_payload)`` where each factor
+    entry is ``(name, attrs, buffer, values)``.  Returns the marginalized
+    shard result as ``(rows buffer, values list, counts)``.
+    """
+    from functools import reduce
+
+    from repro.faq.annotated import AnnotatedRelation
+
+    semiring_ref, free, factor_payload = task
+    semiring = resolve_semiring(semiring_ref)
+    with scoped_work_counter() as counter:
+        factors = []
+        for name, attrs, buffer, values in factor_payload:
+            if attrs:
+                rows, _ = unpack_columns(buffer, len(attrs))
+            else:
+                # Nullary (scalar) factors: the single empty row carries no
+                # codes, so the buffer is empty — the values list is the
+                # row count.
+                rows = [()] * len(values)
+            factors.append(
+                AnnotatedRelation._from_codes(
+                    name, tuple(attrs), semiring, dict(zip(rows, values))
+                )
+            )
+        product = reduce(lambda a, b: a.multiply(b), factors)
+        result = product.marginalize(free)
+        out_schema = result.schema
+        items = sorted(result._data.items())
+        buffer = pack_output_rows([row for row, _ in items], len(out_schema))
+        values = [value for _, value in items]
+        counts = counter.as_dict()
+    return buffer, values, counts
+
+
+# -- semiring shipping --------------------------------------------------------------
+
+
+def semiring_reference(semiring):
+    """A picklable reference to a semiring (stock ones ship by name)."""
+    from repro.faq import semiring as stock
+
+    for attr in ("BOOLEAN", "COUNTING", "MIN_PLUS", "MAX_PRODUCT"):
+        if getattr(stock, attr) is semiring:
+            return ("stock", attr)
+    try:
+        return ("pickle", pickle.dumps(semiring))
+    except Exception as error:
+        raise ValueError(
+            f"semiring {semiring} is not picklable and not one of the stock "
+            f"semirings; parallel FAQ evaluation cannot ship it to workers"
+        ) from error
+
+
+def resolve_semiring(reference):
+    """Invert :func:`semiring_reference` in the worker."""
+    kind, payload = reference
+    if kind == "stock":
+        from repro.faq import semiring as stock
+
+        return getattr(stock, payload)
+    return pickle.loads(payload)
+
+
+# -- the pool -----------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A persistent ``multiprocessing`` pool bound to one resident database.
+
+    ``ensure_database`` installs the database in every worker exactly once
+    (pool initializer) and locally (so single-task fast paths run in
+    process); it is a no-op while the token is unchanged, so repeated
+    executes on one database ship *no* input data at all.  A new token
+    recycles the pool — re-forking is far cheaper than re-shipping per
+    shard.  The start method is ``fork`` where available, ``spawn``
+    elsewhere (tasks are self-contained either way).
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._pool = None
+        self._db_token = None
+
+    @staticmethod
+    def _context():
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    def ensure_started(self) -> None:
+        """Start a database-free pool (FAQ tasks carry their own factors)."""
+        if self.workers > 1 and self._pool is None:
+            self._pool = self._context().Pool(processes=self.workers)
+
+    def ensure_database(
+        self, token, entries: list[tuple], payload: list[tuple] | None = None
+    ) -> None:
+        """Make ``entries`` (``(name, attrs, relation)``) resident everywhere.
+
+        ``payload`` is the pre-packed ``(name, attrs, buffer)`` form (built
+        by the engine alongside the content token); it is only consumed when
+        the pool actually (re)starts.
+        """
+        # The local (in-process) database is a module global shared by every
+        # pool, so another engine may have displaced it since we last bound —
+        # check it independently of this pool's own token.
+        if _WORKER_DB is None or _WORKER_DB[0] != token:
+            install_local_database(token, entries)
+        if self._db_token == token:
+            return
+        if self.workers > 1:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+            if payload is None:
+                payload = [
+                    (
+                        name,
+                        attrs,
+                        pack_column_range(
+                            relation.column_set(attrs),
+                            0,
+                            relation.column_set(attrs).nrows,
+                        ),
+                    )
+                    for name, attrs, relation in entries
+                ]
+            self._pool = self._context().Pool(
+                processes=self.workers,
+                initializer=_init_worker_db,
+                initargs=(token, payload),
+            )
+        self._db_token = token
+
+    def map(self, function, tasks: list) -> list:
+        """Run ``function`` over ``tasks`` on the pool, results in task order."""
+        if self._pool is None or len(tasks) <= 1:
+            return [function(task) for task in tasks]
+        async_results = [
+            self._pool.apply_async(function, (task,)) for task in tasks
+        ]
+        return [result.get() for result in async_results]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._db_token is not None:
+            _release_local_database(self._db_token)
+        self._db_token = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

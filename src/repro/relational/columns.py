@@ -26,7 +26,7 @@ which the per-attribute sharing guarantees.  Anything user-facing (CSV dumps,
 from __future__ import annotations
 
 from array import array
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Iterator, Sequence
 
 __all__ = ["Dictionary", "ColumnSet", "decode_row", "gallop_left", "merge_runs"]
@@ -114,6 +114,44 @@ def decode_row(dictionaries: Sequence[Dictionary], code_row: tuple) -> tuple:
     return tuple(d.values[c] for d, c in zip(dictionaries, code_row))
 
 
+class _RowsView:
+    """A zero-copy window ``[lo, hi)`` over another row sequence.
+
+    Backs :meth:`ColumnSet.restrict_range`: a contiguous range of sorted
+    rows shares the parent's tuples instead of copying pointer lists.
+    Supports the read-only sequence protocol the engine uses (indexing,
+    slicing, iteration, ``len``).
+    """
+
+    __slots__ = ("_base", "_lo", "_hi")
+
+    def __init__(self, base, lo: int, hi: int) -> None:
+        self._base = base
+        self._lo = lo
+        self._hi = hi
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __getitem__(self, index):
+        n = self._hi - self._lo
+        if isinstance(index, slice):
+            start, stop, step = index.indices(n)
+            if step != 1:
+                return [self._base[self._lo + i] for i in range(start, stop, step)]
+            return self._base[self._lo + start : self._lo + stop]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        return self._base[self._lo + index]
+
+    def __iter__(self):
+        base = self._base
+        for i in range(self._lo, self._hi):
+            yield base[i]
+
+
 class ColumnSet:
     """Code-tuples over an ordered attribute list, lexicographically sorted.
 
@@ -129,7 +167,7 @@ class ColumnSet:
     (merge joins, partitions) never pay for the arrays.
     """
 
-    __slots__ = ("attrs", "rows", "_columns")
+    __slots__ = ("attrs", "rows", "_columns", "_trie_keys", "_trie_sets")
 
     def __init__(self, attrs: Sequence[str], rows: list, presorted: bool = False) -> None:
         self.attrs: tuple[str, ...] = tuple(attrs)
@@ -137,6 +175,23 @@ class ColumnSet:
             rows = sorted(rows)
         self.rows: list = rows
         self._columns: tuple | None = None
+        self._trie_keys: dict | None = None
+        self._trie_sets: dict | None = None
+
+    def trie_caches(self) -> tuple[dict, dict]:
+        """The shared per-node key-run/key-set caches of this column set.
+
+        Every :class:`~repro.relational.trie.SortedTrieIterator` over this
+        column set shares them (keys are ``(depth, lo, hi)`` node ranges), so
+        a node's distinct-key list materializes once per *relation*, not once
+        per iterator — the difference between O(shards · nodes) and O(nodes)
+        when partition-parallel workers walk many shard iterators over one
+        shared relation.
+        """
+        if self._trie_keys is None:
+            self._trie_keys = {}
+            self._trie_sets = {}
+        return self._trie_keys, self._trie_sets
 
     @property
     def nrows(self) -> int:
@@ -154,6 +209,80 @@ class ColumnSet:
             )
             self._columns = cols
         return cols
+
+    def adopt_columns(self, columns: Sequence) -> None:
+        """Install already-materialized per-attribute columns.
+
+        Used by the parallel workers, which receive a shard's columns as raw
+        ``array('q')`` buffers: adopting them skips the Python-level rebuild
+        from the row tuples.  The columns must be sorted-aligned with
+        ``rows`` — callers ship them from exactly that layout.
+        """
+        columns = tuple(columns)
+        if len(columns) != len(self.attrs) or any(
+            len(col) != len(self.rows) for col in columns
+        ):
+            raise ValueError(
+                f"adopted columns do not match {len(self.attrs)} attrs x "
+                f"{len(self.rows)} rows"
+            )
+        self._columns = columns
+
+    def code_range(
+        self,
+        code_lo: int,
+        code_hi: int,
+        lo: int = 0,
+        hi: int | None = None,
+        depth: int = 0,
+    ) -> tuple[int, int]:
+        """Row-index range of rows with ``column[depth]`` in ``[code_lo, code_hi)``.
+
+        Searched within rows ``[lo, hi)``, which must already fix the first
+        ``depth`` codes (so the depth column is sorted there); ``depth`` 0 is
+        the whole sorted row list.  Two binary searches — the shard-boundary
+        primitive of :mod:`repro.parallel.partition`.
+        """
+        if hi is None:
+            hi = len(self.rows)
+        column = self.columns[depth]
+        start = bisect_left(column, code_lo, lo, hi)
+        end = bisect_left(column, code_hi, start, hi)
+        return start, end
+
+    def restrict_range(self, lo: int, hi: int) -> "ColumnSet":
+        """A zero-copy view of rows ``[lo, hi)`` (same attrs, same sort order).
+
+        The rows are shared through a bounded :class:`_RowsView` and any
+        already-materialized columns through ``memoryview`` slices, so
+        restricting costs O(arity) regardless of the range size.  This is
+        the in-process restriction utility; the hot shard paths restrict
+        without views at all — trie iterators through their root bounds,
+        the worker pool by slicing columns directly
+        (:func:`repro.parallel.pool.pack_column_range`).
+        """
+        if not 0 <= lo <= hi <= len(self.rows):
+            raise IndexError(f"range [{lo}, {hi}) outside 0..{len(self.rows)}")
+        view = ColumnSet.__new__(ColumnSet)
+        view.attrs = self.attrs
+        base_rows = self.rows
+        if isinstance(base_rows, _RowsView):
+            # Re-slice the underlying list instead of stacking views.
+            view.rows = _RowsView(
+                base_rows._base, base_rows._lo + lo, base_rows._lo + hi
+            )
+        else:
+            view.rows = _RowsView(base_rows, lo, hi)
+        cols = self._columns
+        if cols is None:
+            view._columns = None
+        else:
+            view._columns = tuple(memoryview(col)[lo:hi] for col in cols)
+        # A view's row indices are shifted, so it cannot share the base
+        # set's node caches.
+        view._trie_keys = None
+        view._trie_sets = None
+        return view
 
     def distinct_prefix_count(self, depth: int) -> int:
         """Number of distinct length-``depth`` prefixes among the rows."""

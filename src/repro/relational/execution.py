@@ -52,7 +52,9 @@ def global_variable_order(
 
 
 def level_plan(
-    relations: Sequence[Relation], order: tuple[str, ...]
+    relations: Sequence[Relation],
+    order: tuple[str, ...],
+    root_ranges: Sequence[tuple[int, int] | None] | None = None,
 ) -> tuple[list, list]:
     """Per-depth iterator plan shared by both WCOJ baselines.
 
@@ -62,13 +64,18 @@ def level_plan(
     around the recursive call — an iterator positioned on its last attribute
     contributes candidates from where it already stands).
 
+    ``root_ranges`` optionally bounds each relation's iterator root to a row
+    range of its order-restricted column set (``None`` entries mean the full
+    relation) — the zero-copy shard restriction of :mod:`repro.parallel`.
+
     Raises:
         QueryError: if some variable appears in no relation.
     """
     entries = []
-    for relation in relations:
+    for index, relation in enumerate(relations):
         attrs = tuple(v for v in order if v in relation.attributes)
-        entries.append((attrs, relation.trie_iterator(attrs)))
+        bounds = root_ranges[index] if root_ranges is not None else None
+        entries.append((attrs, relation.trie_iterator(attrs, bounds=bounds)))
     active_at: list[list] = []
     descend_at: list[list] = []
     for var in order:
@@ -109,6 +116,7 @@ def execute_join(
     variable_order: Sequence[str] | None,
     name: str,
     inner_intersect,
+    root_ranges: Sequence[tuple[int, int] | None] | None = None,
 ) -> Relation:
     """The recursion both WCOJ baselines share over the trie iterators.
 
@@ -130,10 +138,14 @@ def execute_join(
       combinations skip the descent altogether.
 
     The recursion enumerates bindings in ascending code order, so the output
-    rows arrive sorted and duplicate-free.
+    rows arrive sorted and duplicate-free.  ``root_ranges`` restricts each
+    relation's trie root to a row range (see :func:`level_plan`): with every
+    relation containing the first variable bounded to one code range, the
+    call computes exactly that shard of the join — the serial building block
+    of :class:`repro.parallel.ParallelQueryEngine`.
     """
     order = global_variable_order(relations, variable_order)
-    active_at, descend_at = level_plan(relations, order)
+    active_at, descend_at = level_plan(relations, order, root_ranges)
 
     counter = current_counter()
     out_rows: list[tuple] = []

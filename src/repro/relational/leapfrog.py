@@ -108,6 +108,7 @@ def leapfrog_triejoin(
     relations: Sequence[Relation],
     variable_order: Sequence[str] | None = None,
     name: str = "Q",
+    root_ranges: Sequence[tuple[int, int] | None] | None = None,
 ) -> Relation:
     """Compute the full natural join with Leapfrog Triejoin [47].
 
@@ -116,13 +117,18 @@ def leapfrog_triejoin(
         variable_order: global variable order shared by all tries; defaults
             to sorted.  Any order is worst-case optimal.
         name: output relation name.
+        root_ranges: optional per-relation trie-root row bounds — computes
+            one shard of the join (see
+            :func:`repro.relational.execution.execute_join`).
 
     Returns:
         The join result with schema in the variable order.
     """
     if not relations:
         raise QueryError("leapfrog triejoin needs at least one relation")
-    return execute_join(relations, variable_order, name, _leapfrog_inner)
+    return execute_join(
+        relations, variable_order, name, _leapfrog_inner, root_ranges
+    )
 
 
 def _leapfrog_inner(active: list, counter) -> list[int]:

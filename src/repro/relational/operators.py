@@ -77,6 +77,31 @@ class WorkCounter:
         """Total work units (scans + emissions): the benchmarks' cost metric."""
         return self.tuples_scanned + self.tuples_emitted
 
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict — the wire format worker processes
+        report back through (:mod:`repro.parallel.pool`)."""
+        return {
+            "tuples_scanned": self.tuples_scanned,
+            "tuples_emitted": self.tuples_emitted,
+            "joins": self.joins,
+            "partitions": self.partitions,
+        }
+
+    def absorb(self, counts: "WorkCounter | dict") -> None:
+        """Add another counter's numbers into this one.
+
+        The parent-scope aggregation of partition-parallel execution: each
+        worker runs its shard under its own scoped counter and ships the
+        totals home, so ``repro run --stats`` stays truthful about the work
+        actually performed regardless of the worker count.
+        """
+        if isinstance(counts, WorkCounter):
+            counts = counts.as_dict()
+        self.tuples_scanned += counts.get("tuples_scanned", 0)
+        self.tuples_emitted += counts.get("tuples_emitted", 0)
+        self.joins += counts.get("joins", 0)
+        self.partitions += counts.get("partitions", 0)
+
 
 #: Process-wide fallback counter (what un-scoped code observes).
 _DEFAULT_COUNTER = WorkCounter()

@@ -152,9 +152,19 @@ class Relation:
         self._column_sets[order] = cached
         return cached
 
-    def trie_iterator(self, order: Sequence[str]) -> SortedTrieIterator:
-        """A :class:`SortedTrieIterator` over the rows sorted under ``order``."""
-        return SortedTrieIterator(self.column_set(tuple(order)))
+    def trie_iterator(
+        self, order: Sequence[str], bounds: tuple[int, int] | None = None
+    ) -> SortedTrieIterator:
+        """A :class:`SortedTrieIterator` over the rows sorted under ``order``.
+
+        ``bounds`` restricts the virtual root to the row range ``[lo, hi)``
+        of that order's column set — the zero-copy shard restriction of the
+        partition-parallel subsystem.
+        """
+        column_set = self.column_set(tuple(order))
+        if bounds is None:
+            return SortedTrieIterator(column_set)
+        return SortedTrieIterator(column_set, bounds[0], bounds[1])
 
     def key_set(self, attrs: Sequence[str]) -> frozenset:
         """The distinct code-tuples of the ``attrs`` projection (cached).

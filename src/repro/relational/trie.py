@@ -48,19 +48,35 @@ class SortedTrieIterator:
     A level's state is ``(lo, hi, blo, bhi, key)``: the parent's index range,
     the current key's run ``[blo, bhi)`` inside it, and the key itself.
     ``None`` keys mark an exhausted level (``at_end``).
+
+    ``lo``/``hi`` bound the virtual root to the row range ``[lo, hi)`` —
+    zero-copy shard restriction for partition-parallel execution
+    (:mod:`repro.parallel`): the iterator then walks only the sub-trie of
+    that contiguous slice, with no row or column data materialized.
     """
 
-    __slots__ = ("_cols", "_nrows", "_stack", "_keys_cache", "_sets_cache")
+    __slots__ = ("_cols", "_root_lo", "_root_hi", "_stack", "_keys_cache", "_sets_cache")
 
-    def __init__(self, column_set: ColumnSet) -> None:
+    def __init__(
+        self, column_set: ColumnSet, lo: int = 0, hi: int | None = None
+    ) -> None:
         self._cols = column_set.columns
-        self._nrows = column_set.nrows
+        if hi is None:
+            hi = column_set.nrows
+        if not 0 <= lo <= hi <= column_set.nrows:
+            raise IndexError(
+                f"root bounds [{lo}, {hi}) outside 0..{column_set.nrows}"
+            )
+        self._root_lo = lo
+        self._root_hi = hi
         #: stack of [lo, hi, blo, bhi, key] per open depth.
         self._stack: list[list] = []
-        #: (depth, lo) -> materialized distinct keys of that node's children.
-        self._keys_cache: dict[tuple[int, int], list[int]] = {}
-        #: (depth, lo) -> the same keys as a frozenset (C-speed intersection).
-        self._sets_cache: dict[tuple[int, int], frozenset] = {}
+        # (depth, lo, hi) -> that node's distinct child keys (list) / the
+        # same keys as a frozenset.  Shared across every iterator over the
+        # column set (see :meth:`ColumnSet.trie_caches`), so concurrent or
+        # repeated walks — shard tasks, repeated executes — materialize each
+        # node once.
+        self._keys_cache, self._sets_cache = column_set.trie_caches()
 
     # -- position ---------------------------------------------------------------
 
@@ -89,7 +105,7 @@ class SortedTrieIterator:
             frame = self._stack[-1]
             lo, hi = frame[2], frame[3]
         else:
-            lo, hi = 0, self._nrows
+            lo, hi = self._root_lo, self._root_hi
         if lo >= hi:
             self._stack.append([lo, hi, lo, lo, None])
             return False
@@ -159,7 +175,7 @@ class SortedTrieIterator:
             frame = self._stack[-1]
             lo, hi = frame[2], frame[3]
         else:
-            lo, hi = 0, self._nrows
+            lo, hi = self._root_lo, self._root_hi
         column = self._cols[len(self._stack)]
         start = bisect_left(column, code, lo, hi)
         end = bisect_right(column, code, start, hi)
@@ -170,11 +186,13 @@ class SortedTrieIterator:
     def _node_keys(self, depth: int, lo: int, hi: int) -> list[int]:
         if lo >= hi:
             # Exhausted ranges are not cached: real (non-empty) nodes at one
-            # depth have pairwise-distinct ``lo``, but an exhausted level
+            # depth have pairwise-distinct ranges, but an exhausted level
             # (``lo == hi``) may coincide with a sibling's start index and
             # must not poison its cache entry.
             return []
-        cache_key = (depth, lo)
+        # ``hi`` is part of the key: root bounds can truncate a node's range
+        # to the same ``lo`` with a different ``hi``.
+        cache_key = (depth, lo, hi)
         cached = self._keys_cache.get(cache_key)
         if cached is not None:
             return cached
@@ -208,7 +226,7 @@ class SortedTrieIterator:
             frame = self._stack[-1]
             lo, hi = frame[2], frame[3]
         else:
-            lo, hi = 0, self._nrows
+            lo, hi = self._root_lo, self._root_hi
         return self._node_keys(len(self._stack), lo, hi)
 
     def node_token(self) -> int:
@@ -221,7 +239,7 @@ class SortedTrieIterator:
         """
         if self._stack:
             return self._stack[-1][2]
-        return 0
+        return self._root_lo
 
     def child_key_set(self) -> frozenset:
         """:meth:`child_keys` as a frozenset (cached; C-speed intersections)."""
@@ -230,11 +248,11 @@ class SortedTrieIterator:
             lo = frame[2]
             hi = frame[3]
         else:
-            lo, hi = 0, self._nrows
+            lo, hi = self._root_lo, self._root_hi
         if lo >= hi:
             return frozenset()
         depth = len(self._stack)
-        cache_key = (depth, lo)
+        cache_key = (depth, lo, hi)
         cached = self._sets_cache.get(cache_key)
         if cached is None:
             cached = frozenset(self._node_keys(depth, lo, hi))

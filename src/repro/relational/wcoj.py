@@ -35,6 +35,7 @@ def generic_join(
     relations: Sequence[Relation],
     variable_order: Sequence[str] | None = None,
     name: str = "Q",
+    root_ranges: Sequence[tuple[int, int] | None] | None = None,
 ) -> Relation:
     """Compute the full natural join of ``relations`` with Generic Join.
 
@@ -44,6 +45,9 @@ def generic_join(
         variable_order: order in which variables are resolved.  Defaults to
             sorted order (any order is worst-case optimal).
         name: name for the output relation.
+        root_ranges: optional per-relation trie-root row bounds — computes
+            one shard of the join (see
+            :func:`repro.relational.execution.execute_join`).
 
     Returns:
         The join result over all variables (sorted schema unless an order is
@@ -51,7 +55,9 @@ def generic_join(
     """
     if not relations:
         raise QueryError("generic join needs at least one relation")
-    return execute_join(relations, variable_order, name, set_intersection)
+    return execute_join(
+        relations, variable_order, name, set_intersection, root_ranges
+    )
 
 
 def binary_join_plan(

@@ -9,6 +9,7 @@ breaks when the benchmarks directory is collected alongside the tests.
 from __future__ import annotations
 
 import random
+import zlib
 from fractions import Fraction
 
 from repro.core.setfunctions import SetFunction
@@ -18,6 +19,7 @@ from repro.relational.relation import Relation
 __all__ = [
     "coverage_polymatroid",
     "random_pairs",
+    "stable_seed",
     "path3_database",
     "four_cycle_database",
 ]
@@ -77,3 +79,13 @@ def four_cycle_database(rng, size, domain=16):
             Relation.from_pairs("R41", "A4", "A1", random_pairs(rng, size, domain)),
         ]
     )
+
+
+def stable_seed(*parts) -> int:
+    """A process-independent RNG seed from string/int parts.
+
+    ``hash()`` of strings varies per process under ``PYTHONHASHSEED``
+    randomization, so seeding with it silently changes "randomized"
+    cross-check data on every run; CRC32 of the joined parts is stable.
+    """
+    return zlib.crc32(":".join(map(str, parts)).encode())
