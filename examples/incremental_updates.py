@@ -1,0 +1,134 @@
+"""Incremental view maintenance: keep query results warm as data changes.
+
+Walkthrough of the `repro.incremental` subsystem:
+
+1. build a triangle instance and materialize its join through
+   :class:`IncrementalQueryEngine` (the planner-backed facade);
+2. stream insert/delete batches through ``insert``/``delete``/``refresh``
+   and compare the maintenance cost against a full recompute — the delta
+   rule d(R₁⋈…⋈Rₖ) = Σᵢ R₁'⋈…⋈dRᵢ⋈…⋈Rₖ touches a slice proportional to
+   the change, and the result is *bit-identical* to recomputing;
+3. maintain an exact ``Fraction`` aggregate alongside (⊕ is invertible, so
+   it updates by signed folds), and contrast with min-plus, whose
+   non-invertible ⊕ forces a per-batch recompute — both stay exact;
+4. show the validation rules: deleting a never-inserted row is rejected
+   (the batch stays buffered for ``discard_pending``), and inserting and
+   deleting the same row in one batch cancels to a no-op.
+
+Run with::
+
+    PYTHONPATH=src python examples/incremental_updates.py
+"""
+
+import random
+import time
+from fractions import Fraction
+
+from repro.datalog.atoms import Atom
+from repro.datalog.conjunctive import ConjunctiveQuery
+from repro.exceptions import DeltaError
+from repro.faq.semiring import FRACTION, MIN_PLUS
+from repro.incremental import IncrementalQueryEngine
+from repro.relational import Database, Relation, generic_join
+
+
+def uniform_rows(rng, n, domain):
+    rows = set()
+    while len(rows) < n:
+        rows.add((rng.randrange(domain), rng.randrange(domain)))
+    return rows
+
+
+def apply_random_batch(engine, atoms, rng, domain, inserts=200, deletes=150):
+    for atom in atoms:
+        current = set(engine.relation(atom.name).tuples)
+        fresh = {
+            row for row in uniform_rows(rng, inserts, domain)
+            if row not in current
+        }
+        engine.insert(atom.name, fresh)
+        engine.delete(atom.name, rng.sample(sorted(current), deletes))
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    n, domain = 30000, 1500
+    atoms = (Atom("R", ("A", "B")), Atom("S", ("B", "C")), Atom("T", ("A", "C")))
+    query = ConjunctiveQuery.full(atoms, name="triangle")
+    database = Database(
+        [Relation(a.name, a.variables, uniform_rows(rng, n, domain)) for a in atoms]
+    )
+
+    engine = IncrementalQueryEngine(query)
+    start = time.perf_counter()
+    result = engine.execute(database)
+    print(
+        f"materialized {len(result.relation)} triangles over 3x{n} tuples "
+        f"in {time.perf_counter() - start:.3f}s"
+    )
+
+    # -- join maintenance: delta-sized work, bit-identical results ----------
+    order = tuple(sorted(query.variable_set))
+    for batch in range(3):
+        apply_random_batch(engine, atoms, rng, domain)
+        start = time.perf_counter()
+        maintained = engine.refresh()
+        maintain_s = time.perf_counter() - start
+
+        bindings = [atom.bind(engine.database()) for atom in query.body]
+        start = time.perf_counter()
+        oracle = generic_join(bindings, order)
+        recompute_s = time.perf_counter() - start
+
+        assert maintained.relation.code_rows == oracle.code_rows
+        print(
+            f"batch {batch}: {len(maintained.relation)} rows maintained in "
+            f"{maintain_s:.3f}s vs {recompute_s:.3f}s recompute "
+            f"({recompute_s / maintain_s:.1f}x) — bit-identical"
+        )
+
+    # -- FAQ views: invertible ⊕ maintains, non-invertible ⊕ recomputes -----
+    sum_by_a = engine.faq(
+        FRACTION, free=("A",),
+        weights=[lambda row: Fraction(1, 1 + (row[0] % 7)), None, None],
+    )
+    lightest = engine.faq(MIN_PLUS, weights=[lambda row: sum(row)] * 3)
+    print(
+        f"FAQ views: exact Σ-by-A over {len(sum_by_a)} groups (Fraction — "
+        f"maintained by signed ⊕-folds), min-plus = {lightest.scalar()} "
+        f"(⊕ = min is not invertible: recomputed per batch)"
+    )
+    apply_random_batch(engine, atoms, rng, domain, inserts=50, deletes=40)
+    start = time.perf_counter()
+    engine.refresh()
+    print(
+        f"batch with both FAQ views refreshed in "
+        f"{time.perf_counter() - start:.3f}s "
+        f"({engine.stats.faq_recomputes} recompute(s) — the min-plus view; "
+        f"drop non-invertible views from hot paths)"
+    )
+
+    stats = engine.stats
+    print(
+        f"maintenance totals: {stats.batches} batches, {stats.join_terms} "
+        f"delta terms, {stats.delta_rows} delta rows, {stats.compactions} "
+        f"compactions"
+    )
+
+    # -- validation ---------------------------------------------------------
+    try:
+        engine.delete("R", [("no", "such")])
+        engine.refresh()
+    except DeltaError as error:
+        print(f"rejected as expected: {error}")
+        engine.discard_pending()  # nothing was applied; drop the bad batch
+    before = engine.version
+    engine.insert("R", [(999999, 999999)])
+    engine.delete("R", [(999999, 999999)])
+    engine.refresh()
+    print(f"insert+delete of one row cancelled: version {before} -> {engine.version}")
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -39,4 +39,5 @@ __all__ = [
     "log_size_bound",
     "polymatroid_vs_entropic_gap",
     "vertex_dominated_constraints",
+    "vertex_log_bound",
 ]

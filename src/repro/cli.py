@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands expose the paper's pipeline on user queries and CSV data:
+Five commands expose the paper's pipeline on user queries and CSV data:
 
 * ``bound``  — output-size bounds (AGM / polymatroid / entropic-outer) of a
   query or disjunctive rule under declared constraints;
@@ -8,7 +8,12 @@ Four commands expose the paper's pipeline on user queries and CSV data:
 * ``proof``  — the Shannon-flow inequality behind the bound and a verified
   proof sequence for it;
 * ``run``    — evaluate a query (PANDA da-subw driver) or a disjunctive rule
-  (PANDA) over a directory of CSV relations.
+  (PANDA) over a directory of CSV relations;
+* ``serve``  — materialize a query once, then apply change-feed batches
+  (``<relation>.changes.csv`` files with a ``+``/``-`` op column): with
+  ``--apply-deltas`` the result is maintained incrementally
+  (:mod:`repro.incremental`), otherwise each batch recomputes from scratch
+  — run both to see what delta maintenance buys.
 
 Constraint syntax, shared by all commands:
 
@@ -281,6 +286,126 @@ def cmd_run(args) -> int:
     return 0
 
 
+
+def _align_feed(relation, feed_schema, rows):
+    """Realign change-feed rows onto the relation's schema by column name.
+
+    A feed whose header merely permutes the relation's attributes is
+    accepted (values are reassigned by name); anything else — missing,
+    extra, or renamed columns — is an error rather than a silent positional
+    misassignment.
+    """
+    feed_schema = tuple(feed_schema)
+    if feed_schema == relation.schema:
+        return rows
+    if sorted(feed_schema) != sorted(relation.schema):
+        raise ReproError(
+            f"change feed columns {feed_schema} do not match relation "
+            f"{relation.name}{relation.schema}"
+        )
+    positions = tuple(feed_schema.index(a) for a in relation.schema)
+    return [tuple(row[p] for p in positions) for row in rows]
+
+
+def cmd_serve(args) -> int:
+    import time
+
+    from repro.incremental import IncrementalQueryEngine, SignedDelta, VersionedRelation
+    from repro.relational.io import load_change_feed, load_database_dir
+    from repro.relational.operators import scoped_work_counter
+
+    statement = parse_query(args.statement)
+    if not (statement.is_full or statement.is_boolean):
+        raise ReproError(
+            "serve maintains full/Boolean conjunctive queries; "
+            "project the full result instead"
+        )
+    database = load_database_dir(args.data)
+    feeds = load_change_feed(args.changes) if args.changes else []
+    driver = args.driver or "generic"
+
+    def describe(result) -> str:
+        if statement.is_boolean:
+            return f"{result.boolean}"
+        return f"{len(result.relation)} rows"
+
+    with scoped_work_counter() as counter:
+        if args.apply_deltas:
+            with IncrementalQueryEngine(
+                statement, workers=max(1, args.workers)
+            ) as engine:
+                start = time.perf_counter()
+                result = engine.execute(database, driver=driver)
+                print(
+                    f"materialized {statement.name}: {describe(result)} "
+                    f"({time.perf_counter() - start:.3f}s, driver {driver})"
+                )
+                for index, (name, schema, inserts, deletes) in enumerate(feeds):
+                    relation = engine.relation(name)
+                    engine.insert(name, _align_feed(relation, schema, inserts))
+                    engine.delete(name, _align_feed(relation, schema, deletes))
+                    start = time.perf_counter()
+                    result = engine.refresh(driver=driver)
+                    print(
+                        f"batch {index} [{name} +{len(inserts)}/"
+                        f"-{len(deletes)}]: {describe(result)} maintained in "
+                        f"{time.perf_counter() - start:.3f}s"
+                    )
+                if args.stats:
+                    s = engine.stats
+                    print(
+                        f"maintenance: {s.batches} batch(es), "
+                        f"{s.join_terms} delta term(s), {s.delta_rows} delta "
+                        f"row(s), {s.compactions} compaction(s), "
+                        f"{s.faq_recomputes} FAQ recompute(s)"
+                    )
+                    print(f"plan cache: {engine.cache_stats}")
+        else:
+            from repro.parallel import ParallelQueryEngine
+
+            versioned = {
+                atom.name: VersionedRelation(database[atom.name])
+                for atom in statement.body
+            }
+            with ParallelQueryEngine(
+                statement, workers=max(1, args.workers)
+            ) as engine:
+                start = time.perf_counter()
+                result = engine.execute(database, driver=driver)
+                print(
+                    f"materialized {statement.name}: {describe(result)} "
+                    f"({time.perf_counter() - start:.3f}s, driver {driver})"
+                )
+                for index, (name, schema, inserts, deletes) in enumerate(feeds):
+                    if name not in versioned:
+                        raise ReproError(
+                            f"change feed {name!r} does not match a query atom"
+                        )
+                    current = versioned[name].current
+                    delta = SignedDelta.from_changes(
+                        current,
+                        _align_feed(current, schema, inserts),
+                        _align_feed(current, schema, deletes),
+                    )
+                    versioned[name].apply(delta)
+                    database = database.updated(
+                        [versioned[name].current]
+                    )
+                    start = time.perf_counter()
+                    result = engine.execute(database, driver=driver)
+                    print(
+                        f"batch {index} [{name} +{len(inserts)}/"
+                        f"-{len(deletes)}]: {describe(result)} recomputed in "
+                        f"{time.perf_counter() - start:.3f}s"
+                    )
+        if args.stats:
+            print(
+                f"work: {counter.tuples_scanned} scanned, "
+                f"{counter.tuples_emitted} emitted ({counter.total} total)"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -336,6 +461,39 @@ def build_parser() -> argparse.ArgumentParser:
              "at --workers 1)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="materialize a query, then apply change-feed batches "
+             "(incrementally with --apply-deltas, else recomputing)",
+    )
+    p_serve.add_argument("statement", help="full/Boolean CQ text")
+    p_serve.add_argument("--data", required=True,
+                         help="directory of CSV relations (header = schema)")
+    p_serve.add_argument(
+        "--changes",
+        help="directory of <relation>.changes.csv feeds (header op,...; "
+             "rows '+,v1,v2' insert / '-,v1,v2' delete), one batch per "
+             "file, applied in sorted filename order",
+    )
+    p_serve.add_argument(
+        "--apply-deltas", action="store_true",
+        help="maintain the materialized result by delta joins instead of "
+             "recomputing each batch from scratch (bit-identical results)",
+    )
+    p_serve.add_argument(
+        "--driver", default=None,
+        choices=("generic", "leapfrog", "yannakakis", "panda"),
+        help="execution strategy (default generic)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan work out over N worker processes (shards when "
+             "recomputing, delta-join terms when maintaining)",
+    )
+    p_serve.add_argument("--stats", action="store_true",
+                         help="report maintenance, plan-cache and work totals")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -404,7 +404,6 @@ def proper_query_plan(
     """
     from repro.datalog.atoms import Atom
     from repro.exceptions import DecompositionError
-    from repro.faq.annotated import AnnotatedRelation
     from repro.faq.freeconnex import free_connex_decompositions, is_free_connex
     from repro.faq.plans import faq_decomposition_plan
     from repro.faq.query import FAQQuery

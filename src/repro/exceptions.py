@@ -51,3 +51,11 @@ class PandaError(ReproError):
 
 class DecompositionError(ReproError):
     """A tree decomposition is invalid for the given hypergraph."""
+
+
+class IncrementalError(ReproError):
+    """Incremental view maintenance reached an inconsistent state."""
+
+
+class DeltaError(IncrementalError):
+    """A change batch is invalid (e.g. deleting a tuple that is not there)."""

@@ -30,6 +30,7 @@ from repro.faq.widths import free_connex_dafhtw, free_connex_dasubw
 from repro.faq.semiring import (
     BOOLEAN,
     COUNTING,
+    FRACTION,
     MAX_PRODUCT,
     MIN_PLUS,
     Semiring,
@@ -42,6 +43,7 @@ __all__ = [
     "EliminationResult",
     "FAQQuery",
     "FaqPlanResult",
+    "FRACTION",
     "MAX_PRODUCT",
     "MIN_PLUS",
     "Semiring",

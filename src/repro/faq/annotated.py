@@ -265,6 +265,49 @@ class AnnotatedRelation:
             out,
         )
 
+    def combine(
+        self, other: "AnnotatedRelation", name: str | None = None
+    ) -> "AnnotatedRelation":
+        """Pointwise ⊕ with ``other`` (same attribute set; schemas realigned).
+
+        The signed-fold application step of incremental FAQ maintenance
+        (:mod:`repro.incremental.ivm`): ``other`` is typically a delta whose
+        annotations live in the ⊕-group (inserted mass positive, deleted
+        mass ⊕-inverted), and combining folds it into this relation exactly
+        — entries whose sum reaches ``zero`` drop out of the support, so a
+        maintained result never carries phantom zero-annotated tuples.
+        """
+        if self.semiring is not other.semiring:
+            raise SchemaError(
+                f"cannot combine over different semirings "
+                f"({self.semiring} vs {other.semiring})"
+            )
+        if self.attributes != other.attributes:
+            raise SchemaError(
+                f"combine needs equal attribute sets, got {self.schema} "
+                f"vs {other.schema}"
+            )
+        positions = tuple(other._positions[a] for a in self.schema)
+        identity = positions == tuple(range(len(self.schema)))
+        add = self.semiring.add
+        zero = self.semiring.zero
+        out = dict(self._data)
+        for row, value in other._data.items():
+            if not identity:
+                row = tuple(row[p] for p in positions)
+            if row in out:
+                value = add(out[row], value)
+                if value == zero:
+                    del out[row]
+                    continue
+            out[row] = value
+        return AnnotatedRelation._from_codes(
+            name or f"({self.name}⊕{other.name})",
+            self.schema,
+            self.semiring,
+            out,
+        )
+
     def marginalize(
         self, keep: Iterable[str], name: str | None = None
     ) -> "AnnotatedRelation":

@@ -9,18 +9,31 @@ semiring       (⊕, ⊗)                   query it models
 =============  =======================  ==================================
 ``BOOLEAN``    (or, and)                Boolean conjunctive query
 ``COUNTING``   (+, ×)                   ``COUNT(*)`` / ``SUM`` aggregates
+``FRACTION``   (+, ×) over ``Fraction`` exact rational ``SUM`` aggregates
 ``MIN_PLUS``   (min, +)                 lightest matching assignment
 ``MAX_PRODUCT``(max, ×)                 maximum-likelihood inference (MAP)
 =============  =======================  ==================================
+
+``COUNTING`` and ``FRACTION`` additionally carry ``subtract`` — their ⊕ is a
+group operation — which is what lets :mod:`repro.incremental` maintain FAQ
+results under deletes by signed ⊕-folds instead of recomputation.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Callable, Iterable
 
-__all__ = ["Semiring", "BOOLEAN", "COUNTING", "MIN_PLUS", "MAX_PRODUCT"]
+__all__ = [
+    "Semiring",
+    "BOOLEAN",
+    "COUNTING",
+    "FRACTION",
+    "MIN_PLUS",
+    "MAX_PRODUCT",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +47,10 @@ class Semiring:
         add: the aggregation ``⊕``.
         mul: the combination ``⊗``.
         idempotent_add: whether ``a ⊕ a = a`` (lets evaluators deduplicate).
+        subtract: the inverse of ``⊕`` when the additive monoid is a group
+            (``subtract(add(a, b), b) == a``); ``None`` for non-invertible
+            ⊕ (min/max/or), where incremental maintenance must recompute
+            instead of applying signed deltas.
     """
 
     name: str
@@ -42,6 +59,18 @@ class Semiring:
     add: Callable[[object, object], object]
     mul: Callable[[object, object], object]
     idempotent_add: bool = False
+    subtract: Callable[[object, object], object] | None = None
+
+    @property
+    def invertible(self) -> bool:
+        """Whether ⊕ has an inverse (the delta-maintenance precondition)."""
+        return self.subtract is not None
+
+    def negate(self, value: object) -> object:
+        """``⊖value`` (the ⊕-inverse); raises for non-invertible ⊕."""
+        if self.subtract is None:
+            raise ValueError(f"{self.name}: ⊕ is not invertible")
+        return self.subtract(self.zero, value)
 
     def sum(self, values: Iterable) -> object:
         """``⊕`` over an iterable (``zero`` when empty)."""
@@ -108,6 +137,19 @@ COUNTING = Semiring(
     one=1,
     add=lambda a, b: a + b,
     mul=lambda a, b: a * b,
+    subtract=lambda a, b: a - b,
+)
+
+#: The counting ring over exact rationals: ``SUM`` aggregates of
+#: ``Fraction``-weighted tuples, ⊕-invertible (so incrementally maintainable)
+#: and exact end to end like every witness path in the repository.
+FRACTION = Semiring(
+    name="fraction",
+    zero=Fraction(0),
+    one=Fraction(1),
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+    subtract=lambda a, b: a - b,
 )
 
 MIN_PLUS = Semiring(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from repro.bounds.polymatroid import BoundResult, LogConstraint
 from repro.core.setfunctions import SetFunction

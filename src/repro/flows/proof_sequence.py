@@ -113,7 +113,7 @@ class ProofStep:
         return total <= _ZERO
 
     def __str__(self) -> str:
-        fmt = lambda s: "{" + ",".join(sorted(s)) + "}" if s else "∅"
+        fmt = lambda s: "{" + ",".join(sorted(s)) + "}" if s else "∅"  # noqa: E731
         symbol = {
             SUBMODULARITY: "s",
             MONOTONICITY: "m",

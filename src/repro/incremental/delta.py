@@ -1,0 +1,408 @@
+"""Signed, dictionary-encoded change batches and log-structured storage.
+
+A :class:`SignedDelta` is one validated batch of changes against a relation:
+ascending distinct code tuples with an aligned ``+1``/``-1`` multiplicity
+per row.  Validation happens at construction (:meth:`SignedDelta.from_changes`):
+
+* a delete of a row that is neither present nor inserted in the same batch
+  is rejected (:class:`~repro.exceptions.DeltaError`);
+* an insert of an already-present row is a no-op (set semantics);
+* an insert and delete of the same row cancel to no change (present or
+  absent — a batch is an unordered request set), so a batch that only
+  shuffles a row in and out is *empty*;
+* inserts may carry values never seen before — they are interned into the
+  shared per-attribute dictionaries exactly like ingestion, so dictionary
+  growth mid-stream is the ordinary code-append path.
+
+A :class:`VersionedRelation` gives the storage layer a log-structured view:
+an immutable base :class:`~repro.relational.relation.Relation` (whose column
+set is what worker pools hold resident) plus the pending delta runs applied
+since.  The *current* relation is materialized by the sorted-run merge
+(:func:`~repro.relational.columns.apply_signed_rows`) — `restrict_range`,
+trie caches, and every join algorithm work on it unchanged, because it is an
+ordinary sorted column set.  Once the pending runs outgrow a size threshold
+the log compacts: the merged relation becomes the new base and the runs
+clear (pool baselines then recycle, exactly like a database rebind).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from repro.exceptions import DeltaError, IncrementalError
+from repro.relational.columns import (
+    ColumnSet,
+    Dictionary,
+    apply_plan_to_columns,
+    apply_signed_rows,
+    signed_merge_plan,
+)
+from repro.relational.relation import Relation
+
+__all__ = ["SignedDelta", "VersionedRelation", "advance_relation"]
+
+
+def advance_relation(
+    previous: Relation,
+    delta_rows: Sequence,
+    signs: Sequence[int],
+    name: str | None = None,
+) -> Relation:
+    """The relation one signed batch after ``previous``, orders carried.
+
+    Builds the new version by the delta-sized sorted merge, and re-merges
+    the same (permuted, re-sorted — the delta is tiny) batch into every
+    *full-arity* sorted order the previous version had materialized, so the
+    delta-first join orders of :mod:`repro.incremental.ivm` never pay a
+    fresh O(N log N) sort per batch: each order is sorted once per relation
+    lifetime and maintained by merges after that.  Materialized ``array``
+    columns advance the same way — C-level splices along the merge plan —
+    instead of a fresh O(N · arity) transpose per version.  Partial
+    (projection) orders are not carried — their rows are multisets, outside
+    the signed merge's distinct-row contract — and rebuild on demand.
+    """
+    schema = previous.schema
+    merged = _advance_column_set(previous.column_set(schema), delta_rows, signs)
+    advanced = Relation.from_codes(
+        name or previous.name, schema, merged.rows,
+        presorted=True, distinct=True,
+    )
+    if merged.materialized_columns is not None:
+        advanced.column_set(schema).adopt_columns(merged.materialized_columns)
+    for order, column_set in previous.cached_full_orders():
+        positions = tuple(schema.index(a) for a in order)
+        entries = sorted(
+            (tuple(row[p] for p in positions), sign)
+            for row, sign in zip(delta_rows, signs)
+        )
+        merged = _advance_column_set(
+            column_set,
+            [row for row, _ in entries],
+            [sign for _, sign in entries],
+        )
+        advanced.install_sorted_order(order, merged.rows)
+        if merged.materialized_columns is not None:
+            advanced.column_set(order).adopt_columns(
+                merged.materialized_columns
+            )
+    return advanced
+
+
+def _advance_column_set(
+    column_set: ColumnSet, delta_rows: Sequence, signs: Sequence[int]
+) -> ColumnSet:
+    """One column set advanced by a signed batch (rows + columns spliced)."""
+    rows = column_set.rows
+    if not isinstance(rows, list):
+        rows = list(rows)
+    plan = signed_merge_plan(rows, delta_rows, signs)
+    advanced = ColumnSet(
+        column_set.attrs,
+        apply_signed_rows(rows, delta_rows, signs, plan=plan),
+        presorted=True,
+    )
+    columns = column_set.materialized_columns
+    if columns is not None:
+        advanced.adopt_columns(apply_plan_to_columns(columns, plan))
+    return advanced
+
+
+def _row_present(sorted_rows: list, row: tuple) -> bool:
+    """Membership in a sorted duplicate-free row list (binary search)."""
+    pos = bisect_left(sorted_rows, row)
+    return pos < len(sorted_rows) and sorted_rows[pos] == row
+
+
+class SignedDelta:
+    """One validated change batch: sorted code rows + ±1 multiplicities.
+
+    Attributes:
+        attrs: the attribute (or variable) names the code rows are encoded
+            under — each column's codes live in ``Dictionary.of(attr)``.
+        rows: ascending, duplicate-free code tuples.
+        signs: aligned ``array('q')`` of ``+1`` (insert) / ``-1`` (delete).
+    """
+
+    __slots__ = ("attrs", "rows", "signs")
+
+    def __init__(
+        self,
+        attrs: Sequence[str],
+        rows: list,
+        signs: Sequence[int],
+    ) -> None:
+        self.attrs: tuple[str, ...] = tuple(attrs)
+        self.rows: list = rows
+        self.signs: array = signs if isinstance(signs, array) else array("q", signs)
+        if len(self.rows) != len(self.signs):
+            raise IncrementalError(
+                f"{len(self.rows)} delta rows vs {len(self.signs)} signs"
+            )
+
+    @classmethod
+    def from_changes(
+        cls,
+        relation: Relation,
+        inserts: Iterable[tuple] = (),
+        deletes: Iterable[tuple] = (),
+    ) -> "SignedDelta":
+        """Encode and validate one batch of value-level changes.
+
+        ``inserts``/``deletes`` are value tuples over ``relation.schema``.
+        Inserts intern unseen values (the dictionary-growth path); deletes
+        of rows that are neither present nor inserted in this same batch
+        raise :class:`DeltaError`.  A row requested both inserted and
+        deleted in one batch nets to **no change** whether it is currently
+        present or absent (a batch is an unordered set of requests, not a
+        sequence); inserting a present row alone is a no-op (set
+        semantics); duplicate requests collapse.
+        """
+        schema = relation.schema
+        arity = len(schema)
+        encoders = tuple(d.encode for d in relation.dictionaries)
+        existing = tuple(d.encode_existing for d in relation.dictionaries)
+        base_rows = relation.code_rows
+
+        inserted: set[tuple] = set()
+        for row in inserts:
+            row = tuple(row)
+            if len(row) != arity:
+                raise DeltaError(
+                    f"insert {row} has arity {len(row)}, schema {schema} "
+                    f"expects {arity}"
+                )
+            inserted.add(tuple(enc(v) for enc, v in zip(encoders, row)))
+
+        removed: set[tuple] = set()
+        for row in deletes:
+            row = tuple(row)
+            if len(row) != arity:
+                raise DeltaError(
+                    f"delete {row} has arity {len(row)}, schema {schema} "
+                    f"expects {arity}"
+                )
+            coded = []
+            for enc, value in zip(existing, row):
+                code = enc(value)
+                if code is None:
+                    raise DeltaError(
+                        f"delete of row {row} never inserted into "
+                        f"{relation.name} (value {value!r} unseen)"
+                    )
+                coded.append(code)
+            removed.add(tuple(coded))
+
+        # Insert+delete of the same row cancels outright — the batch is an
+        # unordered request set, so neither reading ("delete wins" vs
+        # "re-insert wins") is privileged and net-zero is the only
+        # presence-independent answer.
+        cancelled = inserted & removed
+        inserted -= cancelled
+        removed -= cancelled
+
+        entries: list[tuple[tuple, int]] = []
+        for row in removed:
+            if _row_present(base_rows, row):
+                entries.append((row, -1))
+            else:
+                raise DeltaError(
+                    f"delete of row never inserted into {relation.name}: "
+                    f"{relation.decode_row(row)}"
+                )
+        for row in inserted:
+            if not _row_present(base_rows, row):
+                entries.append((row, +1))
+        entries.sort()
+        return cls(
+            schema,
+            [row for row, _ in entries],
+            array("q", (sign for _, sign in entries)),
+        )
+
+    # -- protocol ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def __repr__(self) -> str:
+        pos = sum(1 for s in self.signs if s > 0)
+        return (
+            f"SignedDelta({self.attrs}: +{pos}/-{len(self.rows) - pos} rows)"
+        )
+
+    def column_set(self) -> ColumnSet:
+        """The delta's rows as a sorted :class:`ColumnSet` (sign-blind)."""
+        return ColumnSet(self.attrs, self.rows, presorted=True)
+
+    def signed_rows(self, sign: int) -> list:
+        """The rows carrying ``sign`` (ascending)."""
+        return [row for row, s in zip(self.rows, self.signs) if s == sign]
+
+    def relation(self, sign: int, name: str) -> Relation:
+        """The rows of one sign as a (tiny) set relation — a delta-join input."""
+        return Relation.from_codes(
+            name, self.attrs, self.signed_rows(sign),
+            presorted=True, distinct=True,
+        )
+
+    def relabeled(self, variables: Sequence[str]) -> "SignedDelta":
+        """The same changes under positionally renamed attributes.
+
+        Mirrors :meth:`Relation.relabeled` for atom binding: column ``i``'s
+        codes are translated into ``variables[i]``'s dictionary (the delta is
+        tiny, so the per-value translation cost is negligible).
+        """
+        variables = tuple(variables)
+        if len(variables) != len(self.attrs):
+            raise IncrementalError(
+                f"relabel needs {len(self.attrs)} attributes, got {variables}"
+            )
+        if variables == self.attrs:
+            return self
+        old_values = tuple(Dictionary.of(a).values for a in self.attrs)
+        encoders = tuple(Dictionary.of(v).encode for v in variables)
+        translated = [
+            tuple(
+                enc(values[code])
+                for enc, values, code in zip(encoders, old_values, row)
+            )
+            for row in self.rows
+        ]
+        entries = sorted(zip(translated, self.signs))
+        return SignedDelta(
+            variables,
+            [row for row, _ in entries],
+            array("q", (sign for _, sign in entries)),
+        )
+
+    def decoded(self) -> list[tuple[tuple, int]]:
+        """``(value tuple, sign)`` pairs (boundary/debugging adapter)."""
+        values = tuple(Dictionary.of(a).values for a in self.attrs)
+        return [
+            (tuple(col[c] for col, c in zip(values, row)), sign)
+            for row, sign in zip(self.rows, self.signs)
+        ]
+
+
+class VersionedRelation:
+    """A relation as a log: immutable base + pending signed delta runs.
+
+    ``current`` is always materialized (maintenance needs it), incrementally:
+    each :meth:`apply` merges the newest run into the previous current with
+    one delta-sized sorted merge.  The *base* stays fixed between
+    compactions — it is the version worker pools hold resident, so a pending
+    run is exactly "what must ship" to bring a worker up to a given version
+    (:mod:`repro.parallel.pool` caches the reconstructions by version).
+
+    Attributes:
+        name: the relation name.
+        version: monotone version counter (0 = the relation as constructed).
+        base_version: the version the base column set reflects.
+    """
+
+    #: Compact when pending delta rows exceed this fraction of the base size.
+    COMPACT_RATIO = 0.25
+    #: ... but never before this many pending rows (small logs are cheap).
+    COMPACT_MIN = 64
+
+    def __init__(
+        self,
+        relation: Relation,
+        compact_ratio: float | None = None,
+        compact_min: int | None = None,
+    ) -> None:
+        self.name = relation.name
+        self.base: Relation = relation
+        self.current: Relation = relation
+        self.runs: list[SignedDelta] = []
+        self.version = 0
+        self.base_version = 0
+        self.compact_ratio = (
+            self.COMPACT_RATIO if compact_ratio is None else compact_ratio
+        )
+        self.compact_min = (
+            self.COMPACT_MIN if compact_min is None else compact_min
+        )
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return self.base.schema
+
+    @property
+    def pending_rows(self) -> int:
+        """Total rows across the pending runs (the log length)."""
+        return sum(len(run) for run in self.runs)
+
+    def apply(self, delta: SignedDelta, compact: bool = True) -> Relation:
+        """Append one run, materialize the new current, maybe compact.
+
+        Returns the new current relation.  The merge is the delta-sized
+        sorted-run merge of :func:`apply_signed_rows`; validation already
+        happened in :meth:`SignedDelta.from_changes`, so a strict merge
+        failure here is an internal inconsistency, not user error.
+
+        ``compact=False`` defers the threshold check — the incremental
+        engine compacts only after a batch's maintenance is done, so the
+        pooled delta terms can still replay this batch's runs from the base
+        the workers hold resident.
+        """
+        if delta.attrs != self.schema:
+            raise IncrementalError(
+                f"delta over {delta.attrs} applied to {self.name}"
+                f"({', '.join(self.schema)})"
+            )
+        if delta.is_empty:
+            return self.current
+        self.current = advance_relation(
+            self.current, delta.rows, delta.signs, name=self.name
+        )
+        self.runs.append(delta)
+        self.version += 1
+        if compact and self.should_compact:
+            self.compact()
+        return self.current
+
+    @property
+    def should_compact(self) -> bool:
+        """Whether the pending log has outgrown its threshold."""
+        return self.pending_rows >= max(
+            self.compact_min, int(len(self.base) * self.compact_ratio)
+        )
+
+    def compact(self) -> None:
+        """Promote the current relation to the new base; clear the log.
+
+        Equivalent to rebuilding the relation from scratch at this version
+        (same sorted distinct code rows — the compaction-equivalence tests
+        pin this), but reached by the merges already paid.  Pool baselines
+        keyed on the old base's content digest recycle on next bind.
+        """
+        self.base = self.current
+        self.runs = []
+        self.base_version = self.version
+
+    def runs_since(self, version: int) -> list[SignedDelta]:
+        """The pending runs that lift ``version`` to the current version.
+
+        ``version`` must be between ``base_version`` and ``version``; runs
+        older than the base were already compacted away and cannot be
+        replayed.
+        """
+        if not self.base_version <= version <= self.version:
+            raise IncrementalError(
+                f"{self.name}: version {version} outside the retained log "
+                f"[{self.base_version}, {self.version}]"
+            )
+        return self.runs[version - self.base_version :]
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionedRelation({self.name}: v{self.version}, "
+            f"{len(self.current)} rows, {self.pending_rows} pending)"
+        )

@@ -1,0 +1,700 @@
+""":class:`IncrementalQueryEngine` — maintain query results as data changes.
+
+The :class:`repro.planner.QueryEngine`-shaped facade of the IVM subsystem:
+construct it per query, ``execute(database)`` once to bind and materialize,
+then ``insert``/``delete``/``refresh`` instead of re-executing.  Between
+refreshes the engine holds
+
+* one log-structured :class:`~repro.incremental.delta.VersionedRelation`
+  per base relation *and* per query atom (atom-coded, so self-joins each
+  maintain their own binding);
+* the materialized join view (canonical sorted code rows over the sorted
+  global variable order — the same rows every driver produces);
+* any registered FAQ views (⊕⊗ over the atoms' lifted factors).
+
+A refresh commits the pending changes as one validated
+:class:`~repro.incremental.delta.SignedDelta` batch per relation, then
+maintains every view by the delta rule (:mod:`repro.incremental.ivm`) —
+cost scales with the batch, not the database.  Plans stay warm across
+versions: the engine pins power-of-two-rounded cardinality constraints, so
+the planner's canonical-signature cache keeps serving the same
+:class:`~repro.planner.PandaPlan` while sizes drift within a factor of two
+(the plan is data-independent; only its guards re-resolve per database),
+and re-pins — rebuilding plans — only when a relation outgrows its bound.
+
+With ``workers > 1`` the delta-rule terms fan out over the
+:mod:`repro.parallel` worker pool: the atom-level *base* relations ship
+once per compaction epoch (per-relation content-digest tokens), and each
+term task carries only the pending delta runs it needs — tiny, signed,
+version-tagged buffers the workers merge and cache — never the whole
+database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Callable, Iterable, Sequence
+
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+from repro.exceptions import IncrementalError, QueryError
+from repro.faq.annotated import AnnotatedRelation
+from repro.faq.semiring import Semiring
+from repro.incremental.delta import SignedDelta, VersionedRelation
+from repro.incremental.ivm import (
+    delta_factor,
+    iter_delta_terms,
+    maintain_faq,
+    maintain_join_rows,
+    signed_join_delta,
+    term_variable_order,
+)
+from repro.relational.operators import current_counter
+from repro.relational.relation import Relation
+
+__all__ = ["IncrementalQueryEngine", "MaintenanceStats"]
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << max(0, n - 1).bit_length()
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters describing the maintenance work performed so far."""
+
+    batches: int = 0
+    join_terms: int = 0
+    delta_rows: int = 0
+    faq_recomputes: int = 0
+    compactions: int = 0
+    pooled_batches: int = 0
+    replans: int = 0
+    view_rows_changed: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class _FaqView:
+    """One registered FAQ view: factors + maintained result, versioned."""
+
+    __slots__ = ("semiring", "free", "weights", "factors", "result")
+
+    def __init__(self, semiring, free, weights, factors, result) -> None:
+        self.semiring = semiring
+        self.free = free
+        self.weights = weights
+        self.factors = factors
+        self.result = result
+
+
+class IncrementalQueryEngine:
+    """Keep a query's results exact under inserts and deletes.
+
+    Example:
+        >>> engine = IncrementalQueryEngine(triangle_query())   # doctest: +SKIP
+        >>> first = engine.execute(database)       # bind + materialize
+        >>> engine.insert("R", [(7, 8)])
+        >>> engine.delete("S", [(1, 2)])
+        >>> second = engine.refresh()              # delta-sized maintenance
+        >>> second.relation == dasubw_plan(...).relation   # bit-identical
+
+    Restrictions match :class:`repro.parallel.ParallelQueryEngine`: the
+    query must be a full or Boolean conjunctive query (the maintained view
+    is the full join over the canonical sorted variable order — exactly the
+    rows every driver emits, which is what makes one maintained view serve
+    all of them).
+    """
+
+    DRIVERS = ("generic", "leapfrog", "yannakakis", "panda")
+
+    def __init__(
+        self,
+        query,
+        constraints: ConstraintSet | None = None,
+        backend: str = "exact",
+        planner=None,
+        workers: int = 1,
+        compact_ratio: float | None = None,
+        compact_min: int | None = None,
+    ) -> None:
+        from repro.planner import Planner
+
+        if not (query.is_full or query.is_boolean):
+            raise QueryError(
+                "the incremental engine maintains full and Boolean "
+                "conjunctive queries; project the full result instead"
+            )
+        self.query = query
+        self.constraints = constraints
+        self.backend = backend
+        self.planner = planner if planner is not None else Planner()
+        self.workers = max(1, workers)
+        self.stats = MaintenanceStats()
+        self._compact_ratio = compact_ratio
+        self._compact_min = compact_min
+        self._order = tuple(sorted(query.variable_set))
+
+        self._source = None  # the Database the engine was bound to
+        self._database = None  # the current (post-batch) Database
+        self._names: dict[str, VersionedRelation] = {}
+        self._atoms: list[VersionedRelation] = []
+        self._pending: dict[str, tuple[list, list]] = {}
+        self._view_rows: list | None = None
+        self._view_relation: Relation | None = None
+        self._faq_views: dict = {}
+        self._pinned: ConstraintSet | None = None
+        self._scratch = None  # lazy ParallelQueryEngine(workers=1)
+        self._pool = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Number of committed batches since binding."""
+        return self.stats.batches
+
+    @property
+    def cache_stats(self):
+        return self.planner.stats
+
+    def close(self) -> None:
+        """Shut down the worker pool and the scratch engine (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._scratch is not None:
+            self._scratch.close()
+            self._scratch = None
+
+    def __enter__(self) -> "IncrementalQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- binding -----------------------------------------------------------------
+
+    def bind(self, database) -> None:
+        """Adopt ``database`` as version 0 (resets any previous binding)."""
+        self.close()
+        names: dict[str, VersionedRelation] = {}
+        for atom in self.query.body:
+            if atom.name not in names:
+                names[atom.name] = VersionedRelation(
+                    database[atom.name],
+                    compact_ratio=self._compact_ratio,
+                    compact_min=self._compact_min,
+                )
+        self._names = names
+        # Atom-level logs: an atom whose binding *is* the stored relation
+        # (schema == variables, the common case) shares the name-level log
+        # outright — one merge per batch, not two copies of the same data.
+        self._atoms = []
+        for atom in self.query.body:
+            binding = atom.bind(database)
+            if binding is database[atom.name]:
+                self._atoms.append(names[atom.name])
+            else:
+                self._atoms.append(
+                    VersionedRelation(
+                        binding,
+                        compact_ratio=self._compact_ratio,
+                        compact_min=self._compact_min,
+                    )
+                )
+        self._source = database
+        self._database = database
+        self._pending = {}
+        self._view_rows = None
+        self._view_relation = None
+        self._faq_views = {}
+        self._pinned = None
+        self.stats = MaintenanceStats()
+
+    def database(self):
+        """The current :class:`~repro.relational.database.Database` view."""
+        self._require_bound()
+        return self._database
+
+    def relation(self, name: str) -> Relation:
+        """The current version of one base relation."""
+        self._require_bound()
+        return self._names[name].current
+
+    def _require_bound(self) -> None:
+        if self._database is None:
+            raise IncrementalError(
+                "engine is not bound — call execute(database) first"
+            )
+
+    # -- changes -----------------------------------------------------------------
+
+    def insert(self, name: str, rows: Iterable[tuple]) -> None:
+        """Buffer tuple inserts against relation ``name`` (applied on refresh)."""
+        self._buffer(name, rows, 0)
+
+    def delete(self, name: str, rows: Iterable[tuple]) -> None:
+        """Buffer tuple deletes against relation ``name`` (applied on refresh)."""
+        self._buffer(name, rows, 1)
+
+    def _buffer(self, name: str, rows: Iterable[tuple], side: int) -> None:
+        self._require_bound()
+        if name not in self._names:
+            raise IncrementalError(
+                f"relation {name!r} is not referenced by {self.query.name}"
+            )
+        entry = self._pending.setdefault(name, ([], []))
+        entry[side].extend(tuple(row) for row in rows)
+
+    @property
+    def has_pending_changes(self) -> bool:
+        return any(ins or dels for ins, dels in self._pending.values())
+
+    def discard_pending(self) -> None:
+        """Drop the buffered (uncommitted) changes.
+
+        A batch that fails validation on :meth:`refresh` (e.g. a delete of
+        an absent row) stays buffered — nothing was applied — so the caller
+        can either fix it with compensating ``insert``/``delete`` calls or
+        discard it wholesale here.
+        """
+        self._pending = {}
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, database=None, driver: str = "generic"):
+        """Bind (first call) or refresh; returns a ``PlanResult``.
+
+        Passing a *different* database re-binds from scratch; passing the
+        bound database (or ``None``) applies any pending changes and serves
+        the maintained view.
+        """
+        if driver not in self.DRIVERS:
+            raise QueryError(
+                f"unknown driver {driver!r}; pick from {self.DRIVERS}"
+            )
+        if database is not None and database not in (self._source, self._database):
+            self.bind(database)
+        elif self._database is None:
+            if database is None:
+                self._require_bound()
+            self.bind(database)
+        return self.refresh(driver=driver)
+
+    def refresh(self, driver: str = "generic"):
+        """Apply pending changes and return the (maintained) query result.
+
+        The first call materializes the view with ``driver``; later calls
+        maintain it by the delta rule, so the driver only determines how a
+        recompute-from-scratch *would* run — the maintained rows are
+        bit-identical for every driver by the engine contract.
+        """
+        from repro.core.query_plans import PlanResult
+
+        self._require_bound()
+        self._commit()
+        if self._view_rows is None:
+            self._materialize(driver)
+        rows = self._view_rows
+        if self.query.is_boolean:
+            relation = Relation(self.query.name, (), [()] if rows else [])
+            return PlanResult(relation=relation, boolean=bool(rows))
+        return PlanResult(
+            relation=self._view_relation, boolean=bool(rows)
+        )
+
+    # -- FAQ views ---------------------------------------------------------------
+
+    def faq(
+        self,
+        semiring: Semiring,
+        free: Sequence[str] = (),
+        weights: Sequence[Callable[[tuple], object] | None] | None = None,
+    ) -> AnnotatedRelation:
+        """The maintained FAQ result ``⊕_{bound} ⊗ᵢ lift(Rᵢ)``.
+
+        ``weights`` (aligned with the query atoms, fixed at first call)
+        lift each atom's tuples to annotations; the default is the unit
+        lifting.  Invertible-⊕ semirings (counting, Fraction) maintain by
+        signed folds; the rest (Boolean, min-plus, max-product) recompute
+        per batch — visible in ``stats.faq_recomputes``.
+        """
+        self._require_bound()
+        self._commit()
+        free = tuple(free)
+        unknown = set(free) - set(self._order)
+        if unknown:
+            raise QueryError(
+                f"free variables {sorted(unknown)} not in the query"
+            )
+        key = (semiring.name, free)
+        view = self._faq_views.get(key)
+        if view is None:
+            if weights is not None and len(weights) != len(self.query.body):
+                raise QueryError(
+                    f"weights must align with the {len(self.query.body)} "
+                    f"query atoms"
+                )
+            factors = self._lift_factors(semiring, weights)
+            result = self._evaluate_faq(factors, free)
+            view = _FaqView(semiring, free, weights, factors, result)
+            self._faq_views[key] = view
+        elif weights is not None and (
+            view.weights is None or list(weights) != list(view.weights)
+        ):
+            # Weights are part of the view's definition and fixed at
+            # registration; silently serving the old weighting would be a
+            # wrong answer, not a cache hit.
+            raise QueryError(
+                f"FAQ view ({semiring.name}, free={free}) is already "
+                f"registered with different weights — weights are fixed at "
+                f"the first faq() call"
+            )
+        return view.result
+
+    def _lift_factors(self, semiring, weights):
+        bindings = [vr.current for vr in self._atoms]
+        factors = []
+        for i, relation in enumerate(bindings):
+            weight = weights[i] if weights else None
+            factors.append(
+                AnnotatedRelation.from_relation(relation, semiring, weight)
+            )
+        return factors
+
+    @staticmethod
+    def _evaluate_faq(factors, free):
+        product = reduce(lambda a, b: a.multiply(b), factors)
+        return product.marginalize(free)
+
+    # -- the commit path -----------------------------------------------------------
+
+    def _commit(self) -> bool:
+        """Validate, apply, and maintain one batch; True if data changed.
+
+        Validation happens before anything mutates: a
+        :class:`~repro.exceptions.DeltaError` leaves every relation and
+        view untouched with the batch still buffered (fix it or
+        :meth:`discard_pending`).
+        """
+        if not self.has_pending_changes:
+            self._pending = {}
+            return False
+        deltas: dict[str, SignedDelta] = {}
+        for name, (inserts, deletes) in self._pending.items():
+            delta = SignedDelta.from_changes(
+                self._names[name].current, inserts, deletes
+            )
+            if not delta.is_empty:
+                deltas[name] = delta
+        self._pending = {}
+        if not deltas:
+            return False
+
+        # Apply name-level; compaction waits until maintenance is done so
+        # the pooled path can still replay this batch's runs from the base.
+        old_atom_versions = [vr.version for vr in self._atoms]
+        old_bindings = [vr.current for vr in self._atoms]
+        for name, delta in deltas.items():
+            self._names[name].apply(delta, compact=False)
+        atom_deltas: list[SignedDelta | None] = []
+        for atom, vr in zip(self.query.body, self._atoms):
+            delta = deltas.get(atom.name)
+            if delta is None:
+                atom_deltas.append(None)
+                continue
+            if vr is self._names[atom.name]:
+                # Shared log: the name-level apply above already advanced it,
+                # and the delta is already coded under the atom's variables.
+                atom_deltas.append(delta)
+                continue
+            relabeled = delta.relabeled(atom.variables)
+            vr.apply(relabeled, compact=False)
+            atom_deltas.append(relabeled)
+        new_bindings = [vr.current for vr in self._atoms]
+        self._database = self._database.updated(
+            [self._names[name].current for name in deltas]
+        )
+
+        self.stats.batches += 1
+        self.stats.delta_rows += sum(len(d) for d in deltas.values())
+
+        if self._view_rows is not None:
+            if self.workers > 1:
+                net = self._pooled_net(
+                    old_atom_versions, old_bindings, atom_deltas
+                )
+            else:
+                net, executed = signed_join_delta(
+                    old_bindings, new_bindings, atom_deltas, self._order
+                )
+                self.stats.join_terms += executed
+            rows = maintain_join_rows(self._view_rows, net)
+            self.stats.view_rows_changed += len(net)
+            self._install_view(rows)
+
+        for view in self._faq_views.values():
+            self._maintain_faq_view(view, atom_deltas)
+
+        seen_logs: set[int] = set()
+        for vr in list(self._names.values()) + self._atoms:
+            if id(vr) in seen_logs:
+                continue  # atom logs may share the name-level log
+            seen_logs.add(id(vr))
+            if self._maybe_compact(vr):
+                self.stats.compactions += 1
+        return True
+
+    @staticmethod
+    def _maybe_compact(vr: VersionedRelation) -> bool:
+        if vr.should_compact:
+            vr.compact()
+            return True
+        return False
+
+    def _install_view(self, rows: list) -> None:
+        self._view_rows = rows
+        if not self.query.is_boolean:
+            self._view_relation = Relation.from_codes(
+                self.query.name, self._order, rows,
+                presorted=True, distinct=True,
+            )
+
+    def _maintain_faq_view(self, view, atom_deltas) -> None:
+        semiring = view.semiring
+        if semiring.invertible:
+            delta_factors = []
+            new_factors = []
+            for i, (factor, delta) in enumerate(zip(view.factors, atom_deltas)):
+                if delta is None or delta.is_empty:
+                    delta_factors.append(None)
+                    new_factors.append(factor)
+                    continue
+                weight = view.weights[i] if view.weights else None
+                dF = delta_factor(delta, semiring, weight, name=f"d{factor.name}")
+                delta_factors.append(dF)
+                # lift(new) == lift(old) ⊕ dF: the weight function only runs
+                # on delta rows, never on the unchanged bulk.
+                new_factors.append(factor.combine(dF, name=factor.name))
+            maintained = maintain_faq(
+                view.result, view.factors, new_factors, delta_factors, view.free
+            )
+            view.factors = new_factors
+            view.result = maintained
+        else:
+            view.factors = self._lift_factors(semiring, view.weights)
+            view.result = self._evaluate_faq(view.factors, view.free)
+            self.stats.faq_recomputes += 1
+
+    # -- from-scratch runs ----------------------------------------------------------
+
+    def _pinned_constraints(self) -> ConstraintSet:
+        """Power-of-two-rounded cardinalities: stable plan keys under churn.
+
+        An explicit engine-level constraint set wins; otherwise the pinned
+        set re-rounds only when some relation outgrew its bound (a replan —
+        counted in ``stats.replans``), so the planner's cache serves the
+        same data-independent plans across version bumps and only the
+        guards re-resolve.
+        """
+        if self.constraints is not None:
+            return self.constraints
+        pinned = self._pinned
+        if pinned is not None:
+            by_key: dict[tuple, int] = {}
+            for c in pinned:
+                bound = by_key.get(c.y_key)
+                by_key[c.y_key] = c.bound if bound is None else min(bound, c.bound)
+            stale = any(
+                len(vr.current) > by_key[tuple(sorted(atom.variables))]
+                for atom, vr in zip(self.query.body, self._atoms)
+            )
+            if not stale:
+                return pinned
+            self.stats.replans += 1
+        constraints = []
+        seen = set()
+        for atom, vr in zip(self.query.body, self._atoms):
+            y = tuple(sorted(atom.variables))
+            bound = _next_power_of_two(max(1, len(vr.current)))
+            if (y, bound) not in seen:
+                seen.add((y, bound))
+                constraints.append(DegreeConstraint.make((), y, bound))
+        self._pinned = ConstraintSet(constraints)
+        return self._pinned
+
+    def _scratch_engine(self):
+        if self._scratch is None:
+            from repro.parallel import ParallelQueryEngine
+
+            self._scratch = ParallelQueryEngine(
+                self.query,
+                backend=self.backend,
+                planner=self.planner,
+                workers=1,
+            )
+        return self._scratch
+
+    def _materialize(self, driver: str) -> None:
+        """First materialization of the join view, with ``driver``."""
+        if self.query.is_boolean:
+            # Boolean drivers don't return rows; maintain the full join.
+            from repro.relational.wcoj import generic_join
+
+            joined = generic_join(
+                [vr.current for vr in self._atoms], self._order
+            )
+            self._install_view(joined.code_rows)
+        else:
+            result = self._scratch_engine().execute(
+                self._database, driver=driver,
+                constraints=self._pinned_constraints(),
+            )
+            self._view_relation = result.relation
+            self._view_rows = result.relation.code_rows
+        self._prewarm_term_orders()
+
+    def _prewarm_term_orders(self) -> None:
+        """Sort each binding under every delta-first term order, once.
+
+        The delta-rule terms resolve the changed atom's variables first
+        (:func:`term_variable_order`), which needs the *other* relations
+        sorted under permuted orders.  Sorting here — at materialization,
+        part of the one-time cost — means every later batch only pays the
+        delta-sized merges that carry these orders forward
+        (:func:`~repro.incremental.delta.advance_relation`), keeping
+        steady-state maintenance free of O(N log N) work.
+        """
+        bindings = [vr.current for vr in self._atoms]
+        for i, atom in enumerate(self.query.body):
+            t_order = term_variable_order(self._order, atom.variables)
+            for j, relation in enumerate(bindings):
+                if j == i:
+                    continue
+                attrs = tuple(v for v in t_order if v in relation.attributes)
+                # Force the columns too: advance_relation only splices
+                # columns that exist, and an order used exclusively on the
+                # "old" side of the delta rule would otherwise re-transpose
+                # from scratch every batch.
+                relation.column_set(attrs).columns
+
+    def recompute(self, driver: str = "generic"):
+        """A from-scratch run on the current data (oracle / fallback path).
+
+        Shares the engine's planner and pinned constraints, so repeated
+        recomputes stay plan-warm; used by tests to pin the bit-identity
+        contract and by callers that want to double-check a maintained view.
+        """
+        self._require_bound()
+        self._commit()
+        return self._scratch_engine().execute(
+            self._database, driver=driver,
+            constraints=self._pinned_constraints(),
+        )
+
+    # -- pooled maintenance ----------------------------------------------------------
+
+    def _pooled_net(self, old_versions, old_bindings, atom_deltas):
+        """Fan the delta-rule terms out over the worker pool.
+
+        The atom-level *base* relations are resident in the workers under
+        per-relation content-digest tokens (shipped once per compaction
+        epoch); each term task carries only the pending runs lifting a base
+        to the old/new version it needs, plus the term's (tiny) sign-split
+        delta rows.  Results come home as sorted row buffers and merge into
+        one net signed map.
+        """
+        from repro.parallel.pool import (
+            WorkerPool,
+            pack_output_rows,
+            run_delta_term_task,
+            unpack_columns,
+        )
+
+        new_bindings = [vr.current for vr in self._atoms]
+        terms = list(
+            iter_delta_terms(old_bindings, new_bindings, atom_deltas)
+        )
+        if len(terms) <= 1 or self.workers <= 1:
+            net, executed = signed_join_delta(
+                old_bindings, new_bindings, atom_deltas, self._order
+            )
+            self.stats.join_terms += executed
+            return net
+
+        keys = [f"{atom.name}#{i}" for i, atom in enumerate(self.query.body)]
+        entries = []
+        tokens = []
+        for key, vr in zip(keys, self._atoms):
+            column_set = vr.base.column_set(vr.base.schema)
+            digest = column_set.content_digest()
+            tokens.append((key, digest))
+            entries.append((key, vr.base.schema, vr.base, digest))
+        tokens = tuple(tokens)
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        # A compaction moves some bases; the pool's per-relation digest diff
+        # decides reship-vs-recycle (compacting everything at once trips its
+        # update-size threshold and re-forks; a lone compaction rides along
+        # as updates until the traffic bound).
+        self._pool.ensure_database(tokens, entries)
+
+        packed_runs: dict[tuple, tuple] = {}
+
+        def runs_payload(index: int, version: int):
+            vr = self._atoms[index]
+            if version == vr.base_version:
+                return None
+            cache_key = (index, version)
+            cached = packed_runs.get(cache_key)
+            if cached is None:
+                runs = vr.runs[: version - vr.base_version]
+                arity = len(vr.base.schema)
+                cached = tuple(
+                    (
+                        pack_output_rows(run.rows, arity),
+                        run.signs.tobytes(),
+                    )
+                    for run in runs
+                )
+                packed_runs[cache_key] = cached
+            return cached
+
+        tasks = []
+        signs = []
+        for i, sign, relations in terms:
+            specs = []
+            for j, key in enumerate(keys):
+                vr = self._atoms[j]
+                if j == i:
+                    arity = len(vr.base.schema)
+                    buffer = pack_output_rows(
+                        atom_deltas[j].signed_rows(sign), arity
+                    )
+                    specs.append(("delta", key, buffer))
+                    continue
+                version = vr.version if j < i else old_versions[j]
+                payload = runs_payload(j, version)
+                if payload is None:
+                    specs.append(("resident", key))
+                else:
+                    specs.append(("version", key, version, payload))
+            tasks.append((tokens, self._order, tuple(specs)))
+            signs.append(sign)
+
+        results = self._pool.map(run_delta_term_task, tasks)
+        self.stats.join_terms += len(tasks)
+        self.stats.pooled_batches += 1
+        counter = current_counter()
+        net: dict[tuple, int] = {}
+        arity = len(self._order)
+        for sign, (buffer, counts) in zip(signs, results):
+            counter.absorb(counts)
+            rows, _ = unpack_columns(buffer, arity)
+            for row in rows:
+                count = net.get(row, 0) + sign
+                if count:
+                    net[row] = count
+                else:
+                    del net[row]
+        return net

@@ -1,0 +1,307 @@
+"""The delta-rule maintenance kernels (joins and FAQ ⊕-folds).
+
+Join maintenance uses the classic delta-rule expansion over the signed
+relational algebra: with ``Rⱼ' = Rⱼ + dRⱼ``,
+
+    d(R₁ ⋈ … ⋈ Rₖ)  =  Σᵢ  R₁' ⋈ … ⋈ Rᵢ₋₁' ⋈ dRᵢ ⋈ Rᵢ₊₁ ⋈ … ⋈ Rₖ
+
+— new versions left of the delta, old versions right of it, so the terms
+telescope exactly.  Every relation here is a *set* relation and the result
+is a **full** join, so each output row has exactly one derivation (its
+projections onto the atom schemas), every term contributes each row with
+multiplicity ±1, and the net signed count per row over all terms is
+``+1`` (row enters), ``-1`` (row leaves) or ``0`` — which is what lets
+:func:`maintain_join_rows` apply the net to the old sorted rows with one
+delta-sized merge and a strict consistency check.
+
+Each term runs through the ordinary
+:func:`~repro.relational.execution.execute_join` driver with the delta's
+sign-split rows as one input and the delta's (tiny) first-variable code span
+as trie-root bounds for the other relations
+(:func:`~repro.relational.execution.delta_root_ranges`), so term cost scales
+with the delta, not the database.
+
+FAQ maintenance is the same expansion in the annotation semiring: the delta
+factor ``dFᵢ`` carries inserted mass positively and deleted mass ⊕-inverted,
+each term ⊗-multiplies through and ⊕-marginalizes, and the old result
+absorbs the terms by signed ⊕-folds
+(:meth:`~repro.faq.annotated.AnnotatedRelation.combine`).  That requires ⊕
+to be a group operation — ``semiring.subtract`` — which the counting and
+Fraction semirings have; min/max/or do not, and
+:func:`maintain_faq` returns ``None`` so the caller recomputes instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.exceptions import IncrementalError
+from repro.faq.annotated import AnnotatedRelation
+from repro.faq.semiring import Semiring
+from repro.incremental.delta import SignedDelta
+from repro.relational.columns import apply_signed_rows
+from repro.relational.execution import delta_root_ranges, execute_join
+from repro.relational.relation import Relation
+
+__all__ = [
+    "delta_factor",
+    "execute_delta_term",
+    "iter_delta_terms",
+    "maintain_faq",
+    "maintain_join_rows",
+    "probe_intersection",
+    "signed_join_delta",
+    "term_variable_order",
+]
+
+
+def probe_intersection(active: list, counter) -> list[int]:
+    """Inner-level intersection by probing, sized to the *smallest* node.
+
+    Generic Join's hash intersection materializes every active node's key
+    set, and the leapfrog walks every active key list — fine when the join
+    touches each node a few times, but a delta term visits a big relation's
+    nodes once, anchored on a tiny delta, so materializing a
+    database-sized root key set to intersect it with five delta keys would
+    dominate the whole maintenance batch.  Here only the node with the
+    smallest *row span* (an O(1) bound) materializes its key list; every
+    other node answers membership by one binary search on its sorted
+    column (:meth:`~repro.relational.trie.SortedTrieIterator.contains_child`).
+    The charged cost is the candidate count — the same smallest-set
+    charging argument as Generic Join.
+    """
+    driver = active[0]
+    best = driver.child_span()
+    for iterator in active[1:]:
+        span = iterator.child_span()
+        if span < best:
+            driver, best = iterator, span
+    candidates = driver.child_keys()
+    counter.tuples_scanned += len(candidates)
+    if len(active) == 2:
+        other = active[1] if driver is active[0] else active[0]
+        contains = other.contains_child
+        return [code for code in candidates if contains(code)]
+    out = []
+    for code in candidates:
+        for iterator in active:
+            if iterator is not driver and not iterator.contains_child(code):
+                break
+        else:
+            out.append(code)
+    return out
+
+
+def term_variable_order(
+    order: tuple[str, ...], delta_attrs
+) -> tuple[str, ...]:
+    """The delta-first variable order of one delta-rule term.
+
+    Resolving the delta's attributes *first* is what makes a term's cost
+    delta-sized: the top trie levels then enumerate the delta's (tiny) key
+    sets, and every other relation only ever extends bindings the delta
+    admits.  Under the canonical order a delta not containing the first
+    variable would instead enumerate the full first-level candidate set —
+    database-sized work for a one-row change.  Both halves keep the
+    canonical (sorted) relative order, so term orders are deterministic;
+    the term's output rows are permuted back to the canonical order before
+    they meet the maintained view.
+    """
+    inside = frozenset(delta_attrs)
+    first = tuple(v for v in order if v in inside)
+    return first + tuple(v for v in order if v not in inside)
+
+
+def iter_delta_terms(
+    old_bindings: Sequence[Relation],
+    new_bindings: Sequence[Relation],
+    atom_deltas: Sequence[SignedDelta | None],
+) -> Iterator[tuple[int, int, list[Relation]]]:
+    """Yield the non-empty delta-rule terms as ``(i, sign, relations)``.
+
+    ``relations`` is the term's input list: new bindings before position
+    ``i``, the sign-split delta relation at ``i``, old bindings after.  Terms
+    whose delta side is empty are skipped — an unchanged atom contributes
+    nothing.
+    """
+    for i, delta in enumerate(atom_deltas):
+        if delta is None or delta.is_empty:
+            continue
+        for sign in (1, -1):
+            delta_relation = delta.relation(sign, f"d{new_bindings[i].name}")
+            if delta_relation.is_empty():
+                continue
+            relations = (
+                list(new_bindings[:i])
+                + [delta_relation]
+                + list(old_bindings[i + 1 :])
+            )
+            yield i, sign, relations
+
+
+def execute_delta_term(
+    relations: Sequence[Relation],
+    order: tuple[str, ...],
+    delta_index: int,
+) -> list:
+    """Run one delta-rule term; rows come back in the canonical ``order``.
+
+    The single term protocol both the serial path (:func:`signed_join_delta`)
+    and the pooled workers (:func:`repro.parallel.pool.run_delta_term_task`)
+    execute — one definition, so serial and pooled maintenance cannot drift
+    apart: the delta-first variable order, the delta-scoped trie-root
+    ranges, the probe intersection at every level, and the permutation back
+    to the canonical order all live here.
+    """
+    delta_attrs = relations[delta_index].schema
+    t_order = term_variable_order(order, delta_attrs)
+    ranges = delta_root_ranges(relations, t_order, delta_index)
+    term = execute_join(
+        relations, t_order, "dQ", probe_intersection, ranges,
+        leaf_intersect=probe_intersection,
+    )
+    rows = term.code_rows
+    if t_order != order:
+        permutation = tuple(t_order.index(v) for v in order)
+        rows = [tuple(row[p] for p in permutation) for row in rows]
+    return rows
+
+
+def signed_join_delta(
+    old_bindings: Sequence[Relation],
+    new_bindings: Sequence[Relation],
+    atom_deltas: Sequence[SignedDelta | None],
+    order: tuple[str, ...],
+) -> tuple[dict[tuple, int], int]:
+    """The net signed change of the full join, plus the term count.
+
+    Executes every delta-rule term serially (:func:`execute_delta_term`)
+    and sums the signed contributions; rows whose contributions cancel
+    across terms are dropped.  Returns ``(net, executed_terms)`` — the
+    count only includes terms whose sign-split delta was non-empty, so the
+    engine's ``stats.join_terms`` agrees between serial and pooled paths.
+    """
+    net: dict[tuple, int] = {}
+    executed = 0
+    for i, sign, relations in iter_delta_terms(
+        old_bindings, new_bindings, atom_deltas
+    ):
+        executed += 1
+        for row in execute_delta_term(relations, order, i):
+            count = net.get(row, 0) + sign
+            if count:
+                net[row] = count
+            else:
+                del net[row]
+    return net, executed
+
+
+def maintain_join_rows(old_rows: list, net: dict[tuple, int]) -> list:
+    """Apply a net signed change to the old sorted result rows.
+
+    The delta rule over set relations guarantees every net count is ``±1``
+    and consistent with the old rows (``+1`` only for absent rows, ``-1``
+    only for present ones); anything else is a maintenance bug and raises
+    :class:`IncrementalError` — via the strict merge — rather than silently
+    corrupting the view.
+    """
+    if not net:
+        return old_rows
+    for row, count in net.items():
+        if count not in (-1, 1):
+            raise IncrementalError(
+                f"net multiplicity {count} for row {row} — the delta rule "
+                f"over set relations must telescope to ±1"
+            )
+    entries = sorted(net.items())
+    try:
+        return apply_signed_rows(
+            old_rows,
+            [row for row, _ in entries],
+            [sign for _, sign in entries],
+        )
+    except Exception as error:  # strict merge: surface as an IVM bug
+        raise IncrementalError(
+            f"maintained join diverged from its delta: {error}"
+        ) from error
+
+
+# -- FAQ maintenance ----------------------------------------------------------------
+
+
+def delta_factor(
+    delta: SignedDelta,
+    semiring: Semiring,
+    weight: Callable[[tuple], object] | None = None,
+    name: str = "dF",
+) -> AnnotatedRelation:
+    """The annotated delta factor ``dFᵢ``: inserted mass ⊕, deleted mass ⊖.
+
+    ``weight`` maps a *decoded* value tuple to its annotation (defaults to
+    ``semiring.one``, the unit lifting).  Requires an invertible ⊕ — deleted
+    rows carry ``⊖weight`` so the ⊗/⊕ algebra telescopes exactly.
+    """
+    if not semiring.invertible:
+        raise IncrementalError(
+            f"semiring {semiring} has non-invertible ⊕; delta factors "
+            f"need subtraction (recompute instead)"
+        )
+    zero = semiring.zero
+    one = semiring.one
+    data: dict[tuple, object] = {}
+    if weight is None:
+        negative_one = semiring.negate(one)
+        for row, sign in zip(delta.rows, delta.signs):
+            data[row] = one if sign > 0 else negative_one
+    else:
+        for row, (values, sign) in zip(delta.rows, delta.decoded()):
+            value = weight(values)
+            if sign < 0:
+                value = semiring.negate(value)
+            if value != zero:
+                data[row] = value
+    return AnnotatedRelation._from_codes(name, delta.attrs, semiring, data)
+
+
+def maintain_faq(
+    old_result: AnnotatedRelation,
+    old_factors: Sequence[AnnotatedRelation],
+    new_factors: Sequence[AnnotatedRelation],
+    delta_factors: Sequence[AnnotatedRelation | None],
+    free: tuple[str, ...],
+) -> AnnotatedRelation | None:
+    """Maintain ``⊕_{bound} ⊗ᵢ Fᵢ`` through one batch of factor deltas.
+
+    Returns the maintained result — ``old ⊕ Σᵢ (F₁'⊗…⊗dFᵢ⊗…⊗Fₖ)
+    marginalized to ``free`` — or ``None`` when ⊕ is not invertible, in
+    which case the caller must recompute from the new factors.  Each term
+    starts its ⊗-chain at the (tiny) delta factor so intermediates stay
+    delta-bounded in row count.
+    """
+    semiring = old_result.semiring
+    if not semiring.invertible:
+        return None
+    maintained = old_result
+    for i, delta in enumerate(delta_factors):
+        if delta is None or len(delta) == 0:
+            continue
+        term = delta
+        # ⊗ is commutative in content; anchoring the chain on the delta
+        # keeps every intermediate's support delta-sized.  combine()
+        # realigns the term's schema onto the result's at the end.
+        for j in range(i - 1, -1, -1):
+            term = term.multiply(new_factors[j])
+        for j in range(i + 1, len(old_factors)):
+            term = term.multiply(old_factors[j])
+        contribution = term.marginalize(free)
+        maintained = maintain_annotations(maintained, contribution)
+    return maintained
+
+
+def maintain_annotations(
+    result: AnnotatedRelation, contribution: AnnotatedRelation
+) -> AnnotatedRelation:
+    """Fold one signed contribution into a maintained result (⊕, drop zeros)."""
+    if len(contribution) == 0:
+        return result
+    return result.combine(contribution, name=result.name)

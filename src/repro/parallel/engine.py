@@ -391,40 +391,37 @@ class ParallelQueryEngine:
     ):
         """Bind the database to the pool, fan row-range tasks out, merge.
 
-        The full relations ship to each worker exactly once per database
-        (content-addressed: the pool recycles when the digests change);
-        shard tasks then carry only per-relation ``(lo, hi)`` row ranges,
-        and workers execute them over their resident relations through the
+        Shipping is content-addressed **per relation**
+        (:meth:`~repro.relational.columns.ColumnSet.content_digest`): on the
+        first bind the full payload seeds every worker, and a later rebind
+        reships only the relations whose digests changed — an unchanged
+        relation never travels again (see :class:`~repro.parallel.pool.
+        WorkerPool`).  Shard tasks then carry only per-relation ``(lo, hi)``
+        row ranges, executed over the resident relations through the
         zero-copy root-range restriction.
         """
         state = self._database_state(tables)
-        token = state.get("token")
-        payload = None
-        if token is None:
-            # Packed buffers are only needed while the pool (re)starts; they
-            # are not retained — ensure_database repacks from the entries on
-            # the rare recycle-after-close path.
-            digest = hashlib.sha1()
-            payload = []
-            for relation, table in zip(relations, tables):
-                buffer = pack_column_range(
-                    table.column_set, 0, table.column_set.nrows
+        tokens = state.get("tokens")
+        if tokens is None:
+            # Keys qualify the atom position so self-joins restricted to
+            # different variable orders stay distinct resident entries.
+            tokens = tuple(
+                (
+                    f"{relation.name}#{index}",
+                    table.column_set.content_digest(),
                 )
-                digest.update(relation.name.encode())
-                digest.update(",".join(table.attrs).encode())
-                digest.update(buffer)
-                payload.append((relation.name, table.attrs, buffer))
-            token = digest.hexdigest()
-            state["token"] = token
+                for index, (relation, table) in enumerate(zip(relations, tables))
+            )
+            state["tokens"] = tokens
         entries = [
-            (relation.name, table.attrs, relation)
-            for relation, table in zip(relations, tables)
+            (key, table.attrs, relation, digest)
+            for (key, digest), relation, table in zip(tokens, relations, tables)
         ]
         pool = self._pool_for(len(specs))
-        pool.ensure_database(token, entries, payload)
+        pool.ensure_database(tokens, entries)
         tasks = [
             (
-                token,
+                tokens,
                 driver,
                 order,
                 tuple(slice_bounds(table, order, spec) for table in tables),

@@ -12,6 +12,18 @@ cost is pure join work (and the shared per-node trie caches of
 :meth:`~repro.relational.columns.ColumnSet.trie_caches` accumulate across
 shards and executes).
 
+Residency is content-addressed **per relation**: the database token is a
+tuple of ``(key, content digest)`` pairs, one per bound relation
+(:meth:`~repro.relational.columns.ColumnSet.content_digest`), so rebinding
+an engine to a database where only some relations changed never reships the
+unchanged ones — changed buffers piggyback on tasks as idempotent updates
+(each worker installs a given digest at most once) until their cumulative
+size would exceed re-forking the pool, at which point the pool recycles and
+re-seals the baseline.  The incremental engine goes one step further and
+ships only signed *delta runs* against the resident base relations
+(:func:`run_delta_term_task`), with worker-side reconstructions cached per
+``(key, base digest, version)``.
+
 Codes are parent-process codes throughout; workers never decode.  The one
 exception is the ``panda`` driver, whose Lemma 6.1 bucket halving orders
 heavy keys by decoded *values* — those tasks ship the relevant
@@ -44,6 +56,7 @@ __all__ = [
     "default_worker_count",
     "pack_column_range",
     "pack_output_rows",
+    "run_delta_term_task",
     "run_faq_task",
     "run_shard_task",
     "unpack_column_arrays",
@@ -114,45 +127,79 @@ def default_worker_count() -> int:
 
 # -- worker-side state --------------------------------------------------------------
 
-#: The database resident in this process: ``(token, entries)`` with one
-#: ``(name, attrs, relation)`` entry per query atom, installed either by the
-#: pool initializer (worker processes) or directly (in-process execution).
-_WORKER_DB: tuple | None = None
+#: The relations resident in this process, content-addressed per relation:
+#: ``{key: (digest, attrs, relation)}``.  Keys are engine-chosen (atom- or
+#: name-qualified); installed by the pool initializer (worker processes),
+#: by task-piggybacked updates, or directly (in-process execution).  A
+#: *database* token is just an ordered tuple of ``(key, digest)`` pairs, so
+#: two engines sharing a relation (same key, same digest) also share its
+#: residency.
+_WORKER_RELATIONS: dict = {}
+
+#: Versioned reconstructions for the incremental delta tasks:
+#: ``(key, base digest, version) -> Relation`` (bounded; see
+#: :func:`_versioned_relation`).
+_WORKER_VERSIONS: dict = {}
 
 #: Per-worker caches, keyed by the parent's fingerprint tokens.
 _WORKER_PLANNERS: dict = {}
 _WORKER_DICTS: dict = {}
 
 
-def _init_worker_db(token, payload: list[tuple]) -> None:
-    """Pool initializer: rebuild the database from raw column buffers."""
-    global _WORKER_DB
-    entries = []
-    for name, attrs, buffer in payload:
-        rows, columns = unpack_columns(buffer, len(attrs))
-        relation = Relation.from_codes(
-            name, attrs, rows, presorted=True, distinct=True
-        )
+def _build_resident(key, attrs, digest, buffer: bytes) -> None:
+    rows, columns = unpack_columns(buffer, len(attrs))
+    relation = Relation.from_codes(
+        key, attrs, rows, presorted=True, distinct=True
+    )
+    if columns:
         relation.column_set(attrs).adopt_columns(columns)
-        entries.append((name, attrs, relation))
-    _WORKER_DB = (token, entries)
+    _WORKER_RELATIONS[key] = (digest, attrs, relation)
 
 
-def install_local_database(token, entries: list[tuple]) -> None:
-    """Adopt already-built relations for in-process shard execution."""
-    global _WORKER_DB
-    _WORKER_DB = (token, entries)
+def _init_worker_db(payload: list[tuple]) -> None:
+    """Pool initializer: rebuild the resident relations from raw buffers."""
+    for key, attrs, digest, buffer in payload:
+        _build_resident(key, attrs, digest, buffer)
 
 
-def _release_local_database(token) -> None:
-    """Drop the resident database if it is still the one ``token`` names.
+def _apply_updates(updates: list[tuple]) -> None:
+    """Install per-relation updates, idempotently (digest-guarded).
 
-    Called by :meth:`WorkerPool.close`; guarded by token so closing one
-    pool never evicts a database another live engine re-installed.
+    Updates piggyback on tasks after a partial rebind: each worker unpacks
+    a given digest at most once, every later copy is a no-op comparison.
     """
-    global _WORKER_DB
-    if _WORKER_DB is not None and _WORKER_DB[0] == token:
-        _WORKER_DB = None
+    for key, attrs, digest, buffer in updates:
+        resident = _WORKER_RELATIONS.get(key)
+        if resident is not None and resident[0] == digest:
+            continue
+        _build_resident(key, attrs, digest, buffer)
+
+
+def install_local_entries(entries: list[tuple]) -> None:
+    """Adopt already-built relations for in-process shard execution.
+
+    ``entries`` rows are ``(key, attrs, relation, digest)`` — the parent's
+    own relation objects, no buffers involved.
+    """
+    for key, attrs, relation, digest in entries:
+        resident = _WORKER_RELATIONS.get(key)
+        if resident is None or resident[0] != digest:
+            _WORKER_RELATIONS[key] = (digest, attrs, relation)
+
+
+def _release_local_entries(tokens) -> None:
+    """Drop resident relations still matching ``tokens``.
+
+    Called by :meth:`WorkerPool.close`; digest-guarded so closing one pool
+    never evicts a relation another live engine re-installed under the same
+    key.
+    """
+    for key, digest in tokens:
+        resident = _WORKER_RELATIONS.get(key)
+        if resident is not None and resident[0] == digest:
+            del _WORKER_RELATIONS[key]
+    for cache_key in [k for k in _WORKER_VERSIONS if (k[0], k[1]) in set(tokens)]:
+        del _WORKER_VERSIONS[cache_key]
 
 
 def adopt_dictionaries(dict_values: dict[str, list]) -> None:
@@ -202,13 +249,25 @@ def _seeded_planner(plans_token, plans_blob: bytes | None):
 # -- per-shard execution ------------------------------------------------------------
 
 
-def _resident_database(token) -> list[tuple]:
-    if _WORKER_DB is None or _WORKER_DB[0] != token:
-        raise RuntimeError(
-            "shard task arrived before its database was installed — "
-            "WorkerPool.ensure_database must run first"
-        )
-    return _WORKER_DB[1]
+def _resident_database(tokens) -> list[tuple]:
+    """The ordered ``(key, attrs, relation)`` entries behind ``tokens``.
+
+    ``tokens`` is the per-relation ``(key, digest)`` tuple of the task;
+    every digest must match the resident copy — a mismatch means the pool's
+    baseline/update protocol was violated, and failing loudly beats joining
+    against stale data.
+    """
+    entries = []
+    for key, digest in tokens:
+        resident = _WORKER_RELATIONS.get(key)
+        if resident is None or resident[0] != digest:
+            raise RuntimeError(
+                f"shard task arrived before relation {key!r} (digest "
+                f"{digest[:12]}...) was installed — WorkerPool."
+                f"ensure_database must run first"
+            )
+        entries.append((key, resident[1], resident[2]))
+    return entries
 
 
 def _sliced_relation(relation: Relation, attrs: tuple, lo: int, hi: int) -> Relation:
@@ -299,13 +358,13 @@ def _yannakakis_shard(sliced: list[Relation], order: tuple[str, ...], extra: dic
 def run_shard_task(task: tuple) -> tuple[bytes, bool, dict]:
     """Execute one shard over the resident database (worker-side entry).
 
-    ``task`` is ``(db_token, driver, order, ranges, extra)`` with one
+    ``task`` is ``(db_tokens, driver, order, ranges, extra)`` with one
     ``(lo, hi)`` row range per resident relation.  Returns the shard's
     output rows as a raw column-major buffer (sorted under ``order``), the
     shard's Boolean answer, and the shard's work counts.
     """
-    db_token, driver, order, ranges, extra = task
-    entries = _resident_database(db_token)
+    db_tokens, driver, order, ranges, extra = task
+    entries = _resident_database(db_tokens)
     with scoped_work_counter() as counter:
         if driver in ("generic", "leapfrog"):
             if driver == "generic":
@@ -338,6 +397,104 @@ def run_shard_task(task: tuple) -> tuple[bytes, bool, dict]:
         buffer = pack_output_rows(rows, len(order))
         counts = counter.as_dict()
     return buffer, boolean, counts
+
+
+def _versioned_relation(
+    key: str,
+    base_digest: str,
+    attrs: tuple,
+    base: Relation,
+    version: int,
+    runs: tuple,
+) -> Relation:
+    """Reconstruct (and cache) one relation version from base + delta runs.
+
+    ``runs`` is the shipped tuple of ``(rows buffer, signs buffer)`` pairs
+    lifting the resident base to ``version``; each is a sorted signed merge
+    (:func:`~repro.relational.columns.apply_signed_rows`).  Reconstructions
+    cache under ``(key, base digest, version)`` so the two versions a
+    maintenance batch needs (old and new) build once per worker, not once
+    per term.
+    """
+    from repro.incremental.delta import advance_relation
+
+    if not runs:
+        return base
+    cache_key = (key, base_digest, version)
+    cached = _WORKER_VERSIONS.get(cache_key)
+    if cached is not None:
+        return cached
+    # Build from the previous version (itself cached): one delta-sized
+    # merge per run, with every materialized sort order carried forward —
+    # the worker-side mirror of VersionedRelation's incremental currents.
+    previous = _versioned_relation(
+        key, base_digest, attrs, base, version - 1, runs[:-1]
+    )
+    rows_buffer, signs_buffer = runs[-1]
+    run_rows, _ = unpack_columns(rows_buffer, len(attrs))
+    signs = array("q")
+    signs.frombytes(signs_buffer)
+    relation = advance_relation(previous, run_rows, signs, name=key)
+    if len(_WORKER_VERSIONS) >= 64:
+        _WORKER_VERSIONS.clear()
+    _WORKER_VERSIONS[cache_key] = relation
+    return relation
+
+
+def run_delta_term_task(task: tuple) -> tuple[bytes, dict]:
+    """Execute one delta-rule join term (worker-side entry).
+
+    ``task`` is ``(db_tokens, order, specs)`` with one spec per join input:
+
+    * ``("resident", key)`` — the resident base relation as-is;
+    * ``("version", key, version, runs)`` — the base lifted to ``version``
+      by the shipped signed runs (cached per worker);
+    * ``("delta", key, buffer)`` — the term's (tiny) sign-split delta rows,
+      shipped inline.
+
+    Only delta runs and the delta relation travel with the task — the base
+    relations are resident — which is what makes a maintenance batch's wire
+    cost proportional to the batch.  Returns the term's sorted output rows
+    (column-major buffer) and the work counts.
+    """
+    from repro.incremental.ivm import execute_delta_term
+
+    db_tokens, order, specs = task
+    order = tuple(order)
+    digests = dict(db_tokens)
+    resident = {
+        key: (attrs, relation)
+        for key, attrs, relation in _resident_database(db_tokens)
+    }
+    with scoped_work_counter() as counter:
+        relations: list[Relation] = []
+        delta_index = -1
+        for spec in specs:
+            kind, key = spec[0], spec[1]
+            attrs, base = resident[key]
+            if kind == "resident":
+                relations.append(base)
+            elif kind == "version":
+                relations.append(
+                    _versioned_relation(
+                        key, digests[key], attrs, base, spec[2], spec[3]
+                    )
+                )
+            elif kind == "delta":
+                rows, columns = unpack_columns(spec[2], len(attrs))
+                delta = Relation.from_codes(
+                    f"d{key}", attrs, rows, presorted=True, distinct=True
+                )
+                if columns:
+                    delta.column_set(attrs).adopt_columns(columns)
+                delta_index = len(relations)
+                relations.append(delta)
+            else:  # pragma: no cover - guarded by the engine
+                raise ValueError(f"unknown delta term spec {kind!r}")
+        rows = execute_delta_term(relations, order, delta_index)
+        buffer = pack_output_rows(rows, len(order))
+        counts = counter.as_dict()
+    return buffer, counts
 
 
 def run_faq_task(task: tuple) -> tuple[bytes, list, dict]:
@@ -385,7 +542,7 @@ def semiring_reference(semiring):
     """A picklable reference to a semiring (stock ones ship by name)."""
     from repro.faq import semiring as stock
 
-    for attr in ("BOOLEAN", "COUNTING", "MIN_PLUS", "MAX_PRODUCT"):
+    for attr in ("BOOLEAN", "COUNTING", "FRACTION", "MIN_PLUS", "MAX_PRODUCT"):
         if getattr(stock, attr) is semiring:
             return ("stock", attr)
     try:
@@ -410,22 +567,53 @@ def resolve_semiring(reference):
 # -- the pool -----------------------------------------------------------------------
 
 
-class WorkerPool:
-    """A persistent ``multiprocessing`` pool bound to one resident database.
+def _run_with_updates(wrapped: tuple):
+    """Worker-side shim: install piggybacked updates, then run the task."""
+    function, updates, task = wrapped
+    _apply_updates(updates)
+    return function(task)
 
-    ``ensure_database`` installs the database in every worker exactly once
-    (pool initializer) and locally (so single-task fast paths run in
-    process); it is a no-op while the token is unchanged, so repeated
-    executes on one database ship *no* input data at all.  A new token
-    recycles the pool — re-forking is far cheaper than re-shipping per
-    shard.  The start method is ``fork`` where available, ``spawn``
-    elsewhere (tasks are self-contained either way).
+
+def _pack_entry(attrs, relation) -> bytes:
+    column_set = relation.column_set(attrs)
+    return pack_column_range(column_set, 0, column_set.nrows)
+
+
+class WorkerPool:
+    """A persistent ``multiprocessing`` pool of content-addressed relations.
+
+    ``ensure_database`` makes a set of relations resident in every worker —
+    and locally, so single-task fast paths run in process.  Residency is
+    per relation: the token is a tuple of ``(key, content digest)`` pairs,
+    and binding is a no-op for every relation whose digest is already
+    resident, so repeated executes on one database ship *no* input data and
+    a rebind that changes only some relations reships **only those**:
+
+    * the full payload ships once, through the pool initializer, and
+      becomes the *baseline*;
+    * later digest changes ship as idempotent per-task updates (each worker
+      unpacks a digest at most once; unchanged relations never travel);
+    * once the pending updates outweigh half the baseline, the pool
+      recycles — re-forking and re-sealing is cheaper than dragging large
+      buffers along with every task.
+
+    The start method is ``fork`` where available, ``spawn`` elsewhere
+    (tasks are self-contained either way).
     """
 
     def __init__(self, workers: int) -> None:
         self.workers = max(1, workers)
         self._pool = None
-        self._db_token = None
+        #: Digests shipped through the running pool's initializer.
+        self._baseline: dict | None = None
+        self._baseline_bytes = 0
+        #: Pending per-task updates: ``{key: (attrs, digest, buffer)}``.
+        self._updates: dict = {}
+        #: Cumulative bytes shipped as piggybacked updates since the pool
+        #: started — once it exceeds the baseline, re-forking is cheaper.
+        self._update_traffic = 0
+        #: The tokens of the last bind (for the close-time local release).
+        self._tokens: tuple | None = None
 
     @staticmethod
     def _context():
@@ -439,64 +627,108 @@ class WorkerPool:
         if self.workers > 1 and self._pool is None:
             self._pool = self._context().Pool(processes=self.workers)
 
-    def ensure_database(
-        self, token, entries: list[tuple], payload: list[tuple] | None = None
-    ) -> None:
-        """Make ``entries`` (``(name, attrs, relation)``) resident everywhere.
+    def _start(self, payload: list[tuple]) -> None:
+        self._pool = self._context().Pool(
+            processes=self.workers,
+            initializer=_init_worker_db,
+            initargs=(payload,),
+        )
+        self._baseline = {key: digest for key, _, digest, _ in payload}
+        self._baseline_bytes = sum(len(buffer) for _, _, _, buffer in payload)
+        self._updates = {}
+        self._update_traffic = 0
 
-        ``payload`` is the pre-packed ``(name, attrs, buffer)`` form (built
-        by the engine alongside the content token); it is only consumed when
-        the pool actually (re)starts.
+    def _terminate(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._baseline = None
+        self._baseline_bytes = 0
+        self._updates = {}
+        self._update_traffic = 0
+
+    def ensure_database(
+        self, tokens, entries: list[tuple], payload: list[tuple] | None = None
+    ) -> None:
+        """Make ``entries`` (``(key, attrs, relation, digest)``) resident.
+
+        ``tokens`` is the ordered ``(key, digest)`` tuple tasks will carry;
+        ``payload`` the optional pre-packed ``(key, attrs, digest, buffer)``
+        form, consumed only when the pool actually (re)starts.
         """
-        # The local (in-process) database is a module global shared by every
-        # pool, so another engine may have displaced it since we last bound —
-        # check it independently of this pool's own token.
-        if _WORKER_DB is None or _WORKER_DB[0] != token:
-            install_local_database(token, entries)
-        if self._db_token == token:
+        # The local (in-process) residency is a module global shared by
+        # every pool, so another engine may have displaced entries since we
+        # last bound — reconcile it per relation, digest-guarded.
+        install_local_entries(entries)
+        self._tokens = tuple(tokens)
+        if self.workers <= 1:
             return
-        if self.workers > 1:
-            if self._pool is not None:
-                self._pool.terminate()
-                self._pool.join()
-                self._pool = None
+        if self._pool is None or self._baseline is None:
+            self._terminate()
             if payload is None:
                 payload = [
-                    (
-                        name,
-                        attrs,
-                        pack_column_range(
-                            relation.column_set(attrs),
-                            0,
-                            relation.column_set(attrs).nrows,
-                        ),
-                    )
-                    for name, attrs, relation in entries
+                    (key, attrs, digest, _pack_entry(attrs, relation))
+                    for key, attrs, relation, digest in entries
                 ]
-            self._pool = self._context().Pool(
-                processes=self.workers,
-                initializer=_init_worker_db,
-                initargs=(token, payload),
-            )
-        self._db_token = token
+            self._start(payload)
+            return
+        # Diff against what the workers are guaranteed to reach (baseline
+        # plus already-pending updates); pack only relations that changed.
+        changed = []
+        for key, attrs, relation, digest in entries:
+            pending = self._updates.get(key)
+            resident = pending[1] if pending else self._baseline.get(key)
+            if resident != digest:
+                changed.append((key, attrs, relation, digest))
+        if not changed and self._update_traffic <= self._baseline_bytes:
+            return
+        for key, attrs, relation, digest in changed:
+            self._updates[key] = (attrs, digest, _pack_entry(attrs, relation))
+        update_bytes = sum(len(b) for _, _, b in self._updates.values())
+        if (
+            update_bytes * 2 > max(1, self._baseline_bytes)
+            or self._update_traffic > self._baseline_bytes
+        ):
+            # One round of updates outweighs re-forking, or the cumulative
+            # per-task shipping already has (updates ride along with every
+            # task until the pool re-seals): recycle and re-seal.
+            self._terminate()
+            payload = [
+                (key, attrs, digest, _pack_entry(attrs, relation))
+                for key, attrs, relation, digest in entries
+            ]
+            self._start(payload)
 
     def map(self, function, tasks: list) -> list:
         """Run ``function`` over ``tasks`` on the pool, results in task order."""
         if self._pool is None or len(tasks) <= 1:
             return [function(task) for task in tasks]
-        async_results = [
-            self._pool.apply_async(function, (task,)) for task in tasks
-        ]
+        if self._updates:
+            updates = [
+                (key, attrs, digest, buffer)
+                for key, (attrs, digest, buffer) in self._updates.items()
+            ]
+            self._update_traffic += len(tasks) * sum(
+                len(buffer) for _, _, _, buffer in updates
+            )
+            async_results = [
+                self._pool.apply_async(
+                    _run_with_updates, ((function, updates, task),)
+                )
+                for task in tasks
+            ]
+        else:
+            async_results = [
+                self._pool.apply_async(function, (task,)) for task in tasks
+            ]
         return [result.get() for result in async_results]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        if self._db_token is not None:
-            _release_local_database(self._db_token)
-        self._db_token = None
+        self._terminate()
+        if self._tokens is not None:
+            _release_local_entries(self._tokens)
+        self._tokens = None
 
     def __enter__(self) -> "WorkerPool":
         return self

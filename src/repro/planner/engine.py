@@ -285,11 +285,14 @@ class QueryEngine:
         constraints: ConstraintSet | None = None,
         backend: str = "exact",
         planner: Planner | None = None,
+        pin_constraints: bool = False,
     ) -> None:
         self.query = query
         self.constraints = constraints
         self.backend = backend
         self.planner = planner if planner is not None else Planner()
+        self.pin_constraints = pin_constraints
+        self._pinned: ConstraintSet | None = None
         self._decompositions = None
 
     @property
@@ -315,11 +318,27 @@ class QueryEngine:
         then the engine-level constraints, then the database's extracted
         cardinalities.  Plans are cached across calls whenever the resolved
         constraints (and hence the bound LPs) coincide.
+
+        With ``pin_constraints`` the cardinalities extracted on the *first*
+        execute are reused for every later one, so a stream of slightly
+        different databases (the incremental engine's version bumps) keeps
+        hitting the same cached plans — the plan is data-independent, and
+        only its guards re-resolve per database.  The pin is dropped
+        automatically when a database outgrows it (a relation larger than
+        its pinned bound would leave a degree constraint unguarded), which
+        re-extracts and re-plans once.
         """
         from repro.core import query_plans
 
         if constraints is None:
             constraints = self.constraints
+        if constraints is None and self.pin_constraints:
+            pinned = self._pinned
+            if pinned is not None and database.satisfies(pinned):
+                constraints = pinned
+            else:
+                constraints = database.extract_cardinalities()
+                self._pinned = constraints
         if constraints is None:
             constraints = database.extract_cardinalities()
         if driver == "dasubw":

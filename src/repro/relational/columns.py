@@ -25,11 +25,21 @@ which the per-attribute sharing guarantees.  Anything user-facing (CSV dumps,
 
 from __future__ import annotations
 
+import hashlib
 from array import array
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from typing import Iterator, Sequence
 
-__all__ = ["Dictionary", "ColumnSet", "decode_row", "gallop_left", "merge_runs"]
+__all__ = [
+    "Dictionary",
+    "ColumnSet",
+    "apply_plan_to_columns",
+    "apply_signed_rows",
+    "decode_row",
+    "gallop_left",
+    "merge_runs",
+    "signed_merge_plan",
+]
 
 
 class Dictionary:
@@ -167,7 +177,7 @@ class ColumnSet:
     (merge joins, partitions) never pay for the arrays.
     """
 
-    __slots__ = ("attrs", "rows", "_columns", "_trie_keys", "_trie_sets")
+    __slots__ = ("attrs", "rows", "_columns", "_trie_keys", "_trie_sets", "_digest")
 
     def __init__(self, attrs: Sequence[str], rows: list, presorted: bool = False) -> None:
         self.attrs: tuple[str, ...] = tuple(attrs)
@@ -177,6 +187,7 @@ class ColumnSet:
         self._columns: tuple | None = None
         self._trie_keys: dict | None = None
         self._trie_sets: dict | None = None
+        self._digest: str | None = None
 
     def trie_caches(self) -> tuple[dict, dict]:
         """The shared per-node key-run/key-set caches of this column set.
@@ -199,16 +210,53 @@ class ColumnSet:
 
     @property
     def columns(self) -> tuple:
-        """One sorted-aligned ``array('q')`` per attribute (built on demand)."""
+        """One sorted-aligned ``array('q')`` per attribute (built on demand).
+
+        Materialized by one C-level ``zip(*rows)`` transpose instead of one
+        Python generator pass per column — relations are rebuilt per version
+        under incremental maintenance, so this runs often enough to matter.
+        """
         cols = self._columns
         if cols is None:
             rows = self.rows
-            cols = tuple(
-                array("q", (row[i] for row in rows))
-                for i in range(len(self.attrs))
-            )
+            if rows:
+                cols = tuple(array("q", column) for column in zip(*rows))
+            else:
+                cols = tuple(array("q") for _ in self.attrs)
             self._columns = cols
         return cols
+
+    @property
+    def materialized_columns(self) -> tuple | None:
+        """The column arrays if already built, without forcing the build.
+
+        Incremental maintenance advances materialized columns by array
+        splicing (:func:`apply_plan_to_columns`) — but only for versions
+        that actually built them; unmaterialized columns stay lazy.
+        """
+        return self._columns
+
+    def content_digest(self) -> str:
+        """A content fingerprint of this column set (cached per version).
+
+        SHA-1 over the attribute list and the column-major code buffers:
+        two column sets over the same attributes digest equal exactly when
+        they hold the same rows.  Immutable column sets cache it, which is
+        what makes *per-relation* digest tokens cheap — the parallel pool
+        (:mod:`repro.parallel.pool`) and the incremental engine's delta-aware
+        shipping (:mod:`repro.incremental`) compare digests relation by
+        relation, so an unchanged relation is recognized (and never
+        reshipped) without rescanning its rows.
+        """
+        digest = self._digest
+        if digest is None:
+            hasher = hashlib.sha1()
+            hasher.update(",".join(self.attrs).encode())
+            for column in self.columns:
+                hasher.update(memoryview(column))
+            digest = hasher.hexdigest()
+            self._digest = digest
+        return digest
 
     def adopt_columns(self, columns: Sequence) -> None:
         """Install already-materialized per-attribute columns.
@@ -279,9 +327,10 @@ class ColumnSet:
         else:
             view._columns = tuple(memoryview(col)[lo:hi] for col in cols)
         # A view's row indices are shifted, so it cannot share the base
-        # set's node caches.
+        # set's node caches (nor the base set's content digest).
         view._trie_keys = None
         view._trie_sets = None
+        view._digest = None
         return view
 
     def distinct_prefix_count(self, depth: int) -> int:
@@ -317,6 +366,107 @@ def gallop_left(column, code: int, lo: int, hi: int) -> int:
         probe += step
         step <<= 1
     return bisect_left(column, code, lo, min(probe, hi))
+
+
+def signed_merge_plan(
+    rows: Sequence,
+    delta_rows: Sequence,
+    signs: Sequence[int],
+    strict: bool = True,
+) -> list:
+    """The splice plan merging a sorted signed delta into sorted ``rows``.
+
+    Returns a delta-sized list of instructions — ``slice(lo, hi)`` objects
+    for kept stretches of the base, interleaved with inserted row tuples
+    (the two are type-distinguishable) — that :func:`apply_signed_rows`
+    materializes as a row list and :func:`apply_plan_to_columns` as
+    per-attribute ``array('q')`` columns.  Each delta row costs one binary
+    search; everything between delta rows moves as one C-speed slice.
+
+    With ``strict`` (the default) an insert of a present row or a delete of
+    an absent row raises :class:`~repro.exceptions.DeltaError`; the
+    incremental engine validates batches up front, so a strict failure here
+    means a maintenance bug, not bad user input.
+    """
+    from repro.exceptions import DeltaError
+
+    plan: list = []
+    n = len(rows)
+    prev = 0
+    for row, sign in zip(delta_rows, signs):
+        pos = bisect_left(rows, row, prev, n)
+        if pos > prev:
+            plan.append(slice(prev, pos))
+        present = pos < n and rows[pos] == row
+        if sign > 0:
+            if present:
+                if strict:
+                    raise DeltaError(f"insert of already-present row {row}")
+                prev = pos
+                continue
+            plan.append(row)
+            prev = pos
+        else:
+            if not present:
+                if strict:
+                    raise DeltaError(f"delete of absent row {row}")
+                prev = pos
+                continue
+            prev = pos + 1
+    if n > prev:
+        plan.append(slice(prev, n))
+    return plan
+
+
+def apply_signed_rows(
+    rows: Sequence,
+    delta_rows: Sequence,
+    signs: Sequence[int],
+    strict: bool = True,
+    plan: list | None = None,
+) -> list:
+    """Merge a sorted signed delta into sorted, duplicate-free ``rows``.
+
+    The sorted-run merge of the log-structured storage
+    (:mod:`repro.incremental.delta`): ``delta_rows`` are ascending distinct
+    code tuples with aligned ``signs`` (``+1`` insert, ``-1`` delete), and
+    the result is the new sorted row list — built by C-speed slices from
+    the :func:`signed_merge_plan` (pass ``plan`` to reuse one already
+    computed), so merging a small batch into a large base never pays a
+    per-row Python pass.
+    """
+    if not isinstance(rows, list):
+        rows = list(rows)
+    if plan is None:
+        plan = signed_merge_plan(rows, delta_rows, signs, strict=strict)
+    out: list = []
+    for step in plan:
+        if type(step) is slice:
+            out.extend(rows[step])
+        else:
+            out.append(step)
+    return out
+
+
+def apply_plan_to_columns(columns: Sequence, plan: list) -> tuple:
+    """Apply a :func:`signed_merge_plan` to materialized ``array('q')`` columns.
+
+    The column-side twin of :func:`apply_signed_rows`: kept stretches move
+    as C-level array slices, inserted rows contribute one code per column —
+    so a relation version's columns advance in O(|delta| + memcpy) instead
+    of a fresh O(N · arity) transpose per batch.
+    """
+    # array-slice extends hit the C same-typecode fast path; a memoryview
+    # here would fall back to per-item iteration.
+    out = [array("q") for _ in columns]
+    for step in plan:
+        if type(step) is slice:
+            for target, column in zip(out, columns):
+                target.extend(column[step])
+        else:
+            for target, code in zip(out, step):
+                target.append(code)
+    return tuple(out)
 
 
 def merge_runs(left: Sequence, right: Sequence, key) -> Iterator[tuple[int, int, int, int]]:

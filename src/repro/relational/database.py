@@ -51,6 +51,30 @@ class Database:
     def names(self) -> list[str]:
         return list(self._relations)
 
+    def updated(self, replacements: Iterable[Relation]) -> "Database":
+        """A new database with some relations replaced (same name order).
+
+        The change-feed primitive of the incremental subsystem
+        (:mod:`repro.incremental`): each replacement swaps in for the
+        resident relation of the same name, every other relation is shared
+        untouched, and the original database is never mutated — callers
+        holding bindings or digests keyed on the old instance stay valid.
+
+        Raises:
+            SchemaError: if a replacement names a relation not present.
+        """
+        by_name = {}
+        for relation in replacements:
+            if relation.name not in self._relations:
+                raise SchemaError(
+                    f"cannot replace unknown relation {relation.name!r}"
+                )
+            by_name[relation.name] = relation
+        fresh = Database()
+        for name, relation in self._relations.items():
+            fresh._relations[name] = by_name.get(name, relation)
+        return fresh
+
     @property
     def max_relation_size(self) -> int:
         """``N`` of Eq. (27): the largest materialized relation size."""

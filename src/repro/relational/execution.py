@@ -27,11 +27,53 @@ from repro.relational.operators import current_counter
 from repro.relational.relation import Relation
 
 __all__ = [
+    "delta_root_ranges",
     "execute_join",
     "global_variable_order",
     "level_plan",
     "set_intersection",
 ]
+
+
+def delta_root_ranges(
+    relations: Sequence[Relation],
+    order: tuple[str, ...],
+    delta_index: int,
+) -> list[tuple[int, int] | None] | None:
+    """Root bounds restricting a delta-rule join term to the delta's key span.
+
+    ``relations[delta_index]`` is the (tiny) delta relation of one term of
+    the delta-rule expansion d(R₁⋈…⋈Rₖ) = Σᵢ R₁'⋈…⋈dRᵢ⋈…⋈Rₖ.  When the
+    delta mentions the first variable of the global order, every output
+    binding's ``order[0]`` code lies inside the delta's code span on that
+    variable, so each relation anchored on ``order[0]`` can bound its trie
+    root to that span — two binary searches per relation, the same zero-copy
+    restriction the partition-parallel shards use
+    (:class:`~repro.relational.trie.SortedTrieIterator` root bounds).
+
+    Returns ``None`` (no restriction possible) when the delta is empty or
+    does not contain ``order[0]``.
+    """
+    if not order:
+        return None
+    v0 = order[0]
+    delta = relations[delta_index]
+    if v0 not in delta.attributes:
+        return None
+    delta_attrs = tuple(v for v in order if v in delta.attributes)
+    delta_column = delta.column_set(delta_attrs)
+    if not delta_column.nrows:
+        return None
+    v0_column = delta_column.columns[0]
+    code_lo, code_hi = v0_column[0], v0_column[-1] + 1
+    ranges: list[tuple[int, int] | None] = []
+    for index, relation in enumerate(relations):
+        if index == delta_index or v0 not in relation.attributes:
+            ranges.append(None)
+            continue
+        attrs = tuple(v for v in order if v in relation.attributes)
+        ranges.append(relation.column_set(attrs).code_range(code_lo, code_hi))
+    return ranges
 
 
 def global_variable_order(
@@ -117,6 +159,7 @@ def execute_join(
     name: str,
     inner_intersect,
     root_ranges: Sequence[tuple[int, int] | None] | None = None,
+    leaf_intersect=None,
 ) -> Relation:
     """The recursion both WCOJ baselines share over the trie iterators.
 
@@ -143,6 +186,11 @@ def execute_join(
     relation containing the first variable bounded to one code range, the
     call computes exactly that shard of the join — the serial building block
     of :class:`repro.parallel.ParallelQueryEngine`.
+
+    ``leaf_intersect`` overrides the leaf-block intersection (default: the
+    whole-block hash-set intersection).  The delta-maintenance terms pass
+    their probe intersection here too — a term touches each leaf node once,
+    so materializing its cached key set would never pay off.
     """
     order = global_variable_order(relations, variable_order)
     active_at, descend_at = level_plan(relations, order, root_ranges)
@@ -152,6 +200,8 @@ def execute_join(
     binding: list[int] = []
     last = len(order) - 1
     memos: list[dict] = [{} for _ in order]
+    if leaf_intersect is None:
+        leaf_intersect = set_intersection
 
     def matches_at(depth: int) -> list[int]:
         active = active_at[depth]
@@ -171,7 +221,7 @@ def execute_join(
             counter.tuples_scanned += len(cached)
             return cached
         if depth == last:
-            matched = set_intersection(active, counter)
+            matched = leaf_intersect(active, counter)
         else:
             matched = inner_intersect(active, counter)
         memo[token] = matched
@@ -182,7 +232,7 @@ def execute_join(
             matched = leaf_active[0].child_keys()
             counter.tuples_scanned += len(matched)
             return matched
-        return set_intersection(leaf_active, counter)
+        return leaf_intersect(leaf_active, counter)
 
     def recurse(depth: int) -> None:
         matched = matches_at(depth)

@@ -24,7 +24,14 @@ from repro.relational.columns import Dictionary
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
-__all__ = ["load_relation_csv", "save_relation_csv", "load_database_dir"]
+__all__ = [
+    "load_relation_csv",
+    "save_relation_csv",
+    "load_database_dir",
+    "load_changes_csv",
+    "load_change_feed",
+    "save_changes_csv",
+]
 
 
 def load_relation_csv(
@@ -104,6 +111,106 @@ def save_relation_csv(
         writer.writerow(relation.schema)
         for row in sorted(relation, key=repr):
             writer.writerow(row)
+
+
+def load_changes_csv(
+    path: str | Path, delimiter: str = ","
+) -> tuple[tuple[str, ...], list[tuple], list[tuple]]:
+    """Read one relation's change feed from a CSV file.
+
+    The change-feed format is the relation CSV prefixed with an ``op``
+    column: the header is ``op,<attr>,...`` and every row starts with ``+``
+    (insert) or ``-`` (delete) followed by the tuple.  Values get the same
+    whole-column integer coercion as :func:`load_relation_csv`, so a feed
+    against an integer-loaded relation matches its values exactly.
+
+    Returns ``(schema, inserts, deletes)`` — validation against the target
+    relation (absent deletes, cancellation) happens in
+    :class:`repro.incremental.SignedDelta`, not here.
+    """
+    path = Path(path)
+    header: tuple[str, ...] | None = None
+    ops: list[str] = []
+    raw_rows: list[tuple[str, ...]] = []
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle, delimiter=delimiter):
+            if not row:
+                continue
+            if header is None:
+                header = tuple(column.strip() for column in row)
+                if not header or header[0] != "op":
+                    raise SchemaError(
+                        f"{path}: change feed header must start with 'op', "
+                        f"got {header}"
+                    )
+                header = header[1:]
+                continue
+            if len(row) != len(header) + 1:
+                raise SchemaError(
+                    f"{path}: row {row} does not match header {('op',) + header}"
+                )
+            op = row[0].strip()
+            if op not in ("+", "-"):
+                raise SchemaError(
+                    f"{path}: op column must be '+' or '-', got {op!r}"
+                )
+            ops.append(op)
+            raw_rows.append(tuple(row[1:]))
+    if header is None:
+        raise SchemaError(f"{path} is empty (need an op,... header row)")
+
+    # Whole-column integer coercion, matching load_relation_csv.
+    columns: list[list[object]] = []
+    for i in range(len(header)):
+        values: list[object] = [row[i] for row in raw_rows]
+        try:
+            values = [int(v) for v in values]
+        except ValueError:
+            pass
+        columns.append(values)
+    inserts: list[tuple] = []
+    deletes: list[tuple] = []
+    for j, op in enumerate(ops):
+        row = tuple(column[j] for column in columns)
+        (inserts if op == "+" else deletes).append(row)
+    return header, inserts, deletes
+
+
+def save_changes_csv(
+    schema,
+    inserts,
+    deletes,
+    path: str | Path,
+    delimiter: str = ",",
+) -> None:
+    """Write a change feed (inverse of :func:`load_changes_csv`)."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(("op",) + tuple(schema))
+        for row in inserts:
+            writer.writerow(("+",) + tuple(row))
+        for row in deletes:
+            writer.writerow(("-",) + tuple(row))
+
+
+def load_change_feed(
+    directory: str | Path, pattern: str = "*.changes.csv", delimiter: str = ","
+) -> list[tuple[str, tuple[str, ...], list[tuple], list[tuple]]]:
+    """Load every change-feed CSV in a directory, in sorted (batch) order.
+
+    Feed files are named ``<relation>.changes.csv`` (or anything matching
+    ``pattern`` whose stem's first dot-component names the relation); each
+    file is one batch against that relation.  Returns
+    ``(relation_name, schema, inserts, deletes)`` per file.
+    """
+    directory = Path(directory)
+    feeds = []
+    for path in sorted(directory.glob(pattern)):
+        name = path.name.split(".", 1)[0]
+        schema, inserts, deletes = load_changes_csv(path, delimiter=delimiter)
+        feeds.append((name, schema, inserts, deletes))
+    return feeds
 
 
 def load_database_dir(

@@ -152,6 +152,37 @@ class Relation:
         self._column_sets[order] = cached
         return cached
 
+    def cached_full_orders(self) -> list[tuple[tuple[str, ...], ColumnSet]]:
+        """The non-canonical full-arity sorted orders materialized so far.
+
+        The incremental subsystem (:mod:`repro.incremental`) carries these
+        forward across versions: a delta-first join order needs the big
+        relations sorted under permuted attribute orders, and re-sorting
+        them per batch would dominate maintenance — instead the signed
+        delta merges into each cached order, so a sort is paid once per
+        order per *relation lifetime*, not per batch.
+        """
+        arity = len(self.schema)
+        return [
+            (order, column_set)
+            for order, column_set in self._column_sets.items()
+            if len(order) == arity and order != self.schema
+        ]
+
+    def install_sorted_order(self, order: Sequence[str], rows: list) -> None:
+        """Adopt an externally maintained sorted row list for ``order``.
+
+        ``rows`` must be exactly what :meth:`column_set` would compute —
+        the relation's tuples permuted into ``order`` and sorted — which is
+        what a signed merge into the previous version's order produces.
+        """
+        order = tuple(order)
+        if sorted(order) != sorted(self.schema):
+            raise SchemaError(
+                f"order {order} is not a permutation of schema {self.schema}"
+            )
+        self._column_sets[order] = ColumnSet(order, rows, presorted=True)
+
     def trie_iterator(
         self, order: Sequence[str], bounds: tuple[int, int] | None = None
     ) -> SortedTrieIterator:

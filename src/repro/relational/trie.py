@@ -81,6 +81,16 @@ class SortedTrieIterator:
     # -- position ---------------------------------------------------------------
 
     @property
+    def root_bounds(self) -> tuple[int, int]:
+        """The ``[lo, hi)`` row range this iterator's virtual root is bound to.
+
+        The full relation unless a shard (:mod:`repro.parallel`) or a
+        delta-scoped term (:func:`repro.relational.execution.delta_root_ranges`)
+        restricted it.
+        """
+        return self._root_lo, self._root_hi
+
+    @property
     def depth(self) -> int:
         """Current depth; ``-1`` at the root."""
         return len(self._stack) - 1
@@ -228,6 +238,31 @@ class SortedTrieIterator:
         else:
             lo, hi = self._root_lo, self._root_hi
         return self._node_keys(len(self._stack), lo, hi)
+
+    def child_span(self) -> int:
+        """Row count of the child range — an O(1) upper bound on child keys.
+
+        Lets intersections pick a driver *without* materializing any key
+        list: the node with the smallest span is never larger than the node
+        with the smallest key set.
+        """
+        if self._stack:
+            frame = self._stack[-1]
+            return frame[3] - frame[2]
+        return self._root_hi - self._root_lo
+
+    def contains_child(self, code: int) -> bool:
+        """Whether ``code`` is a child key, by one binary search — no
+        materialization of the node's key list/set (the probe side of the
+        delta-term intersections in :mod:`repro.incremental.ivm`)."""
+        if self._stack:
+            frame = self._stack[-1]
+            lo, hi = frame[2], frame[3]
+        else:
+            lo, hi = self._root_lo, self._root_hi
+        column = self._cols[len(self._stack)]
+        pos = bisect_left(column, code, lo, hi)
+        return pos < hi and column[pos] == code
 
     def node_token(self) -> int:
         """Cheap identity of the *child* node this iterator stands over.

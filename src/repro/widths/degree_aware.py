@@ -17,7 +17,7 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from repro.core.constraints import ConstraintSet, DegreeConstraint
-from repro.bounds.polymatroid import LogConstraint, constraints_to_log
+from repro.bounds.polymatroid import LogConstraint
 from repro.core.hypergraph import Hypergraph
 from repro.decompositions.enumeration import tree_decompositions
 from repro.decompositions.tree_decomposition import TreeDecomposition

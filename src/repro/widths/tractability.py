@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.core.hypergraph import Hypergraph
 from repro.decompositions.enumeration import tree_decompositions

@@ -218,3 +218,68 @@ class TestCliRun:
             in_t1 = tuple(mapping[a] for a in t1.schema) in t1
             in_t2 = tuple(mapping[a] for a in t2.schema) in t2
             assert in_t1 or in_t2
+
+
+class TestServeCommand:
+    def _triangle_dir(self, tmp_path):
+        import random
+
+        rng = random.Random(5)
+        rows = {(rng.randrange(8), rng.randrange(8)) for _ in range(30)}
+        for name, header in (
+            ("R", ("A", "B")), ("S", ("B", "C")), ("T", ("A", "C")),
+        ):
+            write_csv(tmp_path / f"{name}.csv", header, sorted(rows))
+        return tmp_path
+
+    def _feed(self, tmp_path, header, rows):
+        changes = tmp_path / "changes"
+        changes.mkdir(exist_ok=True)
+        with open(changes / "R.changes.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        return changes
+
+    def test_serve_arms_agree(self, tmp_path, capsys):
+        data = self._triangle_dir(tmp_path)
+        changes = self._feed(
+            tmp_path, ("op", "A", "B"), [("+", 9, 9), ("-", *sorted(
+                load_relation_csv(data / "R.csv").tuples)[0])],
+        )
+        statement = "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
+        args = ["serve", statement, "--data", str(data), "--changes", str(changes)]
+        assert main(args + ["--apply-deltas"]) == 0
+        incremental = capsys.readouterr().out
+        assert main(args) == 0
+        recompute = capsys.readouterr().out
+        import re
+
+        counts = lambda text: re.findall(r"batch \d+ .*?: (\d+) rows", text)  # noqa: E731
+        assert counts(incremental) == counts(recompute) != []
+
+    def test_serve_realigns_permuted_feed_header(self, tmp_path, capsys):
+        data = self._triangle_dir(tmp_path)
+        changes = self._feed(tmp_path, ("op", "B", "A"), [("+", 7, 3)])
+        rc = main([
+            "serve", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+            "--data", str(data), "--changes", str(changes), "--apply-deltas",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        # The same feed expressed in relation order must agree exactly.
+        self._feed(tmp_path, ("op", "A", "B"), [("+", 3, 7)])
+        assert main([
+            "serve", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+            "--data", str(data), "--changes", str(changes),
+        ]) == 0
+
+    def test_serve_rejects_mismatched_feed_columns(self, tmp_path, capsys):
+        data = self._triangle_dir(tmp_path)
+        changes = self._feed(tmp_path, ("op", "X", "A"), [("+", 1, 2)])
+        rc = main([
+            "serve", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+            "--data", str(data), "--changes", str(changes), "--apply-deltas",
+        ])
+        assert rc == 2
+        assert "do not match relation" in capsys.readouterr().err
