@@ -203,6 +203,7 @@ def cmd_run(args) -> int:
     from repro.core.query_plans import dasubw_plan, proper_query_plan
     from repro.datalog.rule import DisjunctiveRule
     from repro.planner import Planner
+    from repro.relational.backend import scoped_backend
     from repro.relational.io import load_database_dir, save_relation_csv
     from repro.relational.operators import scoped_work_counter
 
@@ -244,7 +245,7 @@ def cmd_run(args) -> int:
                 )
 
     if isinstance(statement, DisjunctiveRule):
-        with scoped_work_counter() as counter:
+        with scoped_backend(args.backend), scoped_work_counter() as counter:
             result = panda(statement, database, planner=planner)
         print(f"PANDA: budget 2^OBJ = {result.budget:,.0f}, "
               f"max intermediate {result.stats.max_intermediate}, "
@@ -256,12 +257,15 @@ def cmd_run(args) -> int:
         report_stats()
         return 0
 
-    with scoped_work_counter() as counter:
+    with scoped_backend(args.backend), scoped_work_counter() as counter:
         if parallel:
             from repro.parallel import ParallelQueryEngine
 
             with ParallelQueryEngine(
-                statement, planner=planner, workers=workers
+                statement,
+                planner=planner,
+                workers=workers,
+                execution_backend=args.backend,
             ) as engine:
                 plan = engine.execute(database, driver=args.driver or "generic")
         elif statement.is_full or statement.is_boolean:
@@ -332,7 +336,9 @@ def cmd_serve(args) -> int:
     with scoped_work_counter() as counter:
         if args.apply_deltas:
             with IncrementalQueryEngine(
-                statement, workers=max(1, args.workers)
+                statement,
+                workers=max(1, args.workers),
+                execution_backend=args.backend,
             ) as engine:
                 start = time.perf_counter()
                 result = engine.execute(database, driver=driver)
@@ -368,7 +374,9 @@ def cmd_serve(args) -> int:
                 for atom in statement.body
             }
             with ParallelQueryEngine(
-                statement, workers=max(1, args.workers)
+                statement,
+                workers=max(1, args.workers),
+                execution_backend=args.backend,
             ) as engine:
                 start = time.perf_counter()
                 result = engine.execute(database, driver=driver)
@@ -460,6 +468,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default generic; giving it opts into the engine even "
              "at --workers 1)",
     )
+    p_run.add_argument(
+        "--backend", default=None,
+        choices=("interpreted", "vectorized"),
+        help="execution kernels: tuple-at-a-time interpreter or numpy "
+             "block kernels (bit-identical results; default: "
+             "$REPRO_BACKEND, else vectorized when numpy is available)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_serve = sub.add_parser(
@@ -490,6 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="fan work out over N worker processes (shards when "
              "recomputing, delta-join terms when maintaining)",
+    )
+    p_serve.add_argument(
+        "--backend", default=None,
+        choices=("interpreted", "vectorized"),
+        help="execution kernels: tuple-at-a-time interpreter or numpy "
+             "block kernels (bit-identical results; default: "
+             "$REPRO_BACKEND, else vectorized when numpy is available)",
     )
     p_serve.add_argument("--stats", action="store_true",
                          help="report maintenance, plan-cache and work totals")

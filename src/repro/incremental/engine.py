@@ -116,6 +116,7 @@ class IncrementalQueryEngine:
         workers: int = 1,
         compact_ratio: float | None = None,
         compact_min: int | None = None,
+        execution_backend: str | None = None,
     ) -> None:
         from repro.planner import Planner
 
@@ -127,6 +128,13 @@ class IncrementalQueryEngine:
         self.query = query
         self.constraints = constraints
         self.backend = backend
+        # LP solver choice vs execution-kernel choice, as on the other
+        # engines; ``None`` defers to ``REPRO_BACKEND`` / auto-detection.
+        if execution_backend is not None:
+            from repro.relational.backend import resolve_backend
+
+            resolve_backend(execution_backend)  # fail fast on a typo
+        self.execution_backend = execution_backend
         self.planner = planner if planner is not None else Planner()
         self.workers = max(1, workers)
         self.stats = MaintenanceStats()
@@ -420,15 +428,18 @@ class IncrementalQueryEngine:
         self.stats.delta_rows += sum(len(d) for d in deltas.values())
 
         if self._view_rows is not None:
-            if self.workers > 1:
-                net = self._pooled_net(
-                    old_atom_versions, old_bindings, atom_deltas
-                )
-            else:
-                net, executed = signed_join_delta(
-                    old_bindings, new_bindings, atom_deltas, self._order
-                )
-                self.stats.join_terms += executed
+            from repro.relational.backend import scoped_backend
+
+            with scoped_backend(self.execution_backend):
+                if self.workers > 1:
+                    net = self._pooled_net(
+                        old_atom_versions, old_bindings, atom_deltas
+                    )
+                else:
+                    net, executed = signed_join_delta(
+                        old_bindings, new_bindings, atom_deltas, self._order
+                    )
+                    self.stats.join_terms += executed
             rows = maintain_join_rows(self._view_rows, net)
             self.stats.view_rows_changed += len(net)
             self._install_view(rows)
@@ -532,6 +543,7 @@ class IncrementalQueryEngine:
                 backend=self.backend,
                 planner=self.planner,
                 workers=1,
+                execution_backend=self.execution_backend,
             )
         return self._scratch
 
@@ -539,11 +551,13 @@ class IncrementalQueryEngine:
         """First materialization of the join view, with ``driver``."""
         if self.query.is_boolean:
             # Boolean drivers don't return rows; maintain the full join.
+            from repro.relational.backend import scoped_backend
             from repro.relational.wcoj import generic_join
 
-            joined = generic_join(
-                [vr.current for vr in self._atoms], self._order
-            )
+            with scoped_backend(self.execution_backend):
+                joined = generic_join(
+                    [vr.current for vr in self._atoms], self._order
+                )
             self._install_view(joined.code_rows)
         else:
             result = self._scratch_engine().execute(
@@ -660,6 +674,11 @@ class IncrementalQueryEngine:
                 packed_runs[cache_key] = cached
             return cached
 
+        from repro.relational.backend import current_backend
+
+        # Resolved under the engine's ``scoped_backend`` (see ``_commit``),
+        # so workers run each term under the same backend as the serial path.
+        exec_backend = current_backend()
         tasks = []
         signs = []
         for i, sign, relations in terms:
@@ -679,7 +698,7 @@ class IncrementalQueryEngine:
                     specs.append(("resident", key))
                 else:
                     specs.append(("version", key, version, payload))
-            tasks.append((tokens, self._order, tuple(specs)))
+            tasks.append((tokens, self._order, tuple(specs), exec_backend))
             signs.append(sign)
 
         results = self._pool.map(run_delta_term_task, tasks)

@@ -40,7 +40,11 @@ from repro.faq.annotated import AnnotatedRelation
 from repro.faq.semiring import Semiring
 from repro.incremental.delta import SignedDelta
 from repro.relational.columns import apply_signed_rows
-from repro.relational.execution import delta_root_ranges, execute_join
+from repro.relational.execution import (
+    delta_root_ranges,
+    execute_join,
+    register_vectorizable,
+)
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -55,6 +59,7 @@ __all__ = [
 ]
 
 
+@register_vectorizable
 def probe_intersection(active: list, counter) -> list[int]:
     """Inner-level intersection by probing, sized to the *smallest* node.
 

@@ -15,9 +15,12 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
+try:  # optional extra: `pip install repro-panda[lp]`
+    import numpy as np
+    from scipy import sparse
+    from scipy.optimize import linprog
+except ImportError:  # pragma: no cover - exercised only without the extra
+    np = sparse = linprog = None
 
 from repro.exceptions import InfeasibleError, LPError, UnboundedError
 from repro.lp.model import LPModel, LPSolution
@@ -37,6 +40,11 @@ def rationalize(value: float, limit: int = _DENOMINATOR_LIMIT) -> Fraction:
 
 def maximize_with_scipy(model: LPModel) -> LPSolution:
     """Solve ``max c'x : Ax <= b, x >= 0`` with HiGHS and rationalize."""
+    if linprog is None:
+        raise LPError(
+            "the floating-point LP backend needs numpy and scipy "
+            "(pip install repro-panda[lp]); use backend='exact' instead"
+        )
     a_rows, b, c = model.sparse_data()
     n = len(c)
     m = len(b)

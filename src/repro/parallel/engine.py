@@ -123,12 +123,22 @@ class ParallelQueryEngine:
         backend: str = "exact",
         planner=None,
         workers: int | None = None,
+        execution_backend: str | None = None,
     ) -> None:
         from repro.planner import Planner
 
         self.query = query
         self.constraints = constraints
         self.backend = backend
+        # ``backend`` is the planning layer's LP solver choice;
+        # ``execution_backend`` picks interpreted vs vectorized execution
+        # (``None`` defers to ``REPRO_BACKEND`` / auto-detection) and is
+        # shipped to the pool so workers execute under the same backend.
+        if execution_backend is not None:
+            from repro.relational.backend import resolve_backend
+
+            resolve_backend(execution_backend)  # fail fast on a typo
+        self.execution_backend = execution_backend
         self.planner = planner if planner is not None else Planner()
         self.workers = default_worker_count() if workers is None else max(1, workers)
         self._pool: WorkerPool | None = None
@@ -314,6 +324,7 @@ class ParallelQueryEngine:
         rows serial execution produces.
         """
         from repro.core.query_plans import PlanResult
+        from repro.relational.backend import current_backend, scoped_backend
 
         query = self.query
         if not (query.is_full or query.is_boolean):
@@ -348,14 +359,20 @@ class ParallelQueryEngine:
             extra = self._panda_extra(constraints)
 
         columns = None
-        if self.workers <= 1 and driver in ("generic", "leapfrog"):
-            rows, boolean = self._execute_inline(
-                driver, relations, tables, order, specs
-            )
-        else:
-            rows, columns, boolean = self._execute_pooled(
-                driver, relations, tables, order, specs, extra
-            )
+        with scoped_backend(self.execution_backend):
+            # Resolve once in the parent and ship the concrete name, so an
+            # engine-level override (or an enclosing ``scoped_backend``)
+            # reaches the forked workers, whose environment only carries
+            # ``REPRO_BACKEND``.
+            extra["execution_backend"] = current_backend()
+            if self.workers <= 1 and driver in ("generic", "leapfrog"):
+                rows, boolean = self._execute_inline(
+                    driver, relations, tables, order, specs
+                )
+            else:
+                rows, columns, boolean = self._execute_pooled(
+                    driver, relations, tables, order, specs, extra
+                )
 
         if query.is_boolean:
             relation = Relation(query.name, (), [()] if boolean else [])

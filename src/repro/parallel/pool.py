@@ -47,6 +47,7 @@ import pickle
 from array import array
 from typing import Sequence
 
+from repro.relational.backend import scoped_backend
 from repro.relational.operators import scoped_work_counter
 from repro.relational.relation import Relation
 
@@ -365,7 +366,13 @@ def run_shard_task(task: tuple) -> tuple[bytes, bool, dict]:
     """
     db_tokens, driver, order, ranges, extra = task
     entries = _resident_database(db_tokens)
-    with scoped_work_counter() as counter:
+    # The parent resolves the execution backend once and ships the concrete
+    # name; entering the scope here keeps worker execution bit-identical to
+    # (and backend-consistent with) the parent's serial reference.
+    with (
+        scoped_backend(extra.get("execution_backend")),
+        scoped_work_counter() as counter,
+    ):
         if driver in ("generic", "leapfrog"):
             if driver == "generic":
                 from repro.relational.wcoj import generic_join as join
@@ -444,7 +451,9 @@ def _versioned_relation(
 def run_delta_term_task(task: tuple) -> tuple[bytes, dict]:
     """Execute one delta-rule join term (worker-side entry).
 
-    ``task`` is ``(db_tokens, order, specs)`` with one spec per join input:
+    ``task`` is ``(db_tokens, order, specs, backend)`` with one spec per
+    join input (``backend`` is the parent-resolved execution backend the
+    term runs under):
 
     * ``("resident", key)`` — the resident base relation as-is;
     * ``("version", key, version, runs)`` — the base lifted to ``version``
@@ -459,14 +468,14 @@ def run_delta_term_task(task: tuple) -> tuple[bytes, dict]:
     """
     from repro.incremental.ivm import execute_delta_term
 
-    db_tokens, order, specs = task
+    db_tokens, order, specs, backend = task
     order = tuple(order)
     digests = dict(db_tokens)
     resident = {
         key: (attrs, relation)
         for key, attrs, relation in _resident_database(db_tokens)
     }
-    with scoped_work_counter() as counter:
+    with scoped_backend(backend), scoped_work_counter() as counter:
         relations: list[Relation] = []
         delta_index = -1
         for spec in specs:

@@ -286,10 +286,20 @@ class QueryEngine:
         backend: str = "exact",
         planner: Planner | None = None,
         pin_constraints: bool = False,
+        execution_backend: str | None = None,
     ) -> None:
         self.query = query
         self.constraints = constraints
         self.backend = backend
+        # ``backend`` picks the LP solver for the planning layer;
+        # ``execution_backend`` picks the tuple-at-a-time interpreted driver
+        # or the numpy block driver for the execution layer (``None`` defers
+        # to ``REPRO_BACKEND`` / auto-detection at execute time).
+        if execution_backend is not None:
+            from repro.relational.backend import resolve_backend
+
+            resolve_backend(execution_backend)  # fail fast on a typo
+        self.execution_backend = execution_backend
         self.planner = planner if planner is not None else Planner()
         self.pin_constraints = pin_constraints
         self._pinned: ConstraintSet | None = None
@@ -329,6 +339,7 @@ class QueryEngine:
         re-extracts and re-plans once.
         """
         from repro.core import query_plans
+        from repro.relational.backend import scoped_backend
 
         if constraints is None:
             constraints = self.constraints
@@ -341,41 +352,42 @@ class QueryEngine:
                 self._pinned = constraints
         if constraints is None:
             constraints = database.extract_cardinalities()
-        if driver == "dasubw":
-            return query_plans.dasubw_plan(
-                self.query,
-                database,
-                constraints=constraints,
-                decompositions=self._query_decompositions(),
-                backend=self.backend,
-                planner=self.planner,
-            )
-        if driver == "dafhtw":
-            return query_plans.dafhtw_plan(
-                self.query,
-                database,
-                constraints=constraints,
-                decompositions=self._query_decompositions(),
-                backend=self.backend,
-                planner=self.planner,
-            )
-        if driver == "panda_full":
-            return query_plans.panda_full_query(
-                self.query,
-                database,
-                constraints=constraints,
-                backend=self.backend,
-                planner=self.planner,
-            )
-        if driver == "tree_decomposition":
-            return query_plans.tree_decomposition_plan(
-                self.query,
-                database,
-                constraints=constraints,
-                decompositions=self._query_decompositions(),
-                backend=self.backend,
-                planner=self.planner,
-            )
+        with scoped_backend(self.execution_backend):
+            if driver == "dasubw":
+                return query_plans.dasubw_plan(
+                    self.query,
+                    database,
+                    constraints=constraints,
+                    decompositions=self._query_decompositions(),
+                    backend=self.backend,
+                    planner=self.planner,
+                )
+            if driver == "dafhtw":
+                return query_plans.dafhtw_plan(
+                    self.query,
+                    database,
+                    constraints=constraints,
+                    decompositions=self._query_decompositions(),
+                    backend=self.backend,
+                    planner=self.planner,
+                )
+            if driver == "panda_full":
+                return query_plans.panda_full_query(
+                    self.query,
+                    database,
+                    constraints=constraints,
+                    backend=self.backend,
+                    planner=self.planner,
+                )
+            if driver == "tree_decomposition":
+                return query_plans.tree_decomposition_plan(
+                    self.query,
+                    database,
+                    constraints=constraints,
+                    decompositions=self._query_decompositions(),
+                    backend=self.backend,
+                    planner=self.planner,
+                )
         raise PandaError(
             f"unknown driver {driver!r}; pick from {self.DRIVERS}"
         )

@@ -1,0 +1,105 @@
+"""Runtime selection of the join-execution backend.
+
+Two backends execute the code-domain hot paths (trie intersection, leapfrog
+seeks, block leaves):
+
+* ``"interpreted"`` — the pure-Python driver in
+  :mod:`repro.relational.execution`, always available;
+* ``"vectorized"`` — the numpy block-at-a-time kernels in
+  :mod:`repro.relational.vectorized`, used when numpy is importable and
+  **bit-identical** to the interpreted driver (same sorted code rows, same
+  emitted totals; see ROADMAP Architecture layer 9 for the contract).
+
+Selection, in decreasing precedence:
+
+1. an explicit :func:`scoped_backend` context (what
+   ``QueryEngine(execution_backend=...)`` and the pool workers enter);
+2. the ``REPRO_BACKEND`` environment variable;
+3. the default, ``"vectorized"`` when numpy is present else ``"interpreted"``.
+
+Requesting ``"vectorized"`` without numpy degrades gracefully to the
+interpreted driver — the base install carries no third-party dependency
+(numpy ships under the ``fast`` extra: ``pip install repro-panda[fast]``).
+Only int64 code-domain execution ever vectorizes; exact-``Fraction``
+annotation/witness/proof paths never route through this module.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.exceptions import QueryError
+
+__all__ = [
+    "BACKENDS",
+    "current_backend",
+    "have_numpy",
+    "resolve_backend",
+    "scoped_backend",
+]
+
+#: The recognized backend names.
+BACKENDS = ("interpreted", "vectorized")
+
+_BACKEND_VAR: ContextVar = ContextVar("repro_backend", default=None)
+
+_numpy = None
+_numpy_checked = False
+
+
+def have_numpy() -> bool:
+    """Whether numpy is importable (checked once, cached)."""
+    global _numpy, _numpy_checked
+    if not _numpy_checked:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy = numpy
+        _numpy_checked = True
+    return _numpy is not None
+
+
+def resolve_backend(name: str | None) -> str:
+    """Validate ``name`` (or pick the default) without the numpy fallback."""
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND") or None
+    if name is None:
+        return "vectorized" if have_numpy() else "interpreted"
+    if name not in BACKENDS:
+        raise QueryError(
+            f"unknown execution backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def current_backend() -> str:
+    """The backend joins execute on *right now*, after the numpy fallback.
+
+    ``"vectorized"`` is only ever returned when numpy is actually
+    importable; a vectorized request on a numpy-less install silently runs
+    interpreted (same outputs, just slower) rather than failing.
+    """
+    name = _BACKEND_VAR.get()
+    if name is None:
+        name = resolve_backend(None)
+    if name == "vectorized" and not have_numpy():
+        return "interpreted"
+    return name
+
+
+@contextmanager
+def scoped_backend(name: str | None):
+    """Pin the backend for the duration of the context.
+
+    ``None`` re-resolves from the environment/default — what the pool
+    workers do so an engine-level override shipped with the task wins over
+    the worker's inherited environment.
+    """
+    token = _BACKEND_VAR.set(resolve_backend(name) if name is not None else None)
+    try:
+        yield
+    finally:
+        _BACKEND_VAR.reset(token)

@@ -174,20 +174,77 @@ class ColumnSet:
     * per-attribute ``array('q')`` columns support C-speed binary search.
 
     Columns are materialized lazily — operators that only need row tuples
-    (merge joins, partitions) never pay for the arrays.
+    (merge joins, partitions) never pay for the arrays.  Symmetrically, a
+    set built :meth:`from_columns` (the vectorized join-output path) keeps
+    its row *tuples* lazy: consumers that stay columnar never pay the
+    O(N · arity) transpose back into Python tuples.
     """
 
-    __slots__ = ("attrs", "rows", "_columns", "_trie_keys", "_trie_sets", "_digest")
+    __slots__ = (
+        "attrs",
+        "_rows",
+        "_nrows",
+        "_columns",
+        "_trie_keys",
+        "_trie_sets",
+        "_np_cols",
+        "_np_keys",
+        "_digest",
+    )
 
     def __init__(self, attrs: Sequence[str], rows: list, presorted: bool = False) -> None:
         self.attrs: tuple[str, ...] = tuple(attrs)
         if not presorted:
             rows = sorted(rows)
-        self.rows: list = rows
+        self._rows: list | None = rows
+        self._nrows: int = len(rows)
         self._columns: tuple | None = None
         self._trie_keys: dict | None = None
         self._trie_sets: dict | None = None
+        self._np_cols: tuple | None = None
+        self._np_keys: dict | None = None
         self._digest: str | None = None
+
+    @classmethod
+    def from_columns(cls, attrs: Sequence[str], columns: Sequence) -> "ColumnSet":
+        """Adopt sorted-aligned ``array('q')`` columns; row tuples stay lazy.
+
+        The output path of the vectorized backend
+        (:mod:`repro.relational.vectorized`): join results arrive as dense
+        code columns, and the row-tuple transpose — the single most
+        expensive step of emission — is deferred until something actually
+        asks for :attr:`rows`.
+        """
+        attrs = tuple(attrs)
+        columns = tuple(columns)
+        if not columns or len(columns) != len(attrs):
+            raise ValueError(
+                f"from_columns needs one column per attribute {attrs}, "
+                f"got {len(columns)}"
+            )
+        nrows = len(columns[0])
+        if any(len(col) != nrows for col in columns):
+            raise ValueError("from_columns needs equal-length columns")
+        self = cls.__new__(cls)
+        self.attrs = attrs
+        self._rows = None
+        self._nrows = nrows
+        self._columns = columns
+        self._trie_keys = None
+        self._trie_sets = None
+        self._np_cols = None
+        self._np_keys = None
+        self._digest = None
+        return self
+
+    @property
+    def rows(self) -> list:
+        """The sorted code tuples (transposed from the columns on demand)."""
+        rows = self._rows
+        if rows is None:
+            rows = list(zip(*self._columns)) if self._nrows else []
+            self._rows = rows
+        return rows
 
     def trie_caches(self) -> tuple[dict, dict]:
         """The shared per-node key-run/key-set caches of this column set.
@@ -204,9 +261,38 @@ class ColumnSet:
             self._trie_sets = {}
         return self._trie_keys, self._trie_sets
 
+    def np_trie_cache(self) -> dict:
+        """The shared ``(depth, lo, hi) -> int64 ndarray`` node key-run cache.
+
+        The vectorized backend's twin of :meth:`trie_caches`: each trie
+        node's distinct-key run materializes once per column set as a numpy
+        array and is shared by every block kernel (and, via ``tolist``, with
+        the interpreted caches) instead of being rebuilt per iterator.
+        """
+        if self._np_keys is None:
+            self._np_keys = {}
+        return self._np_keys
+
+    def np_columns(self) -> tuple:
+        """Zero-copy ``int64`` numpy views of :attr:`columns` (cached).
+
+        Only callable when numpy is importable (the vectorized backend
+        guarantees it); the views share the ``array('q')`` buffers through
+        ``np.frombuffer``, so no column data is copied.
+        """
+        cols = self._np_cols
+        if cols is None:
+            import numpy
+
+            cols = tuple(
+                numpy.frombuffer(col, dtype=numpy.int64) for col in self.columns
+            )
+            self._np_cols = cols
+        return cols
+
     @property
     def nrows(self) -> int:
-        return len(self.rows)
+        return self._nrows
 
     @property
     def columns(self) -> tuple:
@@ -268,13 +354,14 @@ class ColumnSet:
         """
         columns = tuple(columns)
         if len(columns) != len(self.attrs) or any(
-            len(col) != len(self.rows) for col in columns
+            len(col) != self._nrows for col in columns
         ):
             raise ValueError(
                 f"adopted columns do not match {len(self.attrs)} attrs x "
-                f"{len(self.rows)} rows"
+                f"{self._nrows} rows"
             )
         self._columns = columns
+        self._np_cols = None
 
     def code_range(
         self,
@@ -292,7 +379,7 @@ class ColumnSet:
         primitive of :mod:`repro.parallel.partition`.
         """
         if hi is None:
-            hi = len(self.rows)
+            hi = self._nrows
         column = self.columns[depth]
         start = bisect_left(column, code_lo, lo, hi)
         end = bisect_left(column, code_hi, start, hi)
@@ -309,18 +396,19 @@ class ColumnSet:
         the worker pool by slicing columns directly
         (:func:`repro.parallel.pool.pack_column_range`).
         """
-        if not 0 <= lo <= hi <= len(self.rows):
-            raise IndexError(f"range [{lo}, {hi}) outside 0..{len(self.rows)}")
+        if not 0 <= lo <= hi <= self._nrows:
+            raise IndexError(f"range [{lo}, {hi}) outside 0..{self._nrows}")
         view = ColumnSet.__new__(ColumnSet)
         view.attrs = self.attrs
         base_rows = self.rows
         if isinstance(base_rows, _RowsView):
             # Re-slice the underlying list instead of stacking views.
-            view.rows = _RowsView(
+            view._rows = _RowsView(
                 base_rows._base, base_rows._lo + lo, base_rows._lo + hi
             )
         else:
-            view.rows = _RowsView(base_rows, lo, hi)
+            view._rows = _RowsView(base_rows, lo, hi)
+        view._nrows = hi - lo
         cols = self._columns
         if cols is None:
             view._columns = None
@@ -330,13 +418,26 @@ class ColumnSet:
         # set's node caches (nor the base set's content digest).
         view._trie_keys = None
         view._trie_sets = None
+        view._np_cols = None
+        view._np_keys = None
         view._digest = None
         return view
 
     def distinct_prefix_count(self, depth: int) -> int:
         """Number of distinct length-``depth`` prefixes among the rows."""
         if depth == 0:
-            return 1 if self.rows else 0
+            return 1 if self._nrows else 0
+        if self._nrows >= 256:
+            from repro.relational.backend import current_backend
+
+            if current_backend() == "vectorized":
+                import numpy
+
+                change = numpy.zeros(self._nrows, dtype=bool)
+                change[0] = True
+                for col in self.np_columns()[:depth]:
+                    change[1:] |= col[1:] != col[:-1]
+                return int(change.sum())
         rows = self.rows
         count = 0
         previous = None
@@ -454,8 +555,14 @@ def apply_plan_to_columns(columns: Sequence, plan: list) -> tuple:
     The column-side twin of :func:`apply_signed_rows`: kept stretches move
     as C-level array slices, inserted rows contribute one code per column —
     so a relation version's columns advance in O(|delta| + memcpy) instead
-    of a fresh O(N · arity) transpose per batch.
+    of a fresh O(N · arity) transpose per batch.  Under the vectorized
+    backend the splice runs as one preallocated numpy fill per column
+    (same output buffers, bit for bit).
     """
+    from repro.relational.backend import current_backend
+
+    if len(plan) > 8 and current_backend() == "vectorized":
+        return _np_apply_plan(columns, plan)
     # array-slice extends hit the C same-typecode fast path; a memoryview
     # here would fall back to per-item iteration.
     out = [array("q") for _ in columns]
@@ -466,6 +573,37 @@ def apply_plan_to_columns(columns: Sequence, plan: list) -> tuple:
         else:
             for target, code in zip(out, step):
                 target.append(code)
+    return tuple(out)
+
+
+def _np_apply_plan(columns: Sequence, plan: list) -> tuple:
+    """:func:`apply_plan_to_columns` as one numpy fill per column.
+
+    Kept stretches are int64 slice assignments into a preallocated output
+    buffer, inserted rows scalar stores — one pass over the plan per column
+    instead of one ``array.extend`` dispatch per step per column.
+    """
+    import numpy
+
+    total = sum(
+        (step.stop - step.start) if type(step) is slice else 1 for step in plan
+    )
+    out = []
+    for position, column in enumerate(columns):
+        view = numpy.frombuffer(column, dtype=numpy.int64)
+        merged = numpy.empty(total, dtype=numpy.int64)
+        at = 0
+        for step in plan:
+            if type(step) is slice:
+                width = step.stop - step.start
+                merged[at : at + width] = view[step]
+                at += width
+            else:
+                merged[at] = step[position]
+                at += 1
+        target = array("q")
+        target.frombytes(merged.tobytes())
+        out.append(target)
     return tuple(out)
 
 

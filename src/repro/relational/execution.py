@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.exceptions import QueryError
+from repro.relational.backend import current_backend
 from repro.relational.operators import current_counter
 from repro.relational.relation import Relation
 
@@ -31,8 +32,27 @@ __all__ = [
     "execute_join",
     "global_variable_order",
     "level_plan",
+    "register_vectorizable",
     "set_intersection",
 ]
+
+#: Intersection functions the vectorized backend is proven bit-identical
+#: against.  ``execute_join`` only delegates to the block executor when both
+#: the inner and the leaf intersection are registered — a caller-supplied
+#: custom intersection always runs interpreted, preserving its semantics.
+VECTORIZABLE_INTERSECTIONS: set = set()
+
+
+def register_vectorizable(fn):
+    """Mark an intersection as subsumed by the vectorized block kernels.
+
+    All three registered intersections (hash-set, leapfrog, delta-probe)
+    compute the same candidate set; the block kernel replaces them with one
+    smallest-span-driver probe intersection, so the outputs — and the
+    emitted totals — are identical by construction.
+    """
+    VECTORIZABLE_INTERSECTIONS.add(fn)
+    return fn
 
 
 def delta_root_ranges(
@@ -131,6 +151,7 @@ def level_plan(
     return active_at, descend_at
 
 
+@register_vectorizable
 def set_intersection(active: list, counter) -> list[int]:
     """Sorted intersection of the active iterators' child key sets.
 
@@ -191,8 +212,22 @@ def execute_join(
     whole-block hash-set intersection).  The delta-maintenance terms pass
     their probe intersection here too — a term touches each leaf node once,
     so materializing its cached key set would never pay off.
+
+    When the ``"vectorized"`` backend is active
+    (:mod:`repro.relational.backend`) and both intersections are registered
+    as vectorizable, the whole recursion delegates to the numpy block
+    executor (:mod:`repro.relational.vectorized`) — same sorted code rows,
+    same emitted totals, block-sized scan charges.
     """
     order = global_variable_order(relations, variable_order)
+    if (
+        (inner_intersect in VECTORIZABLE_INTERSECTIONS)
+        and (leaf_intersect is None or leaf_intersect in VECTORIZABLE_INTERSECTIONS)
+        and current_backend() == "vectorized"
+    ):
+        from repro.relational.vectorized import vectorized_execute_join
+
+        return vectorized_execute_join(relations, order, name, root_ranges)
     active_at, descend_at = level_plan(relations, order, root_ranges)
 
     counter = current_counter()

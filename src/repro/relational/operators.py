@@ -36,8 +36,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.exceptions import SchemaError
+from repro.relational.backend import current_backend
 from repro.relational.columns import decode_row, merge_runs
 from repro.relational.relation import Relation
+
+#: Operator inputs at least this large route to the numpy kernels when the
+#: vectorized backend is active (below it the ndarray overhead loses).
+_VEC_MIN_ROWS = 256
 
 __all__ = [
     "WorkCounter",
@@ -179,14 +184,37 @@ def project(relation: Relation, attrs: Iterable[str], name: str | None = None) -
             f"cannot project {relation.schema} onto {sorted(attr_set)}"
         )
     out_schema = tuple(a for a in relation.schema if a in attr_set)
-    rows = relation.column_set(out_schema).rows
+    column_set = relation.column_set(out_schema)
+    counter = _counter_var.get()
+    if (
+        out_schema
+        and column_set.nrows >= _VEC_MIN_ROWS
+        and current_backend() == "vectorized"
+    ):
+        # Run starts as one boolean change mask over the sorted columns;
+        # the distinct rows gather straight into output columns.
+        import numpy as np
+
+        from repro.relational.vectorized import np_to_column
+
+        cols = column_set.np_columns()
+        keep = np.zeros(column_set.nrows, dtype=bool)
+        keep[0] = True
+        for col in cols:
+            keep[1:] |= col[1:] != col[:-1]
+        out_cols = tuple(np_to_column(col[keep]) for col in cols)
+        counter.tuples_scanned += len(relation)
+        counter.tuples_emitted += len(out_cols[0])
+        return Relation.from_columns(
+            name or f"Π({relation.name})", out_schema, out_cols
+        )
+    rows = column_set.rows
     out_rows: list[tuple] = []
     previous = None
     for row in rows:
         if row != previous:
             out_rows.append(row)
             previous = row
-    counter = _counter_var.get()
     counter.tuples_scanned += len(relation)
     counter.tuples_emitted += len(out_rows)
     return Relation.from_codes(
@@ -247,12 +275,29 @@ def natural_join(left: Relation, right: Relation, name: str | None = None) -> Re
     k = len(shared)
     left_order = shared + tuple(a for a in left.schema if a not in shared)
     right_order = shared + right_private
-    left_rows = left.column_set(left_order).rows
-    right_rows = right.column_set(right_order).rows
+    left_set = left.column_set(left_order)
+    right_set = right.column_set(right_order)
+
+    counter = _counter_var.get()
+    if (
+        k == 1
+        and left_set.nrows + right_set.nrows >= _VEC_MIN_ROWS
+        and current_backend() == "vectorized"
+    ):
+        counter.tuples_scanned += left_set.nrows + right_set.nrows
+        out_columns = _np_merge_join(
+            left_set, right_set, left_order, right_order, out_schema
+        )
+        counter.tuples_emitted += len(out_columns[0])
+        counter.joins += 1
+        return Relation.from_columns(
+            name or f"({left.name}⋈{right.name})", out_schema, out_columns
+        )
+    left_rows = left_set.rows
+    right_rows = right_set.rows
     # Positions mapping a left-order row back to left-schema layout.
     left_inverse = tuple(left_order.index(a) for a in left.schema)
 
-    counter = _counter_var.get()
     counter.tuples_scanned += len(left_rows) + len(right_rows)
     out_rows: list[tuple] = []
     for i, i_end, j, j_end in merge_runs(
@@ -270,6 +315,59 @@ def natural_join(left: Relation, right: Relation, name: str | None = None) -> Re
     )
 
 
+def _np_merge_join(left_set, right_set, left_order, right_order, out_schema):
+    """Single-shared-attribute sort-merge ⋈ as numpy block kernels.
+
+    Matching key runs are located with vectorized ``searchsorted`` over the
+    shared-attribute-major columns; the per-run cross products expand with
+    one ``repeat``/``tile``-style indexing pass, and the result columns are
+    lex-sorted into the canonical ``out_schema`` row order — exactly the
+    rows the interpreted merge emits after its ``from_codes`` sort.
+    """
+    import numpy as np
+
+    from repro.relational.vectorized import np_to_column, sorted_unique
+
+    left_cols = left_set.np_columns()
+    right_cols = right_set.np_columns()
+    left_key = left_cols[0]
+    right_key = right_cols[0]
+    empty = ()
+    if len(left_key) and len(right_key):
+        shared_codes = sorted_unique(left_key)
+        pos = np.searchsorted(right_key, shared_codes)
+        inside = pos < len(right_key)
+        pos[~inside] = 0
+        shared_codes = shared_codes[inside & (right_key[pos] == shared_codes)]
+    else:
+        shared_codes = None
+    if shared_codes is None or not len(shared_codes):
+        return tuple(np_to_column(np.empty(0, dtype=np.int64)) for _ in out_schema)
+    left_lo = np.searchsorted(left_key, shared_codes, side="left")
+    left_hi = np.searchsorted(left_key, shared_codes, side="right")
+    right_lo = np.searchsorted(right_key, shared_codes, side="left")
+    right_hi = np.searchsorted(right_key, shared_codes, side="right")
+    left_counts = left_hi - left_lo
+    right_counts = right_hi - right_lo
+    pair_counts = left_counts * right_counts
+    total = int(pair_counts.sum())
+    # Per output slot: which key run, and the (left, right) offsets inside
+    # its cross product — all index arithmetic, no per-run Python loop.
+    slots = np.arange(total, dtype=np.int64)
+    run = np.repeat(np.arange(len(shared_codes), dtype=np.int64), pair_counts)
+    local = slots - np.repeat(np.cumsum(pair_counts) - pair_counts, pair_counts)
+    left_index = left_lo[run] + local // right_counts[run]
+    right_index = right_lo[run] + local % right_counts[run]
+    columns = []
+    for attr in out_schema:
+        if attr in left_order:
+            columns.append(left_cols[left_order.index(attr)][left_index])
+        else:
+            columns.append(right_cols[right_order.index(attr)][right_index])
+    order = np.lexsort(tuple(reversed(columns)))
+    return tuple(np_to_column(column[order]) for column in columns)
+
+
 def semijoin(left: Relation, right: Relation, name: str | None = None) -> Relation:
     """``left ⋉ right``: the left tuples with a join partner in right.
 
@@ -280,6 +378,25 @@ def semijoin(left: Relation, right: Relation, name: str | None = None) -> Relati
     keys = right.key_set(shared)
     positions = tuple(left.position(a) for a in shared)
     counter = _counter_var.get()
+    if (
+        len(shared) == 1
+        and len(left) >= _VEC_MIN_ROWS
+        and current_backend() == "vectorized"
+    ):
+        import numpy as np
+
+        from repro.relational.vectorized import membership_mask, np_to_column
+
+        left_set = left.column_set(left.schema)
+        right_key = right.column_set(shared).np_columns()[0]
+        probe = left_set.np_columns()[positions[0]]
+        mask = membership_mask(probe, right_key)
+        counter.tuples_scanned += left_set.nrows
+        counter.tuples_emitted += int(mask.sum())
+        columns = tuple(
+            np_to_column(np.asarray(col)[mask]) for col in left_set.np_columns()
+        )
+        return Relation.from_columns(name or left.name, left.schema, columns)
     out_rows = []
     for row in left.code_rows:
         counter.tuples_scanned += 1

@@ -28,6 +28,36 @@ from repro.relational.trie import SortedTrieIterator
 __all__ = ["Relation"]
 
 
+def _np_degree(column_set: ColumnSet, split: int) -> int:
+    """``max`` distinct-row count per ``X``-group, as numpy run boundaries.
+
+    The vectorized twin of the :meth:`Relation.degree` run scan: group
+    boundaries are change points of the first ``split`` columns, distinct
+    ``Y``-extensions change points of all columns, and the degree is the
+    largest gap between consecutive group boundaries measured in extension
+    boundaries.  Only called under the vectorized backend (numpy present).
+    """
+    import numpy as np
+
+    cols = column_set.np_columns()
+    n = column_set.nrows
+    full_change = np.zeros(n, dtype=bool)
+    full_change[0] = True
+    for col in cols:
+        full_change[1:] |= col[1:] != col[:-1]
+    group_change = np.zeros(n, dtype=bool)
+    group_change[0] = True
+    for col in cols[:split]:
+        group_change[1:] |= col[1:] != col[:-1]
+    full_starts = np.flatnonzero(full_change)
+    group_starts = np.flatnonzero(group_change)
+    # Every group boundary is also a full-row boundary, so the per-group
+    # extension count is the index gap between consecutive group starts.
+    positions = np.searchsorted(full_starts, group_starts)
+    counts = np.diff(np.append(positions, len(full_starts)))
+    return int(counts.max())
+
+
 class Relation:
     """A named set of tuples over an ordered schema, stored columnar.
 
@@ -118,6 +148,47 @@ class Relation:
             rows = sorted(rows)
         relation._init_storage(rows)
         return relation
+
+    @classmethod
+    def from_columns(
+        cls, name: str, schema: Iterable[str], columns: Sequence
+    ) -> "Relation":
+        """Build a relation from sorted-aligned ``array('q')`` code columns.
+
+        The emission path of the vectorized backend
+        (:mod:`repro.relational.vectorized`): the join result arrives
+        columnar and *stays* columnar — the canonical
+        :class:`~repro.relational.columns.ColumnSet` adopts the buffers and
+        the row-tuple transpose is deferred until something asks for
+        ``code_rows`` (lazily resolved through ``__getattr__``).  The
+        columns must hold the canonical sorted duplicate-free rows, exactly
+        what ``from_codes(..., presorted=True, distinct=True)`` would store.
+        """
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.schema = tuple(schema)
+        if len(set(relation.schema)) != len(relation.schema):
+            raise SchemaError(f"duplicate attributes in schema {relation.schema}")
+        relation._positions = {a: i for i, a in enumerate(relation.schema)}
+        relation._dicts = tuple(Dictionary.of(a) for a in relation.schema)
+        # ``_rows`` is deliberately left unset: it materializes on first
+        # access from the canonical column set's lazy transpose.
+        relation._row_set = None
+        relation._column_sets = {
+            relation.schema: ColumnSet.from_columns(relation.schema, columns)
+        }
+        relation._key_sets = {}
+        relation._decoded = None
+        relation._indexes = {}
+        return relation
+
+    def __getattr__(self, name: str):
+        # Only ``_rows`` is ever lazily absent (see :meth:`from_columns`).
+        if name == "_rows":
+            rows = self._column_sets[self.schema].rows
+            object.__setattr__(self, "_rows", rows)
+            return rows
+        raise AttributeError(name)
 
     # -- columnar internals -------------------------------------------------------
 
@@ -237,7 +308,9 @@ class Relation:
     # -- basic protocol ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._rows)
+        # Through the canonical column set so columnar-born relations
+        # (:meth:`from_columns`) answer without transposing rows.
+        return self._column_sets[self.schema].nrows
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.tuples)
@@ -297,7 +370,7 @@ class Relation:
         return decoded
 
     def is_empty(self) -> bool:
-        return not self._rows
+        return not len(self)
 
     # -- tuple access -------------------------------------------------------------
 
@@ -380,7 +453,13 @@ class Relation:
         split = len(x_set)
         if split == 0:
             return self.column_set(order).distinct_prefix_count(len(order))
-        rows = self.column_set(order).rows
+        column_set = self.column_set(order)
+        if column_set.nrows >= 256:
+            from repro.relational.backend import current_backend
+
+            if current_backend() == "vectorized":
+                return _np_degree(column_set, split)
+        rows = column_set.rows
         best = 0
         count = 0
         previous = None
@@ -416,7 +495,13 @@ class Relation:
         clone.schema = self.schema
         clone._positions = self._positions
         clone._dicts = self._dicts
-        clone._rows = self._rows
+        try:
+            # Don't force a lazily-columnar relation's row transpose just to
+            # rename it; the clone resolves ``_rows`` through the shared
+            # column sets exactly like the original.
+            clone._rows = object.__getattribute__(self, "_rows")
+        except AttributeError:
+            pass
         clone._row_set = self._row_set
         clone._column_sets = self._column_sets
         clone._key_sets = self._key_sets

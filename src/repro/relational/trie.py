@@ -38,7 +38,16 @@ from typing import Iterator
 
 from repro.relational.columns import ColumnSet, gallop_left
 
+try:  # numpy accelerates node key-run materialization for both backends
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 __all__ = ["SortedTrieIterator", "leapfrog_search"]
+
+#: Node ranges at least this wide materialize their key run via numpy
+#: (below it the fixed ndarray overhead loses to the bisect loop).
+_NP_KEYS_MIN_SPAN = 64
 
 
 class SortedTrieIterator:
@@ -55,11 +64,20 @@ class SortedTrieIterator:
     that contiguous slice, with no row or column data materialized.
     """
 
-    __slots__ = ("_cols", "_root_lo", "_root_hi", "_stack", "_keys_cache", "_sets_cache")
+    __slots__ = (
+        "_cset",
+        "_cols",
+        "_root_lo",
+        "_root_hi",
+        "_stack",
+        "_keys_cache",
+        "_sets_cache",
+    )
 
     def __init__(
         self, column_set: ColumnSet, lo: int = 0, hi: int | None = None
     ) -> None:
+        self._cset = column_set
         self._cols = column_set.columns
         if hi is None:
             hi = column_set.nrows
@@ -206,15 +224,37 @@ class SortedTrieIterator:
         cached = self._keys_cache.get(cache_key)
         if cached is not None:
             return cached
-        column = self._cols[depth]
-        keys: list[int] = []
-        index = lo
-        while index < hi:
-            code = column[index]
-            keys.append(code)
-            index = bisect_right(column, code, index, hi)
+        if _np is not None and hi - lo >= _NP_KEYS_MIN_SPAN:
+            # Run-boundary unique over the (already sorted) node slice —
+            # one vectorized pass, shared with the vectorized backend
+            # through the column set's numpy cache.  ``tolist`` yields
+            # plain Python ints, so the cached list is indistinguishable
+            # from the bisect-built one.
+            keys = self._np_node_keys(depth, lo, hi).tolist()
+        else:
+            column = self._cols[depth]
+            keys = []
+            index = lo
+            while index < hi:
+                code = column[index]
+                keys.append(code)
+                index = bisect_right(column, code, index, hi)
         self._keys_cache[cache_key] = keys
         return keys
+
+    def _np_node_keys(self, depth: int, lo: int, hi: int):
+        """The node's distinct-key run as a cached int64 ndarray."""
+        np_cache = self._cset.np_trie_cache()
+        cache_key = (depth, lo, hi)
+        run = np_cache.get(cache_key)
+        if run is None:
+            block = self._cset.np_columns()[depth][lo:hi]
+            keep = _np.empty(hi - lo, dtype=bool)
+            keep[0] = True
+            _np.not_equal(block[1:], block[:-1], out=keep[1:])
+            run = block[keep]
+            np_cache[cache_key] = run
+        return run
 
     def level_keys(self) -> list[int]:
         """All distinct keys of the *current level*, from its beginning.

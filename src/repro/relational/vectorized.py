@@ -1,0 +1,429 @@
+"""The numpy block-at-a-time join executor (the ``"vectorized"`` backend).
+
+This module mirrors :func:`repro.relational.execution.execute_join` — the
+recursion both WCOJ baselines, the Yannakakis sweeps, and the delta-rule
+terms share — but replaces the tuple-at-a-time depth-first recursion with a
+breadth-first **frontier** over the zero-copy int64 numpy views of the
+sorted ``array('q')`` code columns (:meth:`ColumnSet.np_columns`), in the
+EmptyHeaded/LevelHeaded tradition of vectorized execution over sorted
+columnar tries:
+
+* **the frontier** — all partial bindings of length ``depth`` live at once
+  as dense columns, with one ``(lo, hi)`` node-range pair per binding per
+  relation; one level of the trie walk is a handful of whole-frontier numpy
+  passes instead of ``frontier``-many Python iterations;
+* **ragged candidate gather** — the block analogue of the per-node
+  smallest-candidate-set choice that keeps Generic Join worst-case
+  optimal: one relation drives the whole frontier while its total key-run
+  span stays within a small factor of the per-row-minimum sum, and on
+  skewed frontiers — where a whole-level driver would gather
+  Θ(frontier·heavy-run) candidates — each row gathers from its *own*
+  argmin relation instead; the selected runs are gathered in one
+  ``repeat``/``arange`` indexing pass and deduplicated by a run-boundary
+  mask (the last local column is strictly increasing per node, so
+  leaf-level runs need no dedup at all);
+* **segmented binary search** — every other active relation answers
+  membership for *all* candidates at once with a bounded vectorized
+  bisection (``log₂(max node span)`` whole-array steps), the block twin of
+  the leapfrog seek; the surviving candidates' child ranges fall out of the
+  same searches;
+* **columnar emission** — after the last level the frontier's binding
+  columns *are* the result columns; they are adopted through
+  :meth:`Relation.from_columns` and the O(N · arity) transpose back into
+  Python row tuples is deferred until a consumer actually asks for rows.
+
+The contract (ROADMAP Architecture layer 9): **code-domain only** (int64
+codes; exact-``Fraction`` annotation/witness/proof paths never enter this
+module), **bit-identical outputs** (candidates are enumerated ascending
+within a lexicographically sorted frontier, so the output columns hold the
+same canonical sorted duplicate-free code rows as the interpreted driver),
+and **truthful counters** (``tuples_emitted`` equals the interpreted
+driver's exactly; scan charges are the per-level candidate-block sizes,
+which may differ from the interpreted driver's per-seek charges the same
+way the PR 4 shard counters may differ from serial ones).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.relational.operators import current_counter
+from repro.relational.relation import Relation
+
+__all__ = [
+    "membership_mask",
+    "np_to_column",
+    "sorted_unique",
+    "vectorized_execute_join",
+]
+
+
+def sorted_unique(block):
+    """Distinct values of an already-sorted array (run-boundary mask)."""
+    n = len(block)
+    if n == 0:
+        return block
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.not_equal(block[1:], block[:-1], out=keep[1:])
+    return block[keep]
+
+
+def np_to_column(values) -> array:
+    """An int64 ndarray as an ``array('q')`` (one memcpy).
+
+    The ``memoryview`` cast hands ``frombytes`` the ndarray's own buffer —
+    measurably cheaper than materializing an intermediate ``bytes`` copy on
+    multi-million-row join outputs.
+    """
+    out = array("q")
+    buffer = np.ascontiguousarray(values, dtype=np.int64)
+    out.frombytes(memoryview(buffer).cast("B"))
+    return out
+
+
+def membership_mask(values, block):
+    """Boolean membership of ``values`` in the sorted ``block``."""
+    n = len(block)
+    if n == 0:
+        return np.zeros(len(values), dtype=bool)
+    pos = np.searchsorted(block, values)
+    inside = pos < n
+    pos[~inside] = 0
+    return inside & (block[pos] == values)
+
+
+#: Probes-per-distinct-node threshold above which the grouped flat-search
+#: strategy beats the all-probes-bisect-together strategy (one C-level
+#: ``searchsorted`` per node amortizes its Python dispatch over the batch).
+_GROUP_MIN_BATCH = 32
+
+
+def _segmented_searchsorted(col, probes, lo, hi, side="left"):
+    """``searchsorted`` with per-probe bounds: probe ``i`` within
+    ``col[lo[i]:hi[i])``.
+
+    ``col`` is sorted within each segment (a trie node's run), not
+    globally, so one flat ``np.searchsorted`` cannot answer.  Two block
+    strategies, chosen by batch shape:
+
+    * **grouped** — consecutive probes sharing one segment (a frontier run
+      descending one node) resolve with one flat C-level ``searchsorted``
+      per distinct node; wins when nodes are few and batches long;
+    * **bisect-together** — all probes binary-search simultaneously in
+      ``log₂(max segment span)`` whole-array steps; wins when nearly every
+      probe has its own (small) segment.
+
+    Entries with empty segments come back as ``lo`` unchanged.
+    """
+    lo = np.ascontiguousarray(lo, dtype=np.int64)
+    hi = np.ascontiguousarray(hi, dtype=np.int64)
+    n = len(col)
+    m = len(probes)
+    if n == 0 or m == 0:
+        return lo.copy()
+    change = np.empty(m, dtype=bool)
+    change[0] = True
+    np.logical_or(lo[1:] != lo[:-1], hi[1:] != hi[:-1], out=change[1:])
+    run_starts = np.flatnonzero(change)
+    if m >= _GROUP_MIN_BATCH * len(run_starts):
+        run_ends = np.append(run_starts[1:], m)
+        out = np.empty(m, dtype=np.int64)
+        for start, end in zip(run_starts.tolist(), run_ends.tolist()):
+            base = lo[start]
+            out[start:end] = base + np.searchsorted(
+                col[base : hi[start]], probes[start:end], side=side
+            )
+        return out
+    lo = lo.copy()
+    hi = hi.copy()
+    top = n - 1
+    open_mask = lo < hi
+    while open_mask.any():
+        mid = np.minimum((lo + hi) >> 1, top)
+        if side == "left":
+            go_right = open_mask & (col[mid] < probes)
+        else:
+            go_right = open_mask & (col[mid] <= probes)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(open_mask & ~go_right, mid, hi)
+        open_mask = lo < hi
+    return lo
+
+
+def _ragged_probe(col, seg_lo, seg_hi, row_id, values, m, need_bounds):
+    """Membership (and child bounds) via composite-key flat search.
+
+    ``seg_lo``/``seg_hi`` hold one segment of ``col`` per frontier row;
+    ``values`` are candidate keys with frontier ``row_id``.  When the total
+    segment span is comparable to the candidate count, gathering every
+    segment once and flat-searching the composite ``(row, value)`` keys —
+    both sides are lexicographically sorted by construction — beats the
+    per-segment bisection: two C-level ``searchsorted`` passes, no Python
+    loop.  Returns ``(found, child_lo, child_hi)`` (bounds ``None`` unless
+    requested), or ``None`` when the composite key would overflow int64.
+    """
+    lengths = seg_hi - seg_lo
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(len(values), dtype=bool), None, None
+    starts = np.cumsum(lengths) - lengths
+    gidx = np.arange(total, dtype=np.int64) - np.repeat(starts - seg_lo, lengths)
+    rid = np.repeat(np.arange(m, dtype=np.int64), lengths)
+    vals = col[gidx]
+    base = max(int(vals.max()), int(values.max()) if len(values) else 0) + 1
+    if m * base >= 1 << 62:  # pragma: no cover - would need ~2^62 codes
+        return None
+    keys = rid * base + vals
+    probes = row_id * base + values
+    pos = np.searchsorted(keys, probes)
+    safe = np.minimum(pos, total - 1)
+    found = (pos < total) & (keys[safe] == probes)
+    if not need_bounds:
+        return found, None, None
+    # The run of equal composite keys is one segment's key run, so its
+    # first/last gather positions are the child node's absolute bounds.
+    child_lo = gidx[safe]
+    pos_right = np.searchsorted(keys, probes, side="right")
+    child_hi = gidx[np.maximum(pos_right, 1) - 1] + 1
+    return found, child_lo, child_hi
+
+
+#: Total-segment-span budget (as a multiple of the candidate count) under
+#: which :func:`_ragged_probe` is preferred over the segmented bisection.
+_RAGGED_SPAN_FACTOR = 4
+
+#: A single whole-level driver is kept (skipping per-row bookkeeping and
+#: its own membership probe) while its total key-run span stays within
+#: this multiple of the per-row-minimum sum; the gathered candidate block
+#: is then within the same factor of the Generic-Join-optimal size, so
+#: the worst-case-optimality slope is preserved.
+_DRIVER_SPAN_SLACK = 2
+
+
+def vectorized_execute_join(
+    relations: Sequence[Relation],
+    order: tuple[str, ...],
+    name: str,
+    root_ranges: Sequence[tuple[int, int] | None] | None = None,
+) -> Relation:
+    """Block-at-a-time twin of :func:`~repro.relational.execution.execute_join`.
+
+    ``order`` is the already-validated global variable order; the algorithm
+    parameterization collapses here because every registered intersection
+    (hash-set, leapfrog, delta-probe) computes the same set and the block
+    kernel subsumes all three: the smallest-span relation drives, the
+    others answer by segmented binary search.
+    """
+    counter = current_counter()
+    if not order:
+        counter.tuples_emitted += 1
+        return Relation.from_codes(name, order, [()], presorted=True, distinct=True)
+
+    count = len(relations)
+    attrs_of: list[tuple[str, ...]] = []
+    cols_of: list[tuple] = []
+    lo_of: list = []
+    hi_of: list = []
+    for index, relation in enumerate(relations):
+        attrs = tuple(v for v in order if v in relation.attributes)
+        column_set = relation.column_set(attrs)
+        bounds = root_ranges[index] if root_ranges is not None else None
+        lo, hi = bounds if bounds is not None else (0, column_set.nrows)
+        attrs_of.append(attrs)
+        cols_of.append(column_set.np_columns())
+        lo_of.append(np.array([lo], dtype=np.int64))
+        hi_of.append(np.array([hi], dtype=np.int64))
+
+    #: Per level: the active ``(relation index, local depth)`` pairs.  A
+    #: relation's attrs follow the global order, so when ``var`` is its
+    #: local attr number ``d``, its first ``d`` attrs are already resolved.
+    active_at: list[list[tuple[int, int]]] = []
+    for var in order:
+        active = [
+            (i, attrs.index(var))
+            for i, attrs in enumerate(attrs_of)
+            if var in attrs
+        ]
+        if not active:
+            raise QueryError(f"variable {var!r} appears in no relation")
+        active_at.append(active)
+
+    bind_cols: list = []  # resolved variable columns, frontier-aligned
+    m = 1  # frontier size (the nullary root binding)
+    last = len(order) - 1
+    for depth in range(len(order)):
+        active = active_at[depth]
+        # At the last variable every active relation sits on its *final*
+        # attribute (attrs follow the global order), so each node's key run
+        # is already strictly increasing and nothing descends further: the
+        # leaf level skips the dedup mask and the child-range bookkeeping.
+        leaf = depth == last
+        # Driver: the per-node smallest-candidate-set choice that keeps
+        # Generic Join worst-case optimal, blockwise.  The cheap common
+        # case is one relation driving the whole frontier (it skips the
+        # per-row bookkeeping *and* its own membership probe); it is sound
+        # as long as its total span stays within ``_DRIVER_SPAN_SLACK`` of
+        # the per-row-minimum sum.  Beyond that — skewed instances where
+        # the heavy node's best driver differs from the light nodes' — a
+        # whole-level driver would gather Θ(frontier · heavy-run)
+        # candidates, a quadratic blowup the interpreted driver never
+        # pays, so each row gathers from its own argmin relation instead.
+        lens = np.stack([hi_of[i] - lo_of[i] for i, _ in active])
+        totals = lens.sum(axis=1)
+        min_lens = lens.min(axis=0)
+        best_single = int(totals.argmin())
+        single = int(totals[best_single]) <= _DRIVER_SPAN_SLACK * int(
+            min_lens.sum()
+        )
+        if single:
+            driver, d_local = active[best_single]
+            lengths = lens[best_single]
+            total = int(lengths.sum())
+            if total == 0:
+                m = 0
+                break
+            # Ragged gather: every row's key run, in one indexing pass.
+            row_starts = np.cumsum(lengths) - lengths
+            gidx = np.arange(total, dtype=np.int64) - np.repeat(
+                row_starts - lo_of[driver], lengths
+            )
+            row_id = np.repeat(np.arange(m, dtype=np.int64), lengths)
+            values = cols_of[driver][d_local][gidx]
+        else:
+            # Mixed drivers: gather each row's run from its argmin relation
+            # (ties break to the first active, deterministically).  Rows
+            # stay in frontier order and runs ascend within a row, so the
+            # candidate block is lex-sorted exactly as in the uniform path.
+            driver = None
+            drv_pos = lens.argmin(axis=0)
+            lengths = min_lens
+            total = int(lengths.sum())
+            if total == 0:
+                m = 0
+                break
+            sel_lo = np.empty(m, dtype=np.int64)
+            for p, (i, _) in enumerate(active):
+                rows = drv_pos == p
+                if rows.any():
+                    sel_lo[rows] = lo_of[i][rows]
+            row_starts = np.cumsum(lengths) - lengths
+            gidx = np.arange(total, dtype=np.int64) - np.repeat(
+                row_starts - sel_lo, lengths
+            )
+            row_id = np.repeat(np.arange(m, dtype=np.int64), lengths)
+            drv_of = np.repeat(drv_pos, lengths)
+            values = np.empty(total, dtype=np.int64)
+            for p, (i, local) in enumerate(active):
+                sel = drv_of == p
+                if sel.any():
+                    values[sel] = cols_of[i][local][gidx[sel]]
+        if not leaf:
+            # Dedup within each row (run-boundary mask); under a single
+            # driver the kept index also yields each value run's absolute
+            # ``[lo, hi)`` — the driver's child ranges — for free.
+            keep = np.empty(total, dtype=bool)
+            keep[0] = True
+            np.logical_or(
+                row_id[1:] != row_id[:-1], values[1:] != values[:-1],
+                out=keep[1:],
+            )
+            keep_idx = np.flatnonzero(keep)
+            if single:
+                run_ends = np.append(keep_idx[1:], total)
+                drv_child_lo = gidx[keep_idx]
+                drv_child_hi = drv_child_lo + (run_ends - keep_idx)
+            row_id = row_id[keep_idx]
+            values = values[keep_idx]
+        counter.tuples_scanned += len(values)
+
+        # Every non-driving active relation answers membership for the whole
+        # candidate block (under mixed drivers that is *all* of them — a
+        # relation's own rows probe as trivial hits): by one composite-key
+        # flat search when its total segment span is candidate-sized, else
+        # by segmented bisection.
+        mask = None
+        child_lo: dict[int, object] = {}  # absolute child bounds (flat path)
+        child_hi: dict[int, object] = {}
+        seg_lo: dict[int, object] = {}  # first occurrence + node end (bisect)
+        seg_hi: dict[int, object] = {}
+        for i, local in active:
+            if i == driver:
+                continue
+            col = cols_of[i][local]
+            span = int((hi_of[i] - lo_of[i]).sum())
+            probed = None
+            if len(col) and span <= _RAGGED_SPAN_FACTOR * len(values) + 1024:
+                probed = _ragged_probe(
+                    col, lo_of[i], hi_of[i], row_id, values, m,
+                    need_bounds=not leaf,
+                )
+            if probed is not None:
+                found, child_lo[i], child_hi[i] = probed
+                if leaf:
+                    del child_lo[i], child_hi[i]
+            else:
+                node_lo = lo_of[i][row_id]
+                node_hi = hi_of[i][row_id]
+                left = _segmented_searchsorted(col, values, node_lo, node_hi)
+                found = left < node_hi
+                if len(col):
+                    found &= col[np.minimum(left, len(col) - 1)] == values
+                if not leaf:
+                    seg_lo[i] = left
+                    seg_hi[i] = node_hi
+            mask = found if mask is None else mask & found
+        if mask is not None and not mask.all():
+            row_id = row_id[mask]
+            values = values[mask]
+            for ranges in (child_lo, child_hi, seg_lo, seg_hi):
+                for i in ranges:
+                    ranges[i] = ranges[i][mask]
+            if not leaf and single:
+                drv_child_lo = drv_child_lo[mask]
+                drv_child_hi = drv_child_hi[mask]
+        m = len(values)
+        if m == 0:
+            break
+
+        # Advance the frontier: extend the bindings and (below the leaf)
+        # open every surviving candidate's child node in each relation.
+        bind_cols = [column[row_id] for column in bind_cols]
+        bind_cols.append(values)
+        if leaf:
+            break
+        opened = {i for i, _ in active}
+        for i, local in active:
+            if local == len(attrs_of[i]) - 1:
+                # The relation's attrs are exhausted; it is never active
+                # (nor consulted) again — stop tracking its ranges.
+                lo_of[i] = hi_of[i] = None
+                continue
+            if i == driver:
+                lo_of[i], hi_of[i] = drv_child_lo, drv_child_hi
+            elif i in child_lo:
+                # The flat probe already located both run bounds.
+                lo_of[i], hi_of[i] = child_lo[i], child_hi[i]
+            else:
+                # ``seg_lo`` is each value's first occurrence; the run end
+                # needs one more bisection, now only over the survivors.
+                lo_of[i] = seg_lo[i]
+                hi_of[i] = _segmented_searchsorted(
+                    cols_of[i][local], values, seg_lo[i], seg_hi[i],
+                    side="right",
+                )
+        for i in range(count):
+            if i not in opened and lo_of[i] is not None:
+                lo_of[i] = lo_of[i][row_id]
+                hi_of[i] = hi_of[i][row_id]
+
+    if m == 0:
+        return Relation.from_codes(name, order, [], presorted=True, distinct=True)
+    counter.tuples_emitted += m
+    return Relation.from_columns(
+        name, order, [np_to_column(column) for column in bind_cols]
+    )
