@@ -52,7 +52,9 @@ def test_theorem_1_3_zhang_yeung_gap(benchmark):
         ["bound", "paper", "measured"],
         [
             ["polymatroid", "4", str(gap.polymatroid.log_value)],
-            ["entropic outer", "<= 43/11 ≈ 3.909", f"{gap.zy_outer.log_value} ≈ {float(gap.zy_outer.log_value):.4f}"],
+            ["entropic outer", "<= 43/11 ≈ 3.909",
+             f"{gap.zy_outer.log_value} ≈ "
+             f"{float(gap.zy_outer.log_value):.4f}"],
             ["gap", "> 0 (not tight!)", str(gap.log_gap)],
         ],
     )

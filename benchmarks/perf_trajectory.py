@@ -87,6 +87,21 @@ def _metrics_incremental(payload: dict) -> dict:
     }
 
 
+def _metrics_out_of_core(payload: dict) -> dict:
+    if not payload.get("ceiling_enforced"):
+        return {}  # toy scale: the cap was below the interpreter baseline
+    metrics = {}
+    for entry in payload.get("results", []):
+        workload = entry["workload"]
+        metrics[f"out_of_core.{workload}.data_over_ceiling"] = (
+            entry["data_over_ceiling"]
+        )
+        metrics[f"out_of_core.{workload}.rebind_column_bytes"] = (
+            entry["rebind_column_bytes"]
+        )
+    return metrics
+
+
 #: benchmark name (the artifact's ``"benchmark"`` field) -> metric extractor.
 EXTRACTORS = {
     "wcoj_engine_comparison": _metrics_wcoj,
@@ -94,6 +109,7 @@ EXTRACTORS = {
     "plan_cache": _metrics_plan_cache,
     "parallel_join": _metrics_parallel,
     "incremental_maintenance": _metrics_incremental,
+    "out_of_core": _metrics_out_of_core,
 }
 
 

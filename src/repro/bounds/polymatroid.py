@@ -80,7 +80,9 @@ class LogConstraint:
         return f"h({','.join(self.y_key)}|{x}) <= {self.log_bound}"
 
 
-def constraints_to_log(constraints: ConstraintSet | Iterable[DegreeConstraint]) -> list[LogConstraint]:
+def constraints_to_log(
+    constraints: ConstraintSet | Iterable[DegreeConstraint],
+) -> list[LogConstraint]:
     """Convert integer degree constraints to log-space rows."""
     return [
         LogConstraint(c.x_key, c.y_key, c.log_bound, origin=c) for c in constraints
@@ -151,7 +153,9 @@ class BoundResult:
     @property
     def value(self) -> float:
         """The bound itself, ``2^{log_value}``."""
-        return float(2 ** self.log_value) if self.log_value.denominator == 1 else 2.0 ** float(self.log_value)
+        if self.log_value.denominator == 1:
+            return float(2 ** self.log_value)
+        return 2.0 ** float(self.log_value)
 
     def optimal_set_function(self, universe: Sequence[str]) -> SetFunction:
         """The optimal ``h`` as a :class:`SetFunction`."""

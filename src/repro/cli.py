@@ -1,14 +1,19 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands expose the paper's pipeline on user queries and CSV data:
+Six commands expose the paper's pipeline on user queries and CSV data:
 
 * ``bound``  — output-size bounds (AGM / polymatroid / entropic-outer) of a
   query or disjunctive rule under declared constraints;
 * ``widths`` — classical and degree-aware width parameters;
 * ``proof``  — the Shannon-flow inequality behind the bound and a verified
   proof sequence for it;
+* ``ingest`` — persist a directory of CSV relations as a *persisted
+  database directory* (digest-named int64 column artifacts + dictionary
+  files + manifest; see :mod:`repro.relational.storage`) for instant
+  mmap-backed cold starts;
 * ``run``    — evaluate a query (PANDA da-subw driver) or a disjunctive rule
-  (PANDA) over a directory of CSV relations;
+  (PANDA) over a directory of CSV relations (``--data``) or a persisted
+  database directory (``--data-dir``);
 * ``serve``  — materialize a query once, then apply change-feed batches
   (``<relation>.changes.csv`` files with a ``+``/``-`` op column): with
   ``--apply-deltas`` the result is maintained incrementally
@@ -196,6 +201,40 @@ def cmd_proof(args) -> int:
     return 0
 
 
+def _load_database(args):
+    """The statement's database: CSV directory or persisted directory.
+
+    ``--data`` streams CSV relations onto the heap; ``--data-dir`` opens a
+    persisted database directory with mmap-backed columns and lazy
+    dictionaries (cold start touches metadata only).
+    """
+    if getattr(args, "data_dir", None):
+        from repro.relational.storage import open_database_dir
+
+        return open_database_dir(args.data_dir)
+    from repro.relational.io import load_database_dir
+
+    return load_database_dir(args.data)
+
+
+def cmd_ingest(args) -> int:
+    from repro.relational.io import load_database_dir
+    from repro.relational.storage import save_database_dir
+
+    database = load_database_dir(args.data)
+    save_database_dir(database, args.out)
+    total = 0
+    for relation in sorted(database, key=lambda r: r.name):
+        digest = relation.column_set(relation.schema).content_digest()
+        print(
+            f"  {relation.name}{relation.schema}: {len(relation)} tuples "
+            f"-> {digest[:12]}..."
+        )
+        total += len(relation)
+    print(f"ingested {total} tuples into {args.out}")
+    return 0
+
+
 def cmd_run(args) -> int:
     from pathlib import Path
 
@@ -204,11 +243,11 @@ def cmd_run(args) -> int:
     from repro.datalog.rule import DisjunctiveRule
     from repro.planner import Planner
     from repro.relational.backend import scoped_backend
-    from repro.relational.io import load_database_dir, save_relation_csv
+    from repro.relational.io import save_relation_csv
     from repro.relational.operators import scoped_work_counter
 
     statement = _parse_statement(args.statement)
-    database = load_database_dir(args.data)
+    database = _load_database(args)
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -315,7 +354,7 @@ def cmd_serve(args) -> int:
     import time
 
     from repro.incremental import IncrementalQueryEngine, SignedDelta, VersionedRelation
-    from repro.relational.io import load_change_feed, load_database_dir
+    from repro.relational.io import load_change_feed
     from repro.relational.operators import scoped_work_counter
 
     statement = parse_query(args.statement)
@@ -324,7 +363,7 @@ def cmd_serve(args) -> int:
             "serve maintains full/Boolean conjunctive queries; "
             "project the full result instead"
         )
-    database = load_database_dir(args.data)
+    database = _load_database(args)
     feeds = load_change_feed(args.changes) if args.changes else []
     driver = args.driver or "generic"
 
@@ -443,10 +482,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_constraint_args(p_proof)
     p_proof.set_defaults(func=cmd_proof)
 
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="persist a CSV directory as a database directory (digest-named "
+             "column artifacts + manifest) for instant mmap cold starts",
+    )
+    p_ingest.add_argument("--data", required=True,
+                          help="directory of CSV relations (header = schema)")
+    p_ingest.add_argument("--out", required=True,
+                          help="persisted database directory to write")
+    p_ingest.set_defaults(func=cmd_ingest)
+
     p_run = sub.add_parser("run", help="evaluate a query/rule over CSV data")
     p_run.add_argument("statement", help="CQ or disjunctive rule text")
-    p_run.add_argument("--data", required=True,
-                       help="directory of CSV relations (header = schema)")
+    run_src = p_run.add_mutually_exclusive_group(required=True)
+    run_src.add_argument("--data",
+                         help="directory of CSV relations (header = schema)")
+    run_src.add_argument(
+        "--data-dir", dest="data_dir",
+        help="persisted database directory (see `repro ingest`): relations "
+             "open as mmap-backed columns, no CSV parse, instant cold start",
+    )
     p_run.add_argument("--out", help="directory to write result CSVs")
     p_run.add_argument("--limit", type=int, default=20,
                        help="max rows to print without --out")
@@ -483,8 +539,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(incrementally with --apply-deltas, else recomputing)",
     )
     p_serve.add_argument("statement", help="full/Boolean CQ text")
-    p_serve.add_argument("--data", required=True,
-                         help="directory of CSV relations (header = schema)")
+    serve_src = p_serve.add_mutually_exclusive_group(required=True)
+    serve_src.add_argument("--data",
+                           help="directory of CSV relations (header = schema)")
+    serve_src.add_argument(
+        "--data-dir", dest="data_dir",
+        help="persisted database directory (see `repro ingest`)",
+    )
     p_serve.add_argument(
         "--changes",
         help="directory of <relation>.changes.csv feeds (header op,...; "

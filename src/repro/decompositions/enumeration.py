@@ -55,7 +55,13 @@ def decomposition_from_order(
     # Remove redundant bags (contained in a later-created bag).
     kept: list[frozenset] = []
     for bag in bags:
-        if not any(bag <= other for other in bags if other is not bag and (len(other) > len(bag) or (len(other) == len(bag) and other != bag))):
+        if not any(
+            bag <= other
+            for other in bags
+            if other is not bag
+            and (len(other) > len(bag)
+                 or (len(other) == len(bag) and other != bag))
+        ):
             kept.append(bag)
     # Deduplicate equal bags.
     return TreeDecomposition.from_bags(kept)

@@ -53,6 +53,10 @@ class DecompositionError(ReproError):
     """A tree decomposition is invalid for the given hypergraph."""
 
 
+class StorageError(ReproError):
+    """A persisted database directory is missing, corrupt, or incompatible."""
+
+
 class IncrementalError(ReproError):
     """Incremental view maintenance reached an inconsistent state."""
 

@@ -209,7 +209,9 @@ def tighten(ineq: FlowInequality, witness: Witness) -> Witness:
     return result
 
 
-def flow_from_bound(result: BoundResult) -> tuple[FlowInequality, Witness, dict[Pair, LogConstraint]]:
+def flow_from_bound(
+    result: BoundResult,
+) -> tuple[FlowInequality, Witness, dict[Pair, LogConstraint]]:
     """Extract the flow inequality + witness from a bound LP's dual solution.
 
     Returns:

@@ -87,6 +87,7 @@ def advance_relation(
             advanced.column_set(order).adopt_columns(
                 merged.materialized_columns
             )
+    advanced.attach_store(previous.store)
     return advanced
 
 
@@ -382,10 +383,19 @@ class VersionedRelation:
         (same sorted distinct code rows — the compaction-equivalence tests
         pin this), but reached by the merges already paid.  Pool baselines
         keyed on the old base's content digest recycle on next bind.
+
+        A base bound to a persisted column store writes the promoted
+        relation as a fresh digest-named artifact in place — the old
+        artifact stays (a live pool baseline may still map it), and the
+        next pool bind ships the new base as a file reference instead of
+        a buffer.
         """
         self.base = self.current
         self.runs = []
         self.base_version = self.version
+        store = self.base.store
+        if store is not None:
+            store.ensure(self.base.column_set(self.base.schema))
 
     def runs_since(self, version: int) -> list[SignedDelta]:
         """The pending runs that lift ``version`` to the current version.

@@ -98,7 +98,13 @@ class _Tableau:
         for i in range(self.m):
             coeffs = {j: Fraction(v) for j, v in rows[i].items() if v}
             rhs = Fraction(b[i])
-            den = lcm(rhs.denominator, *(v.denominator for v in coeffs.values())) if coeffs else rhs.denominator
+            if coeffs:
+                den = lcm(
+                    rhs.denominator,
+                    *(v.denominator for v in coeffs.values()),
+                )
+            else:
+                den = rhs.denominator
             num = {j: int(v * den) for j, v in coeffs.items()}
             num[self.n + i] = den  # slack column, real coefficient 1
             self.nums.append(num)

@@ -166,6 +166,18 @@ class ParallelQueryEngine:
     def cache_stats(self):
         return self.planner.stats
 
+    @property
+    def shipping_stats(self) -> dict:
+        """The pool's cumulative wire cost (column bytes vs file refs).
+
+        Zeros before the first pooled execute; file-backed relations keep
+        ``column_bytes`` at zero across binds and rebinds — the invariant
+        ``benchmarks/bench_out_of_core.py`` gates on.
+        """
+        if self._pool is None:
+            return {"column_bytes": 0, "file_refs": 0}
+        return self._pool.shipping_stats
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._pool is not None:

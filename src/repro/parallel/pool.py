@@ -4,7 +4,12 @@ Data ships once, work ships per shard: when a :class:`WorkerPool` is bound
 to a database (:meth:`WorkerPool.ensure_database`), every worker process
 receives the dictionary-encoded relations as raw column-major ``array('q')``
 buffers through its initializer — no per-tuple pickling, no decoding — and
-rebuilds them exactly once.  A shard task is then just ``(driver, order,
+rebuilds them exactly once.  Relations bound to a persisted column store
+(:mod:`repro.relational.storage`) skip even that: they ship as *file
+references* (paths + digest, a few strings on the wire) and each worker
+maps the digest-named artifact read-only with ``mmap``, so bind cost is
+independent of data size and the mapped pages are shared across the pool.
+A shard task is then just ``(driver, order,
 row ranges, extra)``: the worker executes its shard through the serial
 drivers with :func:`repro.relational.execution.execute_join`'s zero-copy
 root-range restriction over its resident relations, so per-shard marginal
@@ -147,13 +152,25 @@ _WORKER_PLANNERS: dict = {}
 _WORKER_DICTS: dict = {}
 
 
-def _build_resident(key, attrs, digest, buffer: bytes) -> None:
-    rows, columns = unpack_columns(buffer, len(attrs))
-    relation = Relation.from_codes(
-        key, attrs, rows, presorted=True, distinct=True
-    )
-    if columns:
-        relation.column_set(attrs).adopt_columns(columns)
+def _build_resident(key, attrs, digest, buffer) -> None:
+    if type(buffer) is tuple:
+        # File reference ``("file", paths, nrows)``: the relation is a
+        # persisted digest-named artifact — mmap it instead of copying
+        # bytes off the wire.  Binding cost is a few page-table entries;
+        # the OS pages column bytes in as the shard's joins touch them.
+        from repro.relational.storage import open_file_columns
+
+        _, paths, nrows = buffer
+        columns, backing = open_file_columns(paths, nrows, digest=digest)
+        relation = Relation.from_columns(key, attrs, columns)
+        relation.column_set(attrs).attach_backing(backing, digest)
+    else:
+        rows, columns = unpack_columns(buffer, len(attrs))
+        relation = Relation.from_codes(
+            key, attrs, rows, presorted=True, distinct=True
+        )
+        if columns:
+            relation.column_set(attrs).adopt_columns(columns)
     _WORKER_RELATIONS[key] = (digest, attrs, relation)
 
 
@@ -583,9 +600,25 @@ def _run_with_updates(wrapped: tuple):
     return function(task)
 
 
-def _pack_entry(attrs, relation) -> bytes:
+def _pack_entry(attrs, relation):
+    """One relation's shippable payload: a file reference if it has one.
+
+    A relation bound to a persisted column store (its canonical column set
+    carries a :class:`~repro.relational.storage.ColumnBacking`) ships as
+    ``("file", paths, nrows)`` — a few strings on the wire, workers mmap
+    the digest-named artifact.  Everything else ships as the raw
+    column-major byte buffer, exactly as before.
+    """
     column_set = relation.column_set(attrs)
+    backing = getattr(column_set, "backing", None)
+    if backing is not None and backing.paths:
+        return ("file", backing.paths, column_set.nrows)
     return pack_column_range(column_set, 0, column_set.nrows)
+
+
+def _payload_bytes(buffer) -> int:
+    """Column bytes a payload puts on the wire (file references ship none)."""
+    return 0 if type(buffer) is tuple else len(buffer)
 
 
 class WorkerPool:
@@ -623,6 +656,20 @@ class WorkerPool:
         self._update_traffic = 0
         #: The tokens of the last bind (for the close-time local release).
         self._tokens: tuple | None = None
+        #: Cumulative column-buffer bytes ever handed to workers (baseline
+        #: payloads plus every piggybacked-update occurrence) and the count
+        #: of file references shipped instead — the wire-cost ledger the
+        #: out-of-core benchmark gates on.
+        self.shipped_column_bytes = 0
+        self.shipped_file_refs = 0
+
+    @property
+    def shipping_stats(self) -> dict:
+        """Cumulative wire cost: column bytes vs file references shipped."""
+        return {
+            "column_bytes": self.shipped_column_bytes,
+            "file_refs": self.shipped_file_refs,
+        }
 
     @staticmethod
     def _context():
@@ -643,7 +690,13 @@ class WorkerPool:
             initargs=(payload,),
         )
         self._baseline = {key: digest for key, _, digest, _ in payload}
-        self._baseline_bytes = sum(len(buffer) for _, _, _, buffer in payload)
+        self._baseline_bytes = sum(
+            _payload_bytes(buffer) for _, _, _, buffer in payload
+        )
+        self.shipped_column_bytes += self._baseline_bytes
+        self.shipped_file_refs += sum(
+            1 for _, _, _, buffer in payload if type(buffer) is tuple
+        )
         self._updates = {}
         self._update_traffic = 0
 
@@ -694,7 +747,9 @@ class WorkerPool:
             return
         for key, attrs, relation, digest in changed:
             self._updates[key] = (attrs, digest, _pack_entry(attrs, relation))
-        update_bytes = sum(len(b) for _, _, b in self._updates.values())
+        update_bytes = sum(
+            _payload_bytes(b) for _, _, b in self._updates.values()
+        )
         if (
             update_bytes * 2 > max(1, self._baseline_bytes)
             or self._update_traffic > self._baseline_bytes
@@ -718,8 +773,13 @@ class WorkerPool:
                 (key, attrs, digest, buffer)
                 for key, (attrs, digest, buffer) in self._updates.items()
             ]
-            self._update_traffic += len(tasks) * sum(
-                len(buffer) for _, _, _, buffer in updates
+            update_bytes = sum(
+                _payload_bytes(buffer) for _, _, _, buffer in updates
+            )
+            self._update_traffic += len(tasks) * update_bytes
+            self.shipped_column_bytes += len(tasks) * update_bytes
+            self.shipped_file_refs += len(tasks) * sum(
+                1 for _, _, _, buffer in updates if type(buffer) is tuple
             )
             async_results = [
                 self._pool.apply_async(

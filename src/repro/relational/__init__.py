@@ -25,6 +25,12 @@ from repro.relational.operators import (
     work_counter,
 )
 from repro.relational.relation import Relation
+from repro.relational.storage import (
+    ColumnStore,
+    LazyDictionary,
+    open_database_dir,
+    save_database_dir,
+)
 from repro.relational.trie import SortedTrieIterator, leapfrog_search
 from repro.relational.leapfrog import build_trie, leapfrog_triejoin
 from repro.relational.wcoj import binary_join_plan, generic_join
@@ -38,9 +44,11 @@ from repro.relational.yannakakis import (
 
 __all__ = [
     "ColumnSet",
+    "ColumnStore",
     "Database",
     "Dictionary",
     "JoinTree",
+    "LazyDictionary",
     "Relation",
     "SortedTrieIterator",
     "WorkCounter",
@@ -57,7 +65,9 @@ __all__ = [
     "heavy_light_partition",
     "join_tree_from_bags",
     "natural_join",
+    "open_database_dir",
     "project",
+    "save_database_dir",
     "scoped_work_counter",
     "select_equal",
     "semijoin",

@@ -190,6 +190,7 @@ class ColumnSet:
         "_np_cols",
         "_np_keys",
         "_digest",
+        "_backing",
     )
 
     def __init__(self, attrs: Sequence[str], rows: list, presorted: bool = False) -> None:
@@ -204,6 +205,7 @@ class ColumnSet:
         self._np_cols: tuple | None = None
         self._np_keys: dict | None = None
         self._digest: str | None = None
+        self._backing = None
 
     @classmethod
     def from_columns(cls, attrs: Sequence[str], columns: Sequence) -> "ColumnSet":
@@ -235,6 +237,7 @@ class ColumnSet:
         self._np_cols = None
         self._np_keys = None
         self._digest = None
+        self._backing = None
         return self
 
     @property
@@ -333,16 +336,56 @@ class ColumnSet:
         shipping (:mod:`repro.incremental`) compare digests relation by
         relation, so an unchanged relation is recognized (and never
         reshipped) without rescanning its rows.
+
+        The canonical byte stream is always column-major.  When only the
+        row tuples exist, each column position is hashed in bounded chunks
+        straight off the rows instead of materializing (and caching) the
+        full ``array('q')`` transpose just to fingerprint it; file-backed
+        sets (:mod:`repro.relational.storage`) carry their manifest digest
+        and never rescan at all.
         """
         digest = self._digest
         if digest is None:
             hasher = hashlib.sha1()
             hasher.update(",".join(self.attrs).encode())
-            for column in self.columns:
-                hasher.update(memoryview(column))
+            columns = self._columns
+            if columns is not None:
+                for column in columns:
+                    hasher.update(memoryview(column))
+            else:
+                rows = self.rows
+                for position in range(len(self.attrs)):
+                    for start in range(0, self._nrows, 65536):
+                        chunk = rows[start : start + 65536]
+                        hasher.update(
+                            memoryview(array("q", [row[position] for row in chunk]))
+                        )
             digest = hasher.hexdigest()
             self._digest = digest
         return digest
+
+    @property
+    def backing(self):
+        """The persisted artifact behind this column set, if file-backed.
+
+        ``None`` for ordinary in-heap sets; a
+        :class:`~repro.relational.storage.ColumnBacking` (digest +
+        column-file paths) for sets opened from — or persisted into — a
+        database directory.  The parallel pool ships backed sets as *paths*
+        instead of buffers (:func:`repro.parallel.pool._pack_entry`).
+        """
+        return self._backing
+
+    def attach_backing(self, backing, digest: str | None = None) -> None:
+        """Bind this column set to its persisted artifact.
+
+        ``digest`` (the manifest digest of the artifact bytes) pre-seeds the
+        cached :meth:`content_digest` so a file-backed set fingerprints
+        without ever touching its data.
+        """
+        self._backing = backing
+        if digest is not None:
+            self._digest = digest
 
     def adopt_columns(self, columns: Sequence) -> None:
         """Install already-materialized per-attribute columns.
@@ -421,6 +464,7 @@ class ColumnSet:
         view._np_cols = None
         view._np_keys = None
         view._digest = None
+        view._backing = None
         return view
 
     def distinct_prefix_count(self, depth: int) -> int:

@@ -77,6 +77,7 @@ class Relation:
         "_key_sets",
         "_decoded",
         "_indexes",
+        "_store",
     )
 
     def __init__(
@@ -116,6 +117,7 @@ class Relation:
         self._key_sets: dict[tuple[str, ...], frozenset] = {}
         self._decoded: frozenset | None = None
         self._indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
+        self._store = None
 
     @classmethod
     def from_codes(
@@ -180,6 +182,7 @@ class Relation:
         relation._key_sets = {}
         relation._decoded = None
         relation._indexes = {}
+        relation._store = None
         return relation
 
     def __getattr__(self, name: str):
@@ -196,6 +199,22 @@ class Relation:
     def dictionaries(self) -> tuple[Dictionary, ...]:
         """The shared per-attribute dictionaries, schema-aligned."""
         return self._dicts
+
+    @property
+    def store(self):
+        """The persisted column store this relation is bound to, or None.
+
+        Set by :mod:`repro.relational.storage` when a relation is saved
+        into — or opened from — a database directory, and carried across
+        versions by incremental maintenance
+        (:func:`repro.incremental.delta.advance_relation`), so compaction
+        knows where to persist the fresh base artifact.
+        """
+        return self._store
+
+    def attach_store(self, store) -> None:
+        """Bind this relation to a persisted column store."""
+        self._store = store
 
     @property
     def code_rows(self) -> list:
@@ -507,6 +526,7 @@ class Relation:
         clone._key_sets = self._key_sets
         clone._decoded = self._decoded
         clone._indexes = self._indexes
+        clone._store = self._store
         return clone
 
     def relabeled(self, name: str, schema: Sequence[str]) -> "Relation":

@@ -420,7 +420,10 @@ class TestParallelFaq:
     @pytest.mark.parametrize(
         "semiring_name,value_maker",
         [
-            ("counting-fraction", lambda rng: lambda: Fraction(rng.randrange(1, 9), rng.randrange(1, 5))),
+            ("counting-fraction",
+             lambda rng: lambda: Fraction(
+                 rng.randrange(1, 9), rng.randrange(1, 5)
+             )),
             ("counting-int", lambda rng: lambda: rng.randrange(1, 10)),
             ("boolean", lambda rng: lambda: True),
             ("min-plus", lambda rng: lambda: rng.randrange(0, 30)),

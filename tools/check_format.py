@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Stdlib formatting-hygiene gate: the checks we can verify everywhere.
+
+``ruff format --check`` stays advisory in CI because the one-shot reformat
+has never been runnable in the development environment (no ruff, no
+network) — see the lint job.  This checker is the verified subset: pure
+stdlib, deterministic, and enforced both locally and as a blocking CI
+step.  It checks every tracked Python file for:
+
+* no tab characters (indentation or otherwise);
+* no trailing whitespace;
+* LF line endings (no CR);
+* a single trailing newline at end of file;
+* no lines over the hard readability cap (``MAX_LINE`` columns, URLs and
+  ``# noqa``-style pragma lines exempt).
+
+Usage::
+
+    python tools/check_format.py            # check src/ tests/ benchmarks/ tools/
+    python tools/check_format.py PATH...    # check specific files/dirs
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "tools")
+MAX_LINE = 100
+
+
+def python_files(roots: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    try:
+        blob = path.read_bytes()
+    except OSError as error:
+        return [f"{path}: unreadable ({error})"]
+    if not blob:
+        return []
+    if b"\r" in blob:
+        problems.append(f"{path}: CR line endings (expected LF)")
+    if not blob.endswith(b"\n"):
+        problems.append(f"{path}: missing trailing newline")
+    elif blob.endswith(b"\n\n"):
+        problems.append(f"{path}: multiple trailing newlines")
+    text = blob.decode("utf-8", errors="replace")
+    for number, line in enumerate(text.split("\n"), start=1):
+        if "\t" in line:
+            problems.append(f"{path}:{number}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{number}: trailing whitespace")
+        if len(line) > MAX_LINE and "http" not in line and "noqa" not in line:
+            problems.append(
+                f"{path}:{number}: line is {len(line)} columns (max {MAX_LINE})"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = argv or [r for r in DEFAULT_ROOTS if Path(r).exists()]
+    files = python_files(roots)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_format: {len(files)} file(s), {len(problems)} problem(s)",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
