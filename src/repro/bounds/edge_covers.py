@@ -142,7 +142,7 @@ def agm_bound(
     backend: str = "exact",
 ) -> float:
     """The AGM bound itself, ``2^{ρ*}``."""
-    return 2.0 ** float(agm_log_bound(hypergraph, sizes, backend=backend))
+    return 2.0 ** float(agm_log_bound(hypergraph, sizes, backend=backend))  # reprolint: allow(RL-EXACT) -- presentation: float AGM value; exact callers use agm_log_bound
 
 
 def vertex_log_bound(hypergraph: Hypergraph, domain_size: int) -> Fraction:

@@ -154,8 +154,8 @@ class BoundResult:
     def value(self) -> float:
         """The bound itself, ``2^{log_value}``."""
         if self.log_value.denominator == 1:
-            return float(2 ** self.log_value)
-        return 2.0 ** float(self.log_value)
+            return float(2 ** self.log_value)  # reprolint: allow(RL-EXACT) -- presentation: float rendering of the exact bound; log_value stays the exact Fraction
+        return 2.0 ** float(self.log_value)  # reprolint: allow(RL-EXACT) -- presentation: float rendering of the exact bound; log_value stays the exact Fraction
 
     def optimal_set_function(self, universe: Sequence[str]) -> SetFunction:
         """The optimal ``h`` as a :class:`SetFunction`."""

@@ -117,12 +117,22 @@ def _log2_display(value: Fraction) -> str:
 
     A raw ``2^1079882313/81269242`` reads like ``(2^1079882313)/81269242``
     and hides the magnitude; print the decimal exponent and parenthesize the
-    exact rational (omitted when it already is an integer).
+    exact rational (omitted when it already is an integer).  Exponents at or
+    beyond the IEEE-double range (``2^1024`` overflows, as do wide joins
+    over big declared cardinalities) keep the ``2^x`` form — the power is
+    never materialized as a float.
     """
-    size = float(2 ** float(value))
     if value.denominator == 1:
-        return f"2^{value.numerator} = {size:,.0f}"
-    return f"2^{float(value):.6f} (= 2^({value})) = {size:,.0f}"
+        head = f"2^{value.numerator}"
+    else:
+        try:
+            head = f"2^{float(value):.6f} (= 2^({value}))"
+        except OverflowError:
+            # The *exponent* itself exceeds float range; exact form only.
+            return f"2^({value})"
+    if value >= 1024:
+        return head
+    return f"{head} = {2.0 ** float(value):,.0f}"
 
 
 def cmd_bound(args) -> int:

@@ -140,7 +140,7 @@ class PandaResult:
     @property
     def budget(self) -> float:
         """``2^{OBJ}`` — every intermediate relation is at most this large."""
-        return 2.0 ** float(self.bound.log_value)
+        return 2.0 ** float(self.bound.log_value)  # reprolint: allow(RL-EXACT) -- presentation: float rendering of the exact bound; the exact Fraction stays in bound.log_value
 
 
 @dataclass

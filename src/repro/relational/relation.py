@@ -144,9 +144,8 @@ class Relation:
         relation._dicts = tuple(Dictionary.of(a) for a in relation.schema)
         rows = code_rows if isinstance(code_rows, list) else list(code_rows)
         if not distinct:
-            rows = list(set(rows))
-            presorted = False
-        if not presorted:
+            rows = sorted(set(rows))
+        elif not presorted:
             rows = sorted(rows)
         relation._init_storage(rows)
         return relation

@@ -1,0 +1,108 @@
+"""Tests for ``tools/check_format.py`` — the blocking hygiene gate.
+
+It has gated CI since PR 7; each check gets a fixture file proving it
+fires, plus the clean path and the line-length exemptions.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_format  # noqa: E402
+
+
+def problems(tmp_path, name, blob: bytes) -> list:
+    path = tmp_path / name
+    path.write_bytes(blob)
+    return check_format.check_file(path)
+
+
+class TestCheckFile:
+    def test_clean_file_passes(self, tmp_path):
+        assert problems(tmp_path, "ok.py", b"x = 1\n") == []
+
+    def test_empty_file_passes(self, tmp_path):
+        assert problems(tmp_path, "empty.py", b"") == []
+
+    def test_tab_character(self, tmp_path):
+        got = problems(tmp_path, "tab.py", b"def f():\n\treturn 1\n")
+        assert len(got) == 1 and "tab character" in got[0]
+
+    def test_trailing_whitespace(self, tmp_path):
+        got = problems(tmp_path, "ws.py", b"x = 1 \n")
+        assert len(got) == 1 and "trailing whitespace" in got[0]
+
+    def test_cr_line_endings(self, tmp_path):
+        got = problems(tmp_path, "crlf.py", b"x = 1\r\n")
+        assert any("CR line endings" in p for p in got)
+
+    def test_missing_trailing_newline(self, tmp_path):
+        got = problems(tmp_path, "noeol.py", b"x = 1")
+        assert got == [f"{tmp_path / 'noeol.py'}: missing trailing newline"]
+
+    def test_multiple_trailing_newlines(self, tmp_path):
+        got = problems(tmp_path, "extra.py", b"x = 1\n\n")
+        assert len(got) == 1 and "multiple trailing newlines" in got[0]
+
+    def test_long_line(self, tmp_path):
+        line = b"x = " + b"1 + " * 30 + b"1\n"
+        assert len(line) > check_format.MAX_LINE
+        got = problems(tmp_path, "long.py", line)
+        assert len(got) == 1 and "columns" in got[0]
+
+    def test_long_line_with_url_exempt(self, tmp_path):
+        line = b"# see https://example.com/" + b"a" * 100 + b"\n"
+        assert problems(tmp_path, "url.py", line) == []
+
+    def test_long_line_with_noqa_exempt(self, tmp_path):
+        line = b"f = lambda: " + b"0 or " * 20 + b"1  # noqa: E731\n"
+        assert len(line) > check_format.MAX_LINE
+        assert problems(tmp_path, "noqa.py", line) == []
+
+    def test_long_line_with_reprolint_pragma_exempt(self, tmp_path):
+        line = (
+            b"x = float(y)  # reprolint: allow(RL-EXACT) -- "
+            + b"a justified reason long enough to cross the column cap "
+            + b"x" * 40
+            + b"\n"
+        )
+        assert len(line) > check_format.MAX_LINE
+        assert problems(tmp_path, "pragma.py", line) == []
+
+    def test_line_numbers_reported(self, tmp_path):
+        got = problems(tmp_path, "lines.py", b"x = 1\ny = 2 \n")
+        assert got and ":2:" in got[0]
+
+
+class TestMainAndDiscovery:
+    def test_python_files_recurses_and_sorts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_bytes(b"x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_bytes(b"x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_bytes(b"not python")
+        files = check_format.python_files([str(tmp_path / "pkg")])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_main_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_bytes(b"x = 1\n")
+        assert check_format.main([str(tmp_path)]) == 0
+        assert "1 file(s), 0 problem(s)" in capsys.readouterr().err
+
+    def test_main_dirty_tree_exits_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_bytes(b"x = 1 \n")
+        assert check_format.main([str(tmp_path)]) == 1
+        out = capsys.readouterr()
+        assert "trailing whitespace" in out.out
+
+    def test_real_tree_is_clean(self):
+        """The blocking-CI contract, from inside the suite."""
+        roots = [
+            str(REPO_ROOT / root)
+            for root in check_format.DEFAULT_ROOTS
+            if (REPO_ROOT / root).exists()
+        ]
+        files = check_format.python_files(roots)
+        dirty = [p for path in files for p in check_format.check_file(path)]
+        assert dirty == []

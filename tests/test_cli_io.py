@@ -76,6 +76,62 @@ class TestCsvIO:
             load_database_dir(tmp_path)
 
 
+class TestLog2Display:
+    """``_log2_display`` must never overflow materializing ``2^x``."""
+
+    def test_small_integer_exponent_shows_size(self):
+        from fractions import Fraction
+
+        from repro.cli import _log2_display
+
+        assert _log2_display(Fraction(10)) == "2^10 = 1,024"
+
+    def test_small_fractional_exponent_shows_decimal_and_exact(self):
+        from fractions import Fraction
+
+        from repro.cli import _log2_display
+
+        got = _log2_display(Fraction(7, 2))
+        assert got.startswith("2^3.500000 (= 2^(7/2))")
+        assert got.endswith("= 11")
+
+    def test_huge_integer_exponent_keeps_symbolic_form(self):
+        # Wide joins over big declared cardinalities: 2^2000 overflows an
+        # IEEE double; the old code raised OverflowError here.
+        from fractions import Fraction
+
+        from repro.cli import _log2_display
+
+        assert _log2_display(Fraction(2000)) == "2^2000"
+
+    def test_huge_fractional_exponent_keeps_symbolic_form(self):
+        from fractions import Fraction
+
+        from repro.cli import _log2_display
+
+        assert _log2_display(Fraction(4001, 2)) == "2^2000.500000 (= 2^(4001/2))"
+
+    def test_exponent_beyond_float_range_keeps_exact_form(self):
+        from fractions import Fraction
+
+        from repro.cli import _log2_display
+
+        huge = Fraction(10**400, 3)
+        assert _log2_display(huge) == f"2^({huge})"
+
+    def test_bound_command_survives_huge_bounds(self, capsys):
+        # End to end: |R| = 2^2000 per relation pushes the triangle bound
+        # to 2^3000 — far beyond float range, the command must still print.
+        size = str(2**2000)
+        rc = main([
+            "bound", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+            "--size", f"R={size}", "--size", f"S={size}", "--size", f"T={size}",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2^3000" in out
+
+
 class TestCliBound:
     def test_triangle_bound(self, capsys):
         rc = main([

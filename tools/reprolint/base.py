@@ -1,0 +1,173 @@
+"""Core types shared by the reprolint engine and its rules.
+
+Everything here is pure stdlib (``ast`` + ``tokenize``), mirroring the
+policy of :mod:`tools.check_format`: the linter must run identically in the
+network-less development container and in CI.
+
+A rule is a class with a ``code`` (``RL-*``), a one-line ``rationale``, a
+path predicate (:meth:`Rule.applies_to`), and a :meth:`Rule.check` that
+yields :class:`Diagnostic` objects for one parsed file.  Rules never read
+the filesystem — they see one :class:`FileContext` at a time, which carries
+the *repo-relative* path (all scoping is by that path), the source text,
+the parsed tree, a lazily built child→parent map, and the comment tokens.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, which rule, and what is wrong."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Comment:
+    """One ``#`` comment token (string checks must not match docstrings)."""
+
+    line: int
+    col: int
+    text: str
+
+
+class FileContext:
+    """One file's parsed state, shared by every rule.
+
+    ``path`` is the repo-relative POSIX path (e.g. ``src/repro/cli.py``);
+    rules scope themselves by matching against it, so virtual paths work in
+    tests exactly like real ones.
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._comments: list[Comment] | None = None
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The chain of enclosing nodes, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    @property
+    def comments(self) -> list[Comment]:
+        """All ``#`` comment tokens (tokenize-level, so docstrings and
+        string literals that merely *mention* pragmas never match)."""
+        if self._comments is None:
+            found: list[Comment] = []
+            try:
+                tokens = tokenize.generate_tokens(
+                    io.StringIO(self.text).readline
+                )
+                for token in tokens:
+                    if token.type == tokenize.COMMENT:
+                        found.append(
+                            Comment(token.start[0], token.start[1], token.string)
+                        )
+            except (tokenize.TokenError, IndentationError):
+                pass
+            self._comments = found
+        return self._comments
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check()."""
+
+    #: Diagnostic code, ``RL-<NAME>``.
+    code: str = ""
+    #: One-line rationale shown by ``run.py --list-rules`` and the README.
+    rationale: str = ""
+    #: When False, valid ``# reprolint: allow(...)`` pragmas cannot silence
+    #: this rule (used by RL-PRAGMA itself: fix the pragma, don't stack
+    #: suppressions).
+    suppressible: bool = True
+
+    def applies_to(self, path: str) -> bool:  # pragma: no cover - overridden
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            ctx.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            self.code,
+            message,
+        )
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# reprolint: allow(CODE, ...) -- reason`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    #: Codes that actually suppressed a diagnostic (filled by the engine;
+    #: a valid pragma whose codes never fire is itself an error).
+    used: set = field(default_factory=set)
+
+
+def call_name(node: ast.AST) -> str | None:
+    """The bare function name of a Call node (``f(...)`` or ``o.f(...)``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def import_roots(node: ast.AST) -> list[tuple[str, ast.AST]]:
+    """Top-level module names imported by an Import/ImportFrom node."""
+    roots: list[tuple[str, ast.AST]] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            roots.append((alias.name.partition(".")[0], node))
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        roots.append((node.module.partition(".")[0], node))
+    return roots

@@ -1,0 +1,230 @@
+"""The reprolint engine: pragmas, per-file runs, tree runs, reports.
+
+Suppression model — ``# reprolint: allow(CODE[, CODE...]) -- reason``:
+
+* the pragma must share the physical line of the diagnostic it silences
+  (AST nodes report their first line; put the pragma there);
+* the ``-- reason`` is mandatory — a suppression nobody can audit is a
+  violation of its own;
+* a pragma that silences nothing is an error (stale suppressions rot);
+* unknown rule codes in a pragma are errors;
+* RL-PRAGMA findings themselves cannot be suppressed.
+
+All pragma hygiene errors are reported under ``RL-PRAGMA``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+from reprolint.base import Diagnostic, FileContext, Pragma
+from reprolint.rules import ALL_RULES, RULE_CODES
+
+#: Repo root = tools/reprolint/engine.py -> two levels up from tools/.
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "tools")
+
+_PRAGMA = re.compile(
+    r"^#\s*reprolint:\s*allow\(([^)]*)\)\s*(?:--\s*(.*\S))?\s*$"
+)
+_PRAGMA_LIKE = re.compile(r"^#\s*reprolint\b")
+
+
+def parse_pragmas(ctx: FileContext) -> tuple[list[Pragma], list[Diagnostic]]:
+    """Valid pragmas plus RL-PRAGMA diagnostics for malformed ones."""
+    pragmas: list[Pragma] = []
+    problems: list[Diagnostic] = []
+
+    def problem(line: int, col: int, message: str) -> None:
+        problems.append(Diagnostic(ctx.path, line, col, "RL-PRAGMA", message))
+
+    for comment in ctx.comments:
+        if not _PRAGMA_LIKE.match(comment.text):
+            continue
+        match = _PRAGMA.match(comment.text)
+        if match is None:
+            problem(
+                comment.line,
+                comment.col,
+                "malformed reprolint pragma — expected "
+                "'# reprolint: allow(RULE) -- reason'",
+            )
+            continue
+        codes = tuple(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        reason = (match.group(2) or "").strip()
+        bad = [code for code in codes if code not in RULE_CODES]
+        if not codes:
+            problem(comment.line, comment.col, "pragma allows no rule codes")
+            continue
+        if bad:
+            problem(
+                comment.line,
+                comment.col,
+                f"pragma names unknown rule code(s) {', '.join(bad)} "
+                f"(known: {', '.join(RULE_CODES)})",
+            )
+            continue
+        if "RL-PRAGMA" in codes:
+            problem(
+                comment.line,
+                comment.col,
+                "RL-PRAGMA cannot be suppressed — fix the pragma instead",
+            )
+            continue
+        if not reason:
+            problem(
+                comment.line,
+                comment.col,
+                "pragma missing its mandatory '-- reason'",
+            )
+            continue
+        pragmas.append(Pragma(comment.line, codes, reason))
+    return pragmas, problems
+
+
+def lint_source(text: str, path: str) -> list[Diagnostic]:
+    """Lint one source blob under a (possibly virtual) repo-relative path."""
+    try:
+        ctx = FileContext(path, text)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                "RL-SYNTAX",
+                f"file does not parse: {error.msg}",
+            )
+        ]
+    raw: list[Diagnostic] = []
+    for rule in ALL_RULES:
+        if rule.applies_to(path):
+            raw.extend(rule.check(ctx))
+    pragmas, problems = parse_pragmas(ctx)
+    by_line: dict[int, list[Pragma]] = {}
+    for pragma in pragmas:
+        by_line.setdefault(pragma.line, []).append(pragma)
+    suppressible = {
+        rule.code for rule in ALL_RULES if rule.suppressible
+    }
+    kept: list[Diagnostic] = []
+    for diagnostic in raw:
+        suppressed = False
+        if diagnostic.code in suppressible:
+            for pragma in by_line.get(diagnostic.line, ()):
+                if diagnostic.code in pragma.codes:
+                    pragma.used.add(diagnostic.code)
+                    suppressed = True
+        if not suppressed:
+            kept.append(diagnostic)
+    for pragma in pragmas:
+        for code in pragma.codes:
+            if code not in pragma.used:
+                problems.append(
+                    Diagnostic(
+                        path,
+                        pragma.line,
+                        0,
+                        "RL-PRAGMA",
+                        f"unused suppression: no {code} diagnostic on this "
+                        "line — remove the pragma",
+                    )
+                )
+    return sorted(kept + problems)
+
+
+def _relative(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def python_files(roots: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+    return files
+
+
+def lint_paths(roots: list[str]) -> tuple[list[Diagnostic], int]:
+    """Lint every ``.py`` under ``roots``; (diagnostics, files seen)."""
+    diagnostics: list[Diagnostic] = []
+    files = python_files(roots)
+    for file in files:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except OSError as error:
+            diagnostics.append(
+                Diagnostic(
+                    _relative(file), 1, 0, "RL-SYNTAX", f"unreadable: {error}"
+                )
+            )
+            continue
+        diagnostics.extend(lint_source(text, _relative(file)))
+    return diagnostics, len(files)
+
+
+def write_json_report(
+    diagnostics: list[Diagnostic], files: int, target: Path
+) -> None:
+    counts: dict[str, int] = {}
+    for diagnostic in diagnostics:
+        counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+    report = {
+        "tool": "reprolint",
+        "version": 1,
+        "files": files,
+        "diagnostics": [d.as_dict() for d in sorted(diagnostics)],
+        "counts_by_rule": dict(sorted(counts.items())),
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_ROOTS)})",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write a JSON diagnostics report"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}: {rule.rationale}")
+        return 0
+
+    roots = args.paths or [r for r in DEFAULT_ROOTS if Path(r).exists()]
+    diagnostics, files = lint_paths(roots)
+    for diagnostic in sorted(diagnostics):
+        print(diagnostic.render())
+    if args.json:
+        write_json_report(diagnostics, files, Path(args.json))
+    print(
+        f"reprolint: {files} file(s), {len(diagnostics)} diagnostic(s)",
+        file=sys.stderr,
+    )
+    return 1 if diagnostics else 0

@@ -1,0 +1,61 @@
+"""RL-COUNTER — the scoped-work-counter rule.
+
+Work accounting is contextvar-scoped (``scoped_work_counter``): pooled
+shard tasks, delta terms, and benchmark arms each run under their own
+counter and the parent absorbs the totals.  The module-level
+``work_counter`` proxy exists only for the historical tuple-engine API; a
+hot path that reads or resets it observes (and races with) *whatever scope
+happens to be current* — totals silently double-count or vanish under the
+pool.  Inside ``src/repro/`` nothing may touch the proxy except the module
+that defines it and the package ``__init__`` that re-exports it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.base import Diagnostic, FileContext, Rule
+
+ALLOWED_FILES = (
+    "src/repro/relational/operators.py",
+    "src/repro/relational/__init__.py",
+)
+
+
+class CounterRule(Rule):
+    code = "RL-COUNTER"
+    rationale = (
+        "src/repro hot paths must use scoped_work_counter; the module-level "
+        "work_counter proxy is compat-only (defined/re-exported in "
+        "relational/operators.py and relational/__init__.py)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/") and path not in ALLOWED_FILES
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "work_counter":
+                        yield self.diag(
+                            ctx,
+                            node,
+                            "import of the module-level work_counter proxy — "
+                            "use scoped_work_counter",
+                        )
+            elif isinstance(node, ast.Name) and node.id == "work_counter":
+                yield self.diag(
+                    ctx,
+                    node,
+                    "reference to the module-level work_counter proxy — "
+                    "use scoped_work_counter",
+                )
+            elif isinstance(node, ast.Attribute) and node.attr == "work_counter":
+                yield self.diag(
+                    ctx,
+                    node,
+                    "attribute access to the module-level work_counter proxy "
+                    "— use scoped_work_counter",
+                )

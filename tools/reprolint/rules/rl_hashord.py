@@ -1,0 +1,161 @@
+"""RL-HASHORD — the determinism contract (the PR 4 bug class).
+
+Canonical sorted code rows and plan signatures must not depend on
+``PYTHONHASHSEED``.  Iterating a ``set``/``frozenset`` into anything
+order-sensitive, sorting by ``hash``/``id``, or seeding an RNG from
+``hash()`` all produce per-process orderings that *look* deterministic in
+one run and silently differ in the next — PR 4 had to hunt down exactly
+such a bug (``hash()``-seeded test data) the hard way.
+
+Two check families, with different scopes:
+
+* **set-order consumption** — in the modules whose outputs feed canonical
+  rows or signatures (``relational/``, ``planner/``, ``parallel/``,
+  ``incremental/``, ``faq/``): a syntactic set expression (set literal,
+  set comprehension, ``set(...)``/``frozenset(...)`` call) consumed by an
+  order-*sensitive* consumer — ``for`` iteration, list/generator/dict
+  comprehensions, ``list()``/``tuple()``/``enumerate()``/``iter()``/
+  ``reversed()``/``zip()``/``str.join()``.  ``sorted(set(...))``,
+  ``len``/``min``/``max``/``sum``/``any``/``all`` and membership tests are
+  order-insensitive and pass.
+* **hash/id ordering and seeding** — everywhere: ``key=hash`` / ``key=id``
+  (or a key lambda calling them) in ``sorted``/``min``/``max``/``.sort``,
+  and ``hash()`` inside ``random.seed(...)`` / ``Random(...)`` arguments
+  (use ``zlib.crc32`` — see ``tests/_helpers.stable_seed``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.base import Diagnostic, FileContext, Rule, call_name
+
+SET_SCOPE_PREFIXES = (
+    "src/repro/relational/",
+    "src/repro/planner/",
+    "src/repro/parallel/",
+    "src/repro/incremental/",
+    "src/repro/faq/",
+)
+
+#: Calls whose first argument's iteration order lands in the result.
+_ORDER_SENSITIVE_FIRST_ARG = ("list", "tuple", "enumerate", "iter", "reversed")
+_SORTERS = ("sorted", "min", "max", "sort")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _contains_call_to(node: ast.AST, names: tuple[str, ...]) -> ast.AST | None:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id in names
+        ):
+            return sub
+    return None
+
+
+class HashOrderRule(Rule):
+    code = "RL-HASHORD"
+    rationale = (
+        "no hash-order leaks into canonical rows/signatures: set iteration "
+        "into order-sensitive consumers (canonical-output modules), "
+        "hash()/id() sort keys, or hash()-seeded RNGs"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        check_sets = ctx.path.startswith(SET_SCOPE_PREFIXES)
+        for node in ast.walk(ctx.tree):
+            if check_sets:
+                yield from self._set_consumption(ctx, node)
+            yield from self._hash_keys(ctx, node)
+
+    def _set_consumption(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterable[Diagnostic]:
+        unordered = (
+            "iterates a set in hash order — sort it (or restructure) "
+            "before the order can reach canonical output"
+        )
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            yield self.diag(ctx, node.iter, f"for-loop {unordered}")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if _is_set_expr(generator.iter):
+                    yield self.diag(ctx, generator.iter, f"comprehension {unordered}")
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if (
+                name in _ORDER_SENSITIVE_FIRST_ARG
+                and isinstance(node.func, ast.Name)
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"{name}() materializes a set in hash order — "
+                    "wrap in sorted(...)",
+                )
+            elif name == "zip" and isinstance(node.func, ast.Name):
+                for arg in node.args:
+                    if _is_set_expr(arg):
+                        yield self.diag(
+                            ctx, arg, "zip() consumes a set in hash order"
+                        )
+            elif name == "join" and isinstance(node.func, ast.Attribute):
+                for arg in node.args:
+                    if _is_set_expr(arg):
+                        yield self.diag(
+                            ctx, arg, "str.join() consumes a set in hash order"
+                        )
+
+    def _hash_keys(self, ctx: FileContext, node: ast.AST) -> Iterable[Diagnostic]:
+        if not isinstance(node, ast.Call):
+            return
+        name = call_name(node)
+        if name in _SORTERS:
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                value = keyword.value
+                if isinstance(value, ast.Name) and value.id in ("hash", "id"):
+                    yield self.diag(
+                        ctx,
+                        value,
+                        f"key={value.id} orders by a per-process value — "
+                        "sort by content instead",
+                    )
+                elif isinstance(value, ast.Lambda):
+                    bad = _contains_call_to(value, ("hash", "id"))
+                    if bad is not None:
+                        yield self.diag(
+                            ctx,
+                            bad,
+                            "sort key calls hash()/id() — per-process "
+                            "ordering; sort by content instead",
+                        )
+        elif name in ("seed", "Random"):
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                bad = _contains_call_to(arg, ("hash",))
+                if bad is not None:
+                    yield self.diag(
+                        ctx,
+                        bad,
+                        "RNG seeded from hash() varies per process under "
+                        "PYTHONHASHSEED — use zlib.crc32 "
+                        "(tests/_helpers.stable_seed)",
+                    )

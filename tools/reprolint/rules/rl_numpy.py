@@ -1,0 +1,89 @@
+"""RL-NUMPY — the stdlib-only base-install guarantee.
+
+numpy (and scipy) ship as the optional ``fast`` / ``lp`` extras; the base
+install must import cleanly without them.  Any ``import numpy`` or
+``import scipy`` outside the two vectorized-backend modules must therefore
+be *function-scoped* (deferred until a caller opted into the backend) or
+guarded by ``try/except ImportError`` at module level.  An unguarded
+module-level import anywhere else breaks ``pip install repro-panda`` on a
+machine without the extras — exactly the regression this rule blocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.base import Diagnostic, FileContext, Rule, import_roots
+
+#: The vectorized backend is the one subsystem allowed to assume numpy at
+#: module level: it is only ever imported lazily, behind
+#: ``relational/backend.py``'s availability probe.
+ALLOWED_FILES = (
+    "src/repro/relational/vectorized.py",
+    "src/repro/relational/backend.py",
+)
+
+OPTIONAL_MODULES = ("numpy", "scipy")
+
+_GUARD_EXCEPTIONS = ("ImportError", "ModuleNotFoundError", "Exception")
+
+
+def _handler_catches_import_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except
+        return True
+    names = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _GUARD_EXCEPTIONS:
+            return True
+    return False
+
+
+class NumpyScopeRule(Rule):
+    code = "RL-NUMPY"
+    rationale = (
+        "base install is stdlib-only: numpy/scipy imports outside "
+        "relational/{vectorized,backend}.py must be function-scoped or "
+        "try/except ImportError guarded"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path not in ALLOWED_FILES
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            for root, import_node in import_roots(node):
+                if root not in OPTIONAL_MODULES:
+                    continue
+                if self._guarded(ctx, import_node):
+                    continue
+                yield self.diag(
+                    ctx,
+                    import_node,
+                    f"module-level unguarded '{root}' import — the base "
+                    "install is stdlib-only; move it into the function "
+                    "that needs it or guard with try/except ImportError",
+                )
+
+    @staticmethod
+    def _guarded(ctx: FileContext, node: ast.AST) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return True
+            if isinstance(ancestor, ast.Try) and any(
+                _handler_catches_import_error(h) for h in ancestor.handlers
+            ):
+                return True
+            if isinstance(ancestor, ast.If):
+                # `if TYPE_CHECKING:` blocks never execute at runtime.
+                test = ancestor.test
+                if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+                    return True
+                if (
+                    isinstance(test, ast.Attribute)
+                    and test.attr == "TYPE_CHECKING"
+                ):
+                    return True
+        return False

@@ -1,0 +1,149 @@
+"""RL-POOLSHIP — the process-boundary shipping contract of the pool.
+
+``parallel/pool.py`` tasks cross a ``multiprocessing`` pickle boundary.
+Two invariants keep that boundary cheap and correct:
+
+* the submitted callable must be a **module-level function** (a name
+  importable by the worker) — lambdas and nested functions do not pickle,
+  and bound methods drag their whole ``self`` (engine, planner, resident
+  relations) onto the wire;
+* task payloads must not embed ``Dictionary``/``ColumnSet`` objects —
+  relations are *resident* (content-digest addressed, shipped once); a
+  payload carrying a dictionary or a column set re-ships database-sized
+  state with every task.  Only digests, file references, raw buffers, and
+  row ranges travel per task.
+
+The rule watches every ``<pool>.map(...)`` / ``<pool>.apply_async(...)``
+call site in ``src/repro/`` (receivers whose name mentions ``pool``) and
+checks both the callable and the payload expressions.  ``parallel/pool.py``
+itself — the boundary implementation — is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.base import Diagnostic, FileContext, Rule
+
+ALLOWED_FILES = ("src/repro/parallel/pool.py",)
+
+_SUBMIT_METHODS = ("map", "apply_async", "apply", "imap", "starmap")
+_HEAVY_TYPES = ("Dictionary", "ColumnSet")
+
+
+def _receiver_mentions_pool(func: ast.Attribute) -> bool:
+    node = func.value
+    names: list[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+    return any("pool" in name.lower() for name in names)
+
+
+def _importable_names(tree: ast.Module) -> set[str]:
+    """Names that resolve to picklable-by-name callables.
+
+    Top-level ``def``/``class``/assignments, plus *every* import alias —
+    a function-scoped ``from repro.parallel.pool import run_shard_task``
+    still names a module-level function the worker can re-import.
+    """
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).partition(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+class PoolShipRule(Rule):
+    code = "RL-POOLSHIP"
+    rationale = (
+        "pool task callables must be module-level functions and payloads "
+        "must ship digests/buffers/row ranges — never Dictionary/ColumnSet "
+        "objects"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/") and path not in ALLOWED_FILES
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        module_names = None
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and _receiver_mentions_pool(node.func)
+            ):
+                continue
+            if module_names is None:
+                module_names = _importable_names(ctx.tree)
+            if node.args:
+                yield from self._check_callable(ctx, node.args[0], module_names)
+            for payload in list(node.args[1:]) + [k.value for k in node.keywords]:
+                yield from self._check_payload(ctx, payload)
+
+    def _check_callable(
+        self, ctx: FileContext, func: ast.AST, module_names: set[str]
+    ) -> Iterable[Diagnostic]:
+        if isinstance(func, ast.Lambda):
+            yield self.diag(
+                ctx,
+                func,
+                "lambda submitted to the pool — task callables must be "
+                "module-level functions (picklable by name)",
+            )
+        elif isinstance(func, ast.Attribute):
+            yield self.diag(
+                ctx,
+                func,
+                f"bound method/attribute '{func.attr}' submitted to the "
+                "pool — it pickles its whole receiver; use a module-level "
+                "function",
+            )
+        elif isinstance(func, ast.Name) and func.id not in module_names:
+            yield self.diag(
+                ctx,
+                func,
+                f"'{func.id}' is not a module-level function or imported "
+                "name in this module — pool callables must be importable "
+                "by the worker",
+            )
+
+    def _check_payload(
+        self, ctx: FileContext, payload: ast.AST
+    ) -> Iterable[Diagnostic]:
+        for sub in ast.walk(payload):
+            if isinstance(sub, ast.Name) and sub.id in _HEAVY_TYPES:
+                yield self.diag(
+                    ctx,
+                    sub,
+                    f"task payload embeds a {sub.id} — ship digests, file "
+                    "refs, buffers, or row ranges across the process "
+                    "boundary instead",
+                )
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "column_set"
+            ):
+                yield self.diag(
+                    ctx,
+                    sub,
+                    "task payload embeds a ColumnSet (.column_set(...)) — "
+                    "ship digests, file refs, buffers, or row ranges "
+                    "instead",
+                )

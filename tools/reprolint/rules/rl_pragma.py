@@ -1,0 +1,51 @@
+"""RL-PRAGMA — suppression hygiene (noqa codes; see also the engine).
+
+A bare ``# noqa`` silences *every* ruff rule on its line forever — the
+reviewer can no longer tell which violation was intended, and new
+violations sneak in under the old blanket.  Every ``noqa`` must carry an
+explicit code (``# noqa: E731``).
+
+The companion checks on reprolint's own pragmas — ``allow(...)`` without a
+reason, unknown rule codes, and pragmas that suppress nothing — live in
+the engine (they need the post-suppression picture) but are reported under
+this same code.  RL-PRAGMA is itself unsuppressible: fix the pragma rather
+than stacking suppressions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from reprolint.base import Diagnostic, FileContext, Rule
+
+_NOQA_ANY = re.compile(r"#\s*noqa\b", re.IGNORECASE)
+_NOQA_CODED = re.compile(r"#\s*noqa\s*:\s*[A-Z][A-Z0-9]*\d", re.IGNORECASE)
+
+
+class PragmaRule(Rule):
+    code = "RL-PRAGMA"
+    rationale = (
+        "suppressions must be auditable: every # noqa carries an explicit "
+        "code, every reprolint allow(...) carries a reason and suppresses "
+        "something"
+    )
+    suppressible = False
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for comment in ctx.comments:
+            if not _NOQA_ANY.search(comment.text):
+                continue
+            if _NOQA_CODED.search(comment.text):
+                continue
+            yield Diagnostic(
+                ctx.path,
+                comment.line,
+                comment.col,
+                self.code,
+                "bare '# noqa' — name the rule being silenced "
+                "(e.g. '# noqa: E731')",
+            )

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""CLI entry point: ``python tools/reprolint/run.py [paths...] [--json P]``.
+
+Exit status 0 iff the tree is clean.  Pure stdlib, like
+``tools/check_format.py`` — runs identically in the network-less dev
+container and as the blocking CI lint step.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Running as a script: make the `reprolint` package importable.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from reprolint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
