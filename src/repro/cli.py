@@ -360,11 +360,121 @@ def _align_feed(relation, feed_schema, rows):
     return [tuple(row[p] for p in positions) for row in rows]
 
 
+def _serve_concurrent(args, statement, database, feeds, driver) -> int:
+    """The ``serve --concurrent`` arm: mixed read/write traffic via the broker.
+
+    Each change-feed batch becomes one write; around every write the loop
+    issues ``reads_per_write`` snapshot reads (a 90/10 read-heavy mix).
+    Writes that hit backpressure retry after the advertised delay; shed
+    reads are dropped (and counted in the metrics) like a real client
+    racing admission control.
+    """
+    import time
+
+    from repro.exceptions import OverloadError
+    from repro.serving import ServingEngine
+
+    reads_per_write = 9  # 90/10 read/write mix
+    initial = {relation.name: relation for relation in database}
+    atoms = {atom.name for atom in statement.body}
+
+    def describe(result) -> str:
+        if statement.is_boolean:
+            return f"{result.boolean}"
+        return f"{len(result.relation)} rows"
+
+    with ServingEngine(
+        statement,
+        readers=max(1, args.readers),
+        workers=max(1, args.workers),
+        execution_backend=args.backend,
+    ) as engine:
+        start = time.perf_counter()
+        result = engine.execute(database, driver=driver)
+        print(
+            f"materialized {statement.name}: {describe(result)} "
+            f"({time.perf_counter() - start:.3f}s, driver {driver}, "
+            f"{engine.readers} reader(s) + 1 writer)"
+        )
+        writes = []
+        reads = []
+        serve_start = time.perf_counter()
+        for index, (name, schema, inserts, deletes) in enumerate(feeds):
+            if name not in atoms:
+                raise ReproError(
+                    f"change feed {name!r} does not match a query atom"
+                )
+            relation = initial[name]
+            changes = {
+                name: (
+                    _align_feed(relation, schema, inserts),
+                    _align_feed(relation, schema, deletes),
+                )
+            }
+            while True:
+                try:
+                    future = engine.submit(changes)
+                    break
+                except OverloadError as overload:
+                    time.sleep(overload.retry_after)
+            writes.append((index, name, len(inserts), len(deletes), future))
+            for _ in range(reads_per_write):
+                try:
+                    reads.append(engine.read())
+                except OverloadError:
+                    pass  # shed reads are counted in the metrics
+        for index, name, plus, minus, future in writes:
+            receipt = future.result()
+            print(
+                f"batch {index} [{name} +{plus}/-{minus}]: epoch "
+                f"{receipt.epoch} committed in {receipt.latency:.3f}s"
+            )
+        for future in reads:
+            future.result()
+        elapsed = time.perf_counter() - serve_start
+        final = engine.read().result()
+        print(
+            f"served {statement.name}: {describe(final)} at epoch "
+            f"{engine.current_epoch} ({len(writes)} batch(es), "
+            f"{len(reads) + 1} read(s))"
+        )
+        if args.stats:
+            metrics = engine.metrics()
+            latency = metrics["read_latency"]
+            spread = metrics["epoch_spread"]
+            admission = metrics["admission"]
+            rate = len(writes) / elapsed if elapsed > 0 else 0.0
+            print(
+                f"reads: {latency['count']} served "
+                f"({admission['reads_shed']} shed), "
+                f"p50 {latency['p50'] * 1000:.1f}ms, "
+                f"p99 {latency['p99'] * 1000:.1f}ms, "
+                f"max {latency['max'] * 1000:.1f}ms"
+            )
+            print(
+                f"writes: {len(writes)} batch(es) in {elapsed:.3f}s "
+                f"({rate:.1f} batches/s sustained, "
+                f"{admission['writes_shed']} shed)"
+            )
+            print(
+                f"snapshot epochs: spread mean {spread['mean']:.2f}, "
+                f"max {spread['max']:.0f} (current {engine.current_epoch})"
+            )
+            s = engine.stats
+            print(
+                f"maintenance: {s.batches} batch(es), "
+                f"{s.join_terms} delta term(s), {s.delta_rows} delta "
+                f"row(s), {s.compactions} compaction(s)"
+            )
+            print(f"plan cache: {engine.cache_stats}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import time
 
     from repro.incremental import IncrementalQueryEngine, SignedDelta, VersionedRelation
-    from repro.relational.io import load_change_feed
+    from repro.relational.io import iter_change_feed
     from repro.relational.operators import scoped_work_counter
 
     statement = parse_query(args.statement)
@@ -374,8 +484,12 @@ def cmd_serve(args) -> int:
             "project the full result instead"
         )
     database = _load_database(args)
-    feeds = load_change_feed(args.changes) if args.changes else []
+    # Batches stream one file at a time (a long feed never materializes
+    # up front); every arm below consumes this lazily.
+    feeds = iter_change_feed(args.changes) if args.changes else ()
     driver = args.driver or "generic"
+    if args.concurrent:
+        return _serve_concurrent(args, statement, database, feeds, driver)
 
     def describe(result) -> str:
         if statement.is_boolean:
@@ -566,6 +680,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--apply-deltas", action="store_true",
         help="maintain the materialized result by delta joins instead of "
              "recomputing each batch from scratch (bit-identical results)",
+    )
+    p_serve.add_argument(
+        "--concurrent", action="store_true",
+        help="serve a mixed read/write workload concurrently: one writer "
+             "thread maintains the view through the IVM path while "
+             "--readers threads answer snapshot-pinned reads (MVCC: every "
+             "read is bit-identical to a frozen copy at its pinned epoch); "
+             "--stats reports p50/p99 read latency, sustained batches/sec, "
+             "and snapshot-epoch spread",
+    )
+    p_serve.add_argument(
+        "--readers", type=int, default=4, metavar="N",
+        help="reader threads for --concurrent (default 4)",
     )
     p_serve.add_argument(
         "--driver", default=None,

@@ -61,5 +61,21 @@ class IncrementalError(ReproError):
     """Incremental view maintenance reached an inconsistent state."""
 
 
+class ServingError(ReproError):
+    """The concurrent serving front end was misused or is not running."""
+
+
+class OverloadError(ServingError):
+    """A request was shed by admission control (backpressure).
+
+    Carries ``retry_after`` — the seconds the client should wait before
+    retrying, so shedding degrades into pacing instead of a hard failure.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class DeltaError(IncrementalError):
     """A change batch is invalid (e.g. deleting a tuple that is not there)."""

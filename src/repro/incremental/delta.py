@@ -330,6 +330,14 @@ class VersionedRelation:
         self.compact_min = (
             self.COMPACT_MIN if compact_min is None else compact_min
         )
+        # MVCC pinning (the serving layer's snapshot contract): pinned
+        # versions stay answerable across compactions.  ``_pins`` counts
+        # readers per version; ``_retained`` holds each pinned version's
+        # materialized relation, captured at pin time, so ``compact()``
+        # never has to reconstruct history and a pin after compaction is
+        # a dict lookup, not a replay.
+        self._pins: dict[int, int] = {}
+        self._retained: dict[int, Relation] = {}
 
     @property
     def schema(self) -> tuple[str, ...]:
@@ -389,6 +397,10 @@ class VersionedRelation:
         artifact stays (a live pool baseline may still map it), and the
         next pool bind ships the new base as a file reference instead of
         a buffer.
+
+        Pinned versions (:meth:`pin`) survive compaction: their relations
+        were retained at pin time, so dropping the old base here cannot
+        invalidate a reader — the pinned object lives until :meth:`unpin`.
         """
         self.base = self.current
         self.runs = []
@@ -396,6 +408,81 @@ class VersionedRelation:
         store = self.base.store
         if store is not None:
             store.ensure(self.base.column_set(self.base.schema))
+
+    # -- MVCC pinning (serving snapshots) ----------------------------------------
+
+    def pin(self, version: int | None = None) -> int:
+        """Pin ``version`` (default: current) against compaction.
+
+        While a version is pinned, :meth:`snapshot` keeps answering for it
+        even after :meth:`compact` promotes a newer version to the base —
+        the pinned relation object is retained until the matching
+        :meth:`unpin` (the *compaction liveness* contract: a pinned base
+        stays alive until its last reader drops).  Pinning the current or
+        base version is zero-copy; pinning an interior logged version pays
+        one delta-sized replay, once.
+
+        Not thread-safe: call from the thread that owns the log (the
+        serving layer funnels pin/unpin through its single writer thread).
+        """
+        if version is None:
+            version = self.version
+        retained = self._retained.get(version)
+        if retained is None:
+            retained = self.snapshot(version)
+            self._retained[version] = retained
+        self._pins[version] = self._pins.get(version, 0) + 1
+        return version
+
+    def unpin(self, version: int) -> None:
+        """Drop one pin on ``version``; the last drop releases its retention."""
+        count = self._pins.get(version)
+        if count is None:
+            raise IncrementalError(
+                f"{self.name}: version {version} is not pinned"
+            )
+        if count > 1:
+            self._pins[version] = count - 1
+        else:
+            del self._pins[version]
+            del self._retained[version]
+
+    def snapshot(self, version: int | None = None) -> Relation:
+        """The immutable relation as of ``version`` — an MVCC read view.
+
+        The current and base versions are served by reference (zero copy);
+        a pinned version by its retained reference; any other version still
+        inside the log ``[base_version, version]`` is reconstructed from
+        ``(base, run-prefix)`` by delta-sized merges.  Versions compacted
+        away without a pin raise :class:`IncrementalError`.  The returned
+        relation is an ordinary immutable :class:`Relation` — every column,
+        trie, and join contract holds on it unchanged, and it stays valid
+        (bit-identical to a frozen copy at ``version``) no matter how far
+        the log advances afterwards.
+        """
+        if version is None:
+            version = self.version
+        if version == self.version:
+            return self.current
+        retained = self._retained.get(version)
+        if retained is not None:
+            return retained
+        if not self.base_version <= version <= self.version:
+            raise IncrementalError(
+                f"{self.name}: version {version} compacted away unpinned "
+                f"(retained log [{self.base_version}, {self.version}])"
+            )
+        relation = self.base
+        for run in self.runs[: version - self.base_version]:
+            relation = advance_relation(
+                relation, run.rows, run.signs, name=self.name
+            )
+        return relation
+
+    @property
+    def pinned_versions(self) -> tuple[int, ...]:
+        """The distinct pinned versions, ascending (introspection/tests)."""
+        return tuple(sorted(self._pins))
 
     def runs_since(self, version: int) -> list[SignedDelta]:
         """The pending runs that lift ``version`` to the current version.

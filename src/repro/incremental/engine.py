@@ -229,6 +229,23 @@ class IncrementalQueryEngine:
         self._require_bound()
         return self._names[name].current
 
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """The base relation names the query references (atom order)."""
+        self._require_bound()
+        return tuple(self._names)
+
+    def relation_log(self, name: str) -> VersionedRelation:
+        """The name-level log of one base relation.
+
+        The serving layer's snapshot registry pins versions on these logs
+        (:meth:`VersionedRelation.pin`) from its writer thread; everything
+        else should treat the log as read-only and go through
+        :meth:`insert`/:meth:`delete`/:meth:`refresh`.
+        """
+        self._require_bound()
+        return self._names[name]
+
     def _require_bound(self) -> None:
         if self._database is None:
             raise IncrementalError(

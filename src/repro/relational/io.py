@@ -29,6 +29,7 @@ __all__ = [
     "save_relation_csv",
     "load_database_dir",
     "load_changes_csv",
+    "iter_change_feed",
     "load_change_feed",
     "save_changes_csv",
 ]
@@ -194,23 +195,33 @@ def save_changes_csv(
             writer.writerow(("-",) + tuple(row))
 
 
-def load_change_feed(
+def iter_change_feed(
     directory: str | Path, pattern: str = "*.changes.csv", delimiter: str = ","
-) -> list[tuple[str, tuple[str, ...], list[tuple], list[tuple]]]:
-    """Load every change-feed CSV in a directory, in sorted (batch) order.
+):
+    """Yield change-feed batches from a directory, in sorted (batch) order.
 
     Feed files are named ``<relation>.changes.csv`` (or anything matching
     ``pattern`` whose stem's first dot-component names the relation); each
-    file is one batch against that relation.  Returns
-    ``(relation_name, schema, inserts, deletes)`` per file.
+    file is one batch against that relation, yielded as
+    ``(relation_name, schema, inserts, deletes)``.
+
+    Lazy: one file is parsed per step, so a long feed never materializes
+    up front — ``repro serve`` applies (or sheds) batch *k* before batch
+    *k+1* is even read, keeping memory flat at one batch.  The directory
+    listing is snapshotted at the first step.
     """
     directory = Path(directory)
-    feeds = []
     for path in sorted(directory.glob(pattern)):
         name = path.name.split(".", 1)[0]
         schema, inserts, deletes = load_changes_csv(path, delimiter=delimiter)
-        feeds.append((name, schema, inserts, deletes))
-    return feeds
+        yield name, schema, inserts, deletes
+
+
+def load_change_feed(
+    directory: str | Path, pattern: str = "*.changes.csv", delimiter: str = ","
+) -> list[tuple[str, tuple[str, ...], list[tuple], list[tuple]]]:
+    """Every change-feed batch, materialized (see :func:`iter_change_feed`)."""
+    return list(iter_change_feed(directory, pattern=pattern, delimiter=delimiter))
 
 
 def load_database_dir(

@@ -1,0 +1,45 @@
+"""Concurrent serving: MVCC snapshot reads over the incremental engine.
+
+The layers below this one (engines, worker pool, IVM) assume one caller at
+a time.  This package is the long-lived concurrent front end the "heavy
+traffic" story needs:
+
+* :mod:`~repro.serving.snapshot` — cross-relation snapshot **epochs**.
+  One committed write batch = one epoch; readers pin an epoch and see an
+  immutable, epoch-consistent view of every relation plus the maintained
+  query result, all zero-copy references into the log-structured
+  :class:`~repro.incremental.delta.VersionedRelation` store.
+* :mod:`~repro.serving.server` — the request broker: a single writer
+  thread funnels write batches through the IVM path and publishes epochs;
+  a reader thread pool serves snapshot-pinned reads concurrently.
+* :mod:`~repro.serving.admission` — backpressure: bounded write queue,
+  bounded in-flight reads, shed-with-``retry_after`` on overload, and
+  per-request latency / snapshot-epoch-spread metrics.
+* :mod:`~repro.serving.engine` — :class:`ServingEngine`, the
+  QueryEngine-shaped facade (``execute`` to bind+serve, ``submit`` /
+  ``read`` futures, ``checkpoint`` for persisted restarts).
+
+**The snapshot/compaction liveness contract** (pinned throughout the
+package and in :meth:`VersionedRelation.pin`): a version pinned by any
+live snapshot stays answerable — bit-identical to a frozen copy of the
+database at that version — until its last reader drops, across any number
+of writer batches and compactions; and all log mutation, including the
+pin/unpin bookkeeping that enforces this, happens on the single writer
+thread.
+"""
+
+from repro.serving.admission import AdmissionController, MetricSeries
+from repro.serving.engine import ServingEngine
+from repro.serving.server import SnapshotServer, WriteReceipt
+from repro.serving.snapshot import EpochState, Snapshot, SnapshotRegistry
+
+__all__ = [
+    "AdmissionController",
+    "EpochState",
+    "MetricSeries",
+    "ServingEngine",
+    "Snapshot",
+    "SnapshotRegistry",
+    "SnapshotServer",
+    "WriteReceipt",
+]

@@ -1,0 +1,147 @@
+"""Backpressure and per-request metrics for the serving front end.
+
+Admission control keeps the broker's queues bounded: at most
+``max_pending_writes`` write batches waiting for the writer thread and at
+most ``max_inflight_reads`` admitted-but-unfinished reads.  A request over
+either limit is **shed** with :class:`~repro.exceptions.OverloadError`
+carrying ``retry_after`` — the client backs off and retries, so overload
+degrades into pacing rather than unbounded queueing (the memory- and
+latency-blowup mode of an unprotected server).
+
+:class:`MetricSeries` records per-request samples (latencies, epoch
+spreads) thread-safely and summarizes them as count/mean/p50/p99/max.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.exceptions import OverloadError
+
+__all__ = ["AdmissionController", "MetricSeries", "percentile"]
+
+
+def percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 when empty).
+
+    ``fraction`` in ``[0, 1]``; rank ``ceil(fraction * n)`` per the
+    classic nearest-rank definition, so ``percentile(s, 1.0)`` is the max.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered), max(1, math.ceil(fraction * len(ordered))))
+    return ordered[rank - 1]
+
+
+class MetricSeries:
+    """A thread-safe series of numeric samples with percentile summaries."""
+
+    __slots__ = ("_lock", "_samples")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+
+    def samples(self) -> list[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def summary(self) -> dict:
+        """``{count, mean, p50, p99, max}`` over the samples so far."""
+        samples = self.samples()
+        if not samples:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+                    "max": 0.0}
+        return {
+            "count": len(samples),
+            "mean": sum(samples) / len(samples),
+            "p50": percentile(samples, 0.50),
+            "p99": percentile(samples, 0.99),
+            "max": max(samples),
+        }
+
+
+class AdmissionController:
+    """Bounded write queue + reader cap, shed-with-retry-after on overload.
+
+    The broker calls ``enter_*`` before admitting a request and the
+    matching ``exit_*`` when the request finishes (success or failure);
+    both are cheap counter updates under one lock.  Shed requests are
+    counted and raised as :class:`OverloadError` — they never enter a
+    queue, so a saturated server's memory footprint stays flat.
+    """
+
+    def __init__(
+        self,
+        max_pending_writes: int = 256,
+        max_inflight_reads: int = 64,
+        retry_after: float = 0.05,
+    ) -> None:
+        self.max_pending_writes = max(1, max_pending_writes)
+        self.max_inflight_reads = max(1, max_inflight_reads)
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._pending_writes = 0
+        self._inflight_reads = 0
+        self._writes_admitted = 0
+        self._writes_shed = 0
+        self._reads_admitted = 0
+        self._reads_shed = 0
+
+    # -- write path --------------------------------------------------------------
+
+    def enter_write_queue(self) -> None:
+        """Admit one write into the (bounded) queue, or shed it."""
+        with self._lock:
+            if self._pending_writes >= self.max_pending_writes:
+                self._writes_shed += 1
+                raise OverloadError(
+                    f"write queue full ({self.max_pending_writes} pending); "
+                    f"retry in {self.retry_after}s",
+                    retry_after=self.retry_after,
+                )
+            self._pending_writes += 1
+            self._writes_admitted += 1
+
+    def exit_write_queue(self) -> None:
+        with self._lock:
+            self._pending_writes -= 1
+
+    # -- read path ---------------------------------------------------------------
+
+    def enter_read(self) -> None:
+        """Admit one read (bounded in-flight count), or shed it."""
+        with self._lock:
+            if self._inflight_reads >= self.max_inflight_reads:
+                self._reads_shed += 1
+                raise OverloadError(
+                    f"read capacity full ({self.max_inflight_reads} in "
+                    f"flight); retry in {self.retry_after}s",
+                    retry_after=self.retry_after,
+                )
+            self._inflight_reads += 1
+            self._reads_admitted += 1
+
+    def exit_read(self) -> None:
+        with self._lock:
+            self._inflight_reads -= 1
+
+    # -- introspection -----------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Admission totals: admitted/shed per path plus current loads."""
+        with self._lock:
+            return {
+                "writes_admitted": self._writes_admitted,
+                "writes_shed": self._writes_shed,
+                "reads_admitted": self._reads_admitted,
+                "reads_shed": self._reads_shed,
+                "pending_writes": self._pending_writes,
+                "inflight_reads": self._inflight_reads,
+            }

@@ -1,0 +1,214 @@
+"""Cross-relation snapshot epochs: MVCC read views for concurrent serving.
+
+One committed write batch = one **epoch**.  At each epoch the writer thread
+captures an :class:`EpochState` — the per-relation versions it pinned on the
+:class:`~repro.incremental.delta.VersionedRelation` logs, the relation
+objects those versions resolve to, and the maintained view — and publishes
+it into the :class:`SnapshotRegistry`.  Readers :meth:`~SnapshotRegistry.pin`
+the current epoch and get a :class:`Snapshot`: an immutable, epoch-consistent
+view of every relation plus the maintained query result, all zero-copy
+references into the log-structured store.
+
+Snapshot/compaction liveness contract
+-------------------------------------
+
+* Every relation a snapshot can reach is an ordinary immutable
+  :class:`~repro.relational.relation.Relation` whose columns, sorted orders,
+  and tries satisfy the zero-copy contracts — a reader at epoch *e* sees
+  exactly the rows a frozen copy of the database at *e* would hold, bit for
+  bit, no matter how far the writer has advanced or compacted since.
+* The writer pins each published version on its log
+  (:meth:`VersionedRelation.pin`), and compaction retains pinned versions,
+  so promoting a new base can never invalidate a live snapshot.  Pins are
+  released only after the last reader of the epoch drops *and* only on the
+  writer thread (the registry parks fully-released epochs until the writer
+  drains them at the next publish or at close), keeping every log mutation
+  single-threaded.
+* Reader threads never touch mutable state: a :class:`Snapshot` is built
+  from references captured at publish time.  The lazy caches they may
+  populate on shared relations (column transposes, tries, sorted orders)
+  are idempotent — concurrent duplicate computation is benign under the
+  GIL and every thread observes an equivalent value.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.query_plans import PlanResult
+from repro.exceptions import ServingError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+__all__ = ["EpochState", "Snapshot", "SnapshotRegistry"]
+
+
+class EpochState:
+    """One published epoch: pinned versions + the relations they resolve to.
+
+    Created by the writer thread at publish time; immutable afterwards
+    except for the registry-guarded ``pins`` refcount.
+    """
+
+    __slots__ = ("epoch", "versions", "relations", "view", "boolean", "pins")
+
+    def __init__(
+        self,
+        epoch: int,
+        versions: dict[str, int],
+        relations: dict[str, Relation],
+        view: Relation,
+        boolean: bool,
+    ) -> None:
+        self.epoch = epoch
+        self.versions = versions
+        self.relations = relations
+        self.view = view
+        self.boolean = boolean
+        self.pins = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochState(epoch={self.epoch}, versions={self.versions}, "
+            f"pins={self.pins})"
+        )
+
+
+class Snapshot:
+    """A pinned, immutable, epoch-consistent view of the served database.
+
+    Valid from :meth:`SnapshotRegistry.pin` until :meth:`release` (also a
+    context manager).  All accessors are safe from any thread: they only
+    read references captured when the epoch was published.
+    """
+
+    __slots__ = ("epoch", "versions", "_registry", "_state", "_database",
+                 "_released")
+
+    def __init__(self, registry: "SnapshotRegistry", state: EpochState) -> None:
+        self.epoch = state.epoch
+        self.versions = state.versions
+        self._registry = registry
+        self._state = state
+        self._database = None
+        self._released = False
+
+    @property
+    def database(self) -> Database:
+        """The pinned relations as a :class:`Database` (built on demand)."""
+        if self._database is None:
+            self._database = Database(
+                [self._state.relations[name] for name in self._state.relations]
+            )
+        return self._database
+
+    def relation(self, name: str) -> Relation:
+        """One pinned base relation."""
+        return self._state.relations[name]
+
+    def result(self) -> PlanResult:
+        """The maintained query result at this epoch (bit-identical to a
+        from-scratch run over :attr:`database`)."""
+        state = self._state
+        return PlanResult(relation=state.view, boolean=state.boolean)
+
+    def release(self) -> None:
+        """Drop the pin (idempotent).  The underlying relations stay valid
+        for as long as the caller holds references to them — release only
+        lets the registry retire the epoch's log pins."""
+        if not self._released:
+            self._released = True
+            self._registry._release(self._state)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"Snapshot(epoch={self.epoch}, versions={self.versions})"
+
+
+class SnapshotRegistry:
+    """Epoch bookkeeping between one writer and many readers.
+
+    The writer :meth:`publish`\\ es each committed epoch and receives back
+    the list of *retired* epochs — fully released, no longer current —
+    whose log pins it must now drop (see the module docstring: all
+    :class:`VersionedRelation` mutation stays on the writer thread).
+    Readers :meth:`pin` the current epoch; the last :meth:`Snapshot.release`
+    parks the epoch for the writer's next drain.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current: EpochState | None = None
+        # Published epochs whose log pins have not been dropped yet.
+        self._live: dict[int, EpochState] = {}
+        # Fully-released non-current epochs awaiting the writer's drain.
+        self._released: list[EpochState] = []
+
+    @property
+    def current_epoch(self) -> int:
+        """The newest published epoch (``-1`` before the first publish)."""
+        with self._lock:
+            return -1 if self._current is None else self._current.epoch
+
+    def oldest_live_epoch(self) -> int:
+        """The oldest epoch still holding log pins (``-1`` when none)."""
+        with self._lock:
+            return min(self._live) if self._live else -1
+
+    def publish(self, state: EpochState) -> list[EpochState]:
+        """Install ``state`` as current; return the epochs to unpin.
+
+        Writer thread only.  The returned states' per-relation versions
+        must be unpinned from their logs by the caller — the registry has
+        already forgotten them.
+        """
+        with self._lock:
+            previous = self._current
+            self._current = state
+            self._live[state.epoch] = state
+            retired = self._released
+            self._released = []
+            if previous is not None and previous.pins == 0:
+                retired.append(previous)
+            for old in retired:
+                self._live.pop(old.epoch, None)
+            return retired
+
+    def pin(self) -> Snapshot:
+        """Pin the current epoch (any thread); raises before first publish."""
+        with self._lock:
+            state = self._current
+            if state is None:
+                raise ServingError(
+                    "no epoch published — the server is not serving yet"
+                )
+            state.pins += 1
+            return Snapshot(self, state)
+
+    def _release(self, state: EpochState) -> None:
+        with self._lock:
+            state.pins -= 1
+            if (
+                state.pins == 0
+                and state is not self._current
+                and state.epoch in self._live
+            ):
+                self._released.append(state)
+
+    def close(self) -> list[EpochState]:
+        """Forget every epoch; return all of them for final unpinning.
+
+        Outstanding :class:`Snapshot` objects stay readable (they hold
+        plain references) but new pins are refused.
+        """
+        with self._lock:
+            states = [self._live[epoch] for epoch in sorted(self._live)]
+            self._live = {}
+            self._released = []
+            self._current = None
+            return states

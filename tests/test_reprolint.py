@@ -165,6 +165,12 @@ class TestRLCounter:
         source = "from repro.relational import work_counter\n"
         assert codes(source, "tests/test_columnar_engine.py") == []
 
+    def test_serving_modules_in_scope(self):
+        # Serving reader threads must never touch the global proxy — reads
+        # run off the main thread, where the proxy would silently misroute.
+        source = "from repro.relational.operators import work_counter\n"
+        assert codes(source, "src/repro/serving/engine.py") == ["RL-COUNTER"]
+
 
 HASHORD_PATH = "src/repro/planner/example.py"
 
@@ -195,6 +201,16 @@ class TestRLHashord:
 
     def test_set_iteration_outside_canonical_modules_passes(self):
         assert codes("for x in set(xs):\n    f(x)\n", "src/repro/cli.py") == []
+
+    def test_serving_modules_in_set_scope(self):
+        # The serving layer publishes snapshots whose rows feed canonical
+        # output, so it lives inside the set-order scope.
+        assert codes(
+            "for x in set(xs):\n    f(x)\n", "src/repro/serving/server.py"
+        ) == ["RL-HASHORD"]
+        assert codes(
+            "rows = list({a, b})\n", "src/repro/serving/snapshot.py"
+        ) == ["RL-HASHORD"]
 
     def test_hash_sort_key_fires_everywhere(self):
         assert codes("ys = sorted(xs, key=hash)\n", "tests/test_x.py") == [

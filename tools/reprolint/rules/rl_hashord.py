@@ -36,6 +36,7 @@ SET_SCOPE_PREFIXES = (
     "src/repro/planner/",
     "src/repro/parallel/",
     "src/repro/incremental/",
+    "src/repro/serving/",
     "src/repro/faq/",
 )
 
