@@ -1,0 +1,235 @@
+"""Recursive datalog fixpoint: the semi-naïve vs naive gate.
+
+The recursive subsystem's claim (``docs/datalog.md``) is that semi-naïve
+evaluation does delta-sized work per round while naive re-evaluation
+re-joins every rule body against the full accumulated IDB.  This bench
+runs transitive closure on a 10^5-edge sparse random digraph —
+vertex-disjoint random chains built from ``LAYERS`` node layers joined
+by random perfect matchings, so the fixpoint depth (and the round count
+both arms share) is ``LAYERS - 1`` and the closure size stays bounded —
+and gates ``DatalogEngine`` at ``DATALOG_MIN_SPEEDUP`` (default 5x)
+over ``evaluate_program_naive`` on total fixpoint wall-clock.  Both
+arms run the same number of rounds to the same fixpoint, so the same
+factor bounds the naive-over-semi-naïve per-round average.  The naive
+arm is also the oracle: its rows are checked bit-identical against the
+engine's before any timing is trusted.
+
+A maintenance-shaped metric rides along: after the fixpoint, a
+1%-sized batch of random bridge edges is inserted and ``refresh()`` —
+a monotone continuation, no derived tuple recomputed — is gated at
+``DATALOG_MIN_MAINT_SPEEDUP`` (default 2x) over a plan-warm
+``recompute()`` on the post-batch data, cross-checked bit-identical
+the same way (the recompute *is* the continuation's oracle, so its
+wall-clock is measured on work the bench needs anyway).
+
+Measurements go to a JSON perf artifact under ``benchmarks/out/`` (env
+``DATALOG_BENCH_JSON`` overrides), which the perf-trajectory gate
+(``benchmarks/perf_trajectory.py``) folds into ``perf_summary.json``
+and compares against the committed baseline.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.fixpoint import evaluate_program_naive
+from repro.datalog.parser import parse_program
+from repro.relational import Database, Relation
+
+from _bench_utils import artifact_path, print_table
+
+MIN_SPEEDUP = float(os.environ.get("DATALOG_MIN_SPEEDUP", "5.0"))
+MIN_MAINT_SPEEDUP = float(os.environ.get("DATALOG_MIN_MAINT_SPEEDUP", "2.0"))
+SCALE = int(os.environ.get("DATALOG_BENCH_SCALE", str(10**5)))
+LAYERS = int(os.environ.get("DATALOG_BENCH_LAYERS", "26"))
+DELTA_SHARE = float(os.environ.get("DATALOG_BENCH_DELTA", "0.01"))
+JSON_PATH = artifact_path(
+    "datalog_fixpoint.json", os.environ.get("DATALOG_BENCH_JSON")
+)
+
+TC_PROGRAM = parse_program(
+    """
+    path(x, y) :- edge(x, y).
+    path(x, z) :- edge(x, y), path(y, z).
+    """
+)
+
+
+def _matching_digraph(rng, width, layers):
+    """Random sparse digraph of bounded depth: layered perfect matchings.
+
+    ``layers`` layers of ``width`` nodes; consecutive layers are joined
+    by an independently shuffled perfect matching, so the graph is a set
+    of ``width`` vertex-disjoint random chains of length ``layers`` —
+    out-degree <= 1 (sparse), ``width * (layers - 1)`` edges, and a
+    transitive closure of exactly ``width * C(layers, 2)`` paths derived
+    over exactly ``layers - 1`` semi-naïve rounds.
+    """
+    rows = []
+    prev = list(range(width))
+    for layer in range(1, layers):
+        nxt = [layer * width + i for i in range(width)]
+        rng.shuffle(nxt)
+        rows.extend(zip(prev, nxt))
+        prev = nxt
+    return rows
+
+
+def _bridge_batch(rng, width, layers, existing, count):
+    """``count`` fresh random forward edges between consecutive layers.
+
+    Bridges cross chains (a node acquires a second out-edge), so the
+    continuation derives genuinely new cross-chain paths while the
+    program stays monotone — exactly the insert-only shape ``refresh()``
+    turns into a continuation instead of a recompute.
+    """
+    batch = set()
+    while len(batch) < count:
+        source = rng.randrange((layers - 1) * width)
+        target = (source // width + 1) * width + rng.randrange(width)
+        if (source, target) not in existing:
+            batch.add((source, target))
+    existing.update(batch)
+    return sorted(batch)
+
+
+def _measure(rng, width, layers):
+    edges = _matching_digraph(rng, width, layers)
+    database = Database([Relation("edge", ("x", "y"), edges)])
+
+    engine = DatalogEngine(TC_PROGRAM)
+    try:
+        start = time.perf_counter()
+        result = engine.execute(database)
+        semi_s = time.perf_counter() - start
+        rounds = engine.stats.rounds
+
+        start = time.perf_counter()
+        oracle = evaluate_program_naive(TC_PROGRAM, database)
+        naive_s = time.perf_counter() - start
+        assert result["path"].code_rows == oracle["path"].code_rows, (
+            "semi-naïve fixpoint diverged from the naive oracle"
+        )
+
+        existing = set(edges)
+        batch = _bridge_batch(
+            rng, width, layers, existing, max(2, int(len(edges) * DELTA_SHARE))
+        )
+        engine.insert("edge", batch)
+        start = time.perf_counter()
+        maintained = engine.refresh()
+        maintain_s = time.perf_counter() - start
+        assert engine.stats.continuations == 1, (
+            "insert-only bridge batch should continue, not recompute"
+        )
+
+        # The plan-warm recompute is the continuation's oracle.
+        start = time.perf_counter()
+        recomputed = engine.recompute()
+        recompute_s = time.perf_counter() - start
+        assert maintained["path"].code_rows == recomputed["path"].code_rows, (
+            "continuation diverged from the from-scratch recompute"
+        )
+        stats = engine.stats
+    finally:
+        engine.close()
+
+    return {
+        "workload": f"tc/{layers}-layer-matching",
+        "edges": len(edges),
+        "paths": len(result["path"]),
+        "rounds": rounds,
+        "semi_naive_s": round(semi_s, 4),
+        "naive_s": round(naive_s, 4),
+        "semi_naive_per_round_s": round(semi_s / rounds, 4),
+        "naive_per_round_s": round(naive_s / rounds, 4),
+        "fixpoint_speedup": round(naive_s / semi_s, 2),
+        "delta_edges": len(batch),
+        "delta_paths": len(maintained["path"]) - len(result["path"]),
+        "maintain_s": round(maintain_s, 4),
+        "recompute_s": round(recompute_s, 4),
+        "maintain_speedup": round(recompute_s / maintain_s, 2),
+        "fixpoint": {
+            "full_evaluations": stats.full_evaluations,
+            "delta_terms": stats.delta_terms,
+            "derived_rows": stats.derived_rows,
+            "replans": stats.replans,
+        },
+    }
+
+
+def test_datalog_fixpoint_speedup(benchmark):
+    """Gate: semi-naïve fixpoint >= MIN_SPEEDUP x naive re-evaluation."""
+    rng = random.Random(0xDA7A)
+    width = max(2, SCALE // (LAYERS - 1))
+    entry = _measure(rng, width, LAYERS)
+
+    print_table(
+        f"Semi-naïve vs naive transitive closure @ {entry['edges']} edges",
+        ["workload", "paths", "rounds", "naive s", "semi s", "speedup"],
+        [
+            [
+                entry["workload"],
+                entry["paths"],
+                entry["rounds"],
+                entry["naive_s"],
+                entry["semi_naive_s"],
+                f"{entry['fixpoint_speedup']}x",
+            ]
+        ],
+    )
+    print_table(
+        f"Continuation vs recompute @ {entry['delta_edges']} bridge edges",
+        ["workload", "new paths", "recompute s", "maintain s", "speedup"],
+        [
+            [
+                entry["workload"],
+                entry["delta_paths"],
+                entry["recompute_s"],
+                entry["maintain_s"],
+                f"{entry['maintain_speedup']}x",
+            ]
+        ],
+    )
+
+    payload = {
+        "benchmark": "datalog_fixpoint",
+        "min_speedup_gate": MIN_SPEEDUP,
+        "min_maint_speedup_gate": MIN_MAINT_SPEEDUP,
+        "scale": SCALE,
+        "layers": LAYERS,
+        "delta_share": DELTA_SHARE,
+        "results": [entry],
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"perf artifact written to {JSON_PATH}")
+
+    assert entry["fixpoint_speedup"] >= MIN_SPEEDUP, (
+        f"{entry['workload']}: semi-naïve speedup "
+        f"{entry['fixpoint_speedup']}x below the {MIN_SPEEDUP}x gate"
+    )
+    assert entry["maintain_speedup"] >= MIN_MAINT_SPEEDUP, (
+        f"{entry['workload']}: continuation speedup "
+        f"{entry['maintain_speedup']}x below the {MIN_MAINT_SPEEDUP}x gate"
+    )
+
+    # One steady-state continuation round as the tracked benchmark body.
+    small_width = max(2, SCALE // 10 // (LAYERS - 1))
+    edges = _matching_digraph(rng, small_width, LAYERS)
+    existing = set(edges)
+    engine = DatalogEngine(TC_PROGRAM)
+    engine.execute(Database([Relation("edge", ("x", "y"), edges)]))
+
+    def one_round():
+        engine.insert(
+            "edge", _bridge_batch(rng, small_width, LAYERS, existing, 50)
+        )
+        return engine.refresh()
+
+    try:
+        benchmark(one_round)
+    finally:
+        engine.close()

@@ -1,0 +1,130 @@
+"""Recursive datalog: transitive closure, maintained as edges come and go.
+
+Walkthrough of the `repro.datalog` recursive subsystem (docs/datalog.md):
+
+1. parse a two-rule transitive-closure program, stratify it, and run the
+   semi-naïve fixpoint through :class:`DatalogEngine` — each round applies
+   only the previous round's *fresh* tuples through the delta rule
+   d(R₁⋈…⋈Rₖ) = Σᵢ R₁'⋈…⋈dRᵢ⋈…⋈Rₖ, so a round costs what it derives;
+2. insert edges and ``refresh()``: an insert-only batch *continues* the
+   fixpoint from the current derivations (no derived tuple recomputed),
+   bit-identical to evaluating from scratch;
+3. delete edges and ``refresh()``: retractions reset only the affected
+   strata and re-run them — still bit-identical to the naive oracle;
+4. add a stratified-negation stratum (unreachable pairs) on top and watch
+   it re-derive as reachability changes.
+
+Run with::
+
+    PYTHONPATH=src python examples/transitive_closure.py
+"""
+
+import random
+import time
+
+from repro.datalog import DatalogEngine, evaluate_program_naive, parse_program
+from repro.relational import Database, Relation
+
+TC = """
+# reachability = transitive closure of edge
+path(x,y) :- edge(x,y).
+path(x,z) :- path(x,y), edge(y,z).
+"""
+
+UNREACHABLE = TC + """
+node(x) :- path(x,y).   % endpoints only, to keep the example square
+node(y) :- path(x,y).
+unreach(x,y) :- node(x), node(y), !path(x,y).
+"""
+
+
+def random_graph(rng, nodes, edges):
+    out = set()
+    while len(out) < edges:
+        out.add((rng.randrange(nodes), rng.randrange(nodes)))
+    return out
+
+
+def edge_database(edges):
+    return Database((Relation.from_pairs("edge", "src", "dst", sorted(edges)),))
+
+
+def check_against_naive(engine, program, edges):
+    oracle = evaluate_program_naive(program, edge_database(edges))
+    for name in program.idb_predicates:
+        assert engine.relation(name).code_rows == oracle[name].code_rows
+    return oracle
+
+
+def main() -> None:
+    rng = random.Random(20170612)
+    edges = random_graph(rng, nodes=300, edges=900)
+
+    program = parse_program(TC)
+    strata = program.stratify()
+    print(
+        f"{len(program.rules)} rules, {len(strata)} stratum "
+        f"(recursive={strata[0].recursive}), EDB={program.edb_predicates}, "
+        f"IDB={program.idb_predicates}"
+    )
+
+    engine = DatalogEngine(program)
+    start = time.perf_counter()
+    result = engine.execute(edge_database(edges))
+    print(
+        f"fixpoint: {len(result['path'])} path tuples from {len(edges)} "
+        f"edges in {time.perf_counter() - start:.3f}s "
+        f"({engine.stats.rounds} delta rounds, "
+        f"{engine.stats.derived_rows} rows derived — each exactly once)"
+    )
+    check_against_naive(engine, program, edges)
+
+    # -- inserts continue the fixpoint --------------------------------------
+    fresh = {row for row in random_graph(rng, 300, 60) if row not in edges}
+    edges |= fresh
+    engine.insert("edge", sorted(fresh))
+    start = time.perf_counter()
+    result = engine.refresh()
+    print(
+        f"+{len(fresh)} edges: {len(result['path'])} paths maintained in "
+        f"{time.perf_counter() - start:.3f}s — continuation "
+        f"(continuations={engine.stats.continuations}, no derived tuple "
+        f"recomputed)"
+    )
+    check_against_naive(engine, program, edges)
+
+    # -- deletes re-run only the affected strata ----------------------------
+    gone = set(rng.sample(sorted(edges), 40))
+    edges -= gone
+    engine.delete("edge", sorted(gone))
+    start = time.perf_counter()
+    result = engine.refresh()
+    print(
+        f"-{len(gone)} edges: {len(result['path'])} paths maintained in "
+        f"{time.perf_counter() - start:.3f}s — retraction "
+        f"(recomputes={engine.stats.recomputes}; affected strata only)"
+    )
+    check_against_naive(engine, program, edges)
+    engine.close()
+
+    # -- stratified negation on top -----------------------------------------
+    program = parse_program(UNREACHABLE)
+    print(
+        f"\nnegation program: {len(program.stratify())} strata "
+        f"(path, then node, then !path)"
+    )
+    small = random_graph(rng, nodes=25, edges=45)
+    engine = DatalogEngine(program)
+    result = engine.execute(edge_database(small))
+    print(
+        f"{len(result['node'])} endpoint nodes, {len(result['path'])} "
+        f"reachable pairs, {len(result['unreach'])} unreachable pairs "
+        f"(= {len(result['node'])}^2 - {len(result['path'])})"
+    )
+    check_against_naive(engine, program, small)
+    engine.close()
+    print("all results bit-identical to naive re-evaluation")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,8 @@
 Public API highlights (see README.md for the architecture):
 
 * :mod:`repro.bounds` — AGM / polymatroid / entropic-outer size bounds;
-* :mod:`repro.datalog` — conjunctive queries and disjunctive datalog rules;
+* :mod:`repro.datalog` — conjunctive queries, disjunctive datalog rules,
+  and recursive programs (:class:`~repro.datalog.DatalogEngine`);
 * :func:`repro.core.panda.panda` — the PANDA algorithm (Algorithm 1);
 * :mod:`repro.core.query_plans` — full/Boolean CQ evaluation at DAPB,
   da-fhtw, and da-subw runtimes (Corollaries 7.10/7.11/7.13, Theorem 1.9);
@@ -31,7 +32,11 @@ from repro.core.setfunctions import SetFunction
 from repro.datalog import (
     Atom,
     ConjunctiveQuery,
+    DatalogEngine,
+    DatalogProgram,
+    DatalogRule,
     DisjunctiveRule,
+    parse_program,
     parse_query,
     parse_rule,
 )
@@ -44,6 +49,9 @@ __all__ = [
     "ConjunctiveQuery",
     "ConstraintSet",
     "Database",
+    "DatalogEngine",
+    "DatalogProgram",
+    "DatalogRule",
     "DegreeConstraint",
     "DisjunctiveRule",
     "Hypergraph",
@@ -58,6 +66,7 @@ __all__ = [
     "log_size_bound",
     "panda",
     "panda_full_query",
+    "parse_program",
     "parse_query",
     "parse_rule",
     "tree_decomposition_plan",

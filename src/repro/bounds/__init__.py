@@ -1,4 +1,10 @@
-"""Output-size bounds: edge covers, polymatroid LPs, entropic outer bounds."""
+"""Output-size bounds: edge covers, polymatroid LPs, entropic outer bounds.
+
+Architecture layer 3 (see ``docs/architecture.md``), on top of the exact
+LP layer.  Contract: every bound, dual witness, and gap is exact
+``fractions.Fraction`` arithmetic end to end — mask-indexed on the hot
+paths, frozenset-facing only at the :class:`BoundResult` boundary.
+"""
 
 from repro.bounds.edge_covers import (
     agm_bound,

@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six commands expose the paper's pipeline on user queries and CSV data:
+Seven commands expose the paper's pipeline on user queries and CSV data
+(full per-command reference: ``docs/cli.md``):
 
 * ``bound``  — output-size bounds (AGM / polymatroid / entropic-outer) of a
   query or disjunctive rule under declared constraints;
@@ -14,6 +15,9 @@ Six commands expose the paper's pipeline on user queries and CSV data:
 * ``run``    — evaluate a query (PANDA da-subw driver) or a disjunctive rule
   (PANDA) over a directory of CSV relations (``--data``) or a persisted
   database directory (``--data-dir``);
+* ``datalog`` — evaluate a recursive (optionally stratified-negation)
+  datalog program to fixpoint semi-naïvely (:mod:`repro.datalog.fixpoint`),
+  with optional change feeds maintained through the affected strata only;
 * ``serve``  — materialize a query once, then apply change-feed batches
   (``<relation>.changes.csv`` files with a ``+``/``-`` op column): with
   ``--apply-deltas`` the result is maintained incrementally
@@ -340,6 +344,84 @@ def cmd_run(args) -> int:
 
 
 
+def cmd_datalog(args) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.datalog.engine import DatalogEngine
+    from repro.datalog.parser import parse_program
+    from repro.relational.io import iter_change_feed, save_relation_csv
+    from repro.relational.operators import scoped_work_counter
+
+    program = parse_program(Path(args.program).read_text(encoding="utf-8"))
+    database = _load_database(args)
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    driver = args.driver or "generic"
+    feeds = iter_change_feed(args.changes) if args.changes else ()
+
+    def describe(result) -> None:
+        for name in result.names:
+            print(f"  {name}: {len(result[name])} tuples")
+
+    with scoped_work_counter() as counter, DatalogEngine(
+        program,
+        workers=max(1, args.workers),
+        execution_backend=args.backend,
+    ) as engine:
+        recursive = sum(1 for stratum in engine.strata if stratum.recursive)
+        print(
+            f"{len(program.rules)} rule(s), {len(engine.strata)} "
+            f"stratum(-a) ({recursive} recursive)"
+        )
+        start = time.perf_counter()
+        result = engine.execute(database, driver=driver)
+        print(
+            f"fixpoint in {time.perf_counter() - start:.3f}s "
+            f"({engine.stats.rounds} delta round(s), driver {driver})"
+        )
+        describe(result)
+        for index, (name, schema, inserts, deletes) in enumerate(feeds):
+            relation = engine.relation(name)
+            engine.insert(name, _align_feed(relation, schema, inserts))
+            engine.delete(name, _align_feed(relation, schema, deletes))
+            start = time.perf_counter()
+            result = engine.refresh(driver=driver)
+            print(
+                f"batch {index} [{name} +{len(inserts)}/-{len(deletes)}]: "
+                f"maintained in {time.perf_counter() - start:.3f}s"
+            )
+            describe(result)
+        if out_dir:
+            for name in result.names:
+                save_relation_csv(result[name], out_dir / f"{name}.csv")
+            print(f"written to {out_dir}")
+        else:
+            for name in result.names:
+                relation = result[name]
+                print(f"{name}:")
+                for row in sorted(relation, key=repr)[: args.limit]:
+                    print("  " + ", ".join(map(str, row)))
+                if len(relation) > args.limit:
+                    print(f"  ... ({len(relation) - args.limit} more)")
+        if args.stats:
+            s = engine.stats
+            print(
+                f"fixpoint: {s.strata} stratum run(s), {s.rounds} round(s), "
+                f"{s.full_evaluations} full join(s), {s.delta_terms} delta "
+                f"term(s), {s.derived_rows} derived row(s), "
+                f"{s.continuations} continuation(s), "
+                f"{s.recomputes} recompute(s), {s.compactions} compaction(s)"
+            )
+            print(f"plan cache: {engine.cache_stats}")
+            print(
+                f"work: {counter.tuples_scanned} scanned, "
+                f"{counter.tuples_emitted} emitted ({counter.total} total)"
+            )
+    return 0
+
+
 def _align_feed(relation, feed_schema, rows):
     """Realign change-feed rows onto the relation's schema by column name.
 
@@ -656,6 +738,55 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_BACKEND, else vectorized when numpy is available)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_datalog = sub.add_parser(
+        "datalog",
+        help="evaluate a recursive datalog program to fixpoint "
+             "(semi-naïve; change feeds maintain only affected strata)",
+    )
+    p_datalog.add_argument(
+        "--program", required=True,
+        help="program file: '.'-separated rules with '#'/'%%' line comments "
+             "and '!'/'not' stratified negation (see docs/datalog.md)",
+    )
+    datalog_src = p_datalog.add_mutually_exclusive_group(required=True)
+    datalog_src.add_argument(
+        "--data", help="directory of CSV relations (header = schema)"
+    )
+    datalog_src.add_argument(
+        "--data-dir", dest="data_dir",
+        help="persisted database directory (see `repro ingest`)",
+    )
+    p_datalog.add_argument(
+        "--changes",
+        help="directory of <relation>.changes.csv feeds (as in `repro "
+             "serve`): each batch re-runs only the strata it affects",
+    )
+    p_datalog.add_argument("--out", help="directory to write result CSVs "
+                                         "(one per derived predicate)")
+    p_datalog.add_argument("--limit", type=int, default=20,
+                           help="max rows to print per predicate without --out")
+    p_datalog.add_argument(
+        "--driver", default=None,
+        choices=("generic", "leapfrog", "yannakakis", "panda"),
+        help="round-0 rule-body strategy (delta rounds are driver-"
+             "independent; results are bit-identical regardless)",
+    )
+    p_datalog.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan each round's delta-join terms out over N worker "
+             "processes (results bit-identical to serial)",
+    )
+    p_datalog.add_argument(
+        "--backend", default=None,
+        choices=("interpreted", "vectorized"),
+        help="execution kernels: tuple-at-a-time interpreter or numpy "
+             "block kernels (bit-identical results; default: "
+             "$REPRO_BACKEND, else vectorized when numpy is available)",
+    )
+    p_datalog.add_argument("--stats", action="store_true",
+                           help="report fixpoint, plan-cache and work totals")
+    p_datalog.set_defaults(func=cmd_datalog)
 
     p_serve = sub.add_parser(
         "serve",

@@ -1,4 +1,14 @@
-"""Core: hypergraphs, constraints, set functions, PANDA, and query plans."""
+"""Core: hypergraphs, constraints, set functions, PANDA, and query plans.
+
+Architecture layers 1 and 4 (see ``docs/architecture.md``): the mask
+kernel — variables interned to bit positions (:mod:`~repro.core.varmap`),
+set functions as flat mask-indexed tables
+(:mod:`~repro.core.setfunctions`) — plus the PANDA algorithm
+(:mod:`~repro.core.panda`) and the query-plan drivers
+(:mod:`~repro.core.query_plans`).  Contract: proof/witness paths are
+exact ``Fraction`` end to end, and subset iteration orders are
+deterministic (size-lexicographic), never hash-dependent.
+"""
 
 from repro.core.constraints import (
     ConstraintSet,

@@ -1,16 +1,49 @@
-"""Datalog layer: conjunctive queries and single disjunctive datalog rules."""
+"""Datalog layer (layer 5 of 12 — see ``docs/architecture.md``).
+
+Conjunctive queries, disjunctive datalog rules (the paper's §8 front end),
+and — new in the recursive subsystem — stratified datalog programs
+evaluated to fixpoint semi-naïvely on the IVM machinery
+(:mod:`repro.datalog.fixpoint`, :mod:`repro.datalog.engine`).
+
+Contract: evaluation is **exact** and **deterministic** — fixpoint results
+are canonical sorted relations, bit-identical across every driver,
+execution backend, and worker count, and bit-identical to naive
+re-evaluation (:func:`~repro.datalog.fixpoint.evaluate_program_naive`).
+Program syntax and semantics are documented in ``docs/datalog.md``.
+"""
 
 from repro.datalog.atoms import Atom
 from repro.datalog.conjunctive import ConjunctiveQuery
-from repro.datalog.parser import parse_atom, parse_query, parse_rule
+from repro.datalog.engine import DatalogEngine, DatalogResult
+from repro.datalog.fixpoint import (
+    DatalogProgram,
+    DatalogRule,
+    Stratum,
+    evaluate_program_naive,
+)
+from repro.datalog.parser import (
+    parse_atom,
+    parse_datalog_rule,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
 from repro.datalog.rule import DisjunctiveRule, TargetModel
 
 __all__ = [
     "Atom",
     "ConjunctiveQuery",
+    "DatalogEngine",
+    "DatalogProgram",
+    "DatalogResult",
+    "DatalogRule",
     "DisjunctiveRule",
+    "Stratum",
     "TargetModel",
+    "evaluate_program_naive",
     "parse_atom",
+    "parse_datalog_rule",
+    "parse_program",
     "parse_query",
     "parse_rule",
 ]

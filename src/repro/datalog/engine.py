@@ -1,0 +1,699 @@
+""":class:`DatalogEngine` — recursive programs as a maintained database.
+
+The :class:`~repro.planner.QueryEngine`-shaped facade over
+:mod:`repro.datalog.fixpoint`: construct it from a
+:class:`~repro.datalog.fixpoint.DatalogProgram` (or program text),
+``execute(database)`` once to stratify and run the semi-naïve fixpoint,
+then ``insert``/``delete`` EDB facts and ``refresh()`` instead of
+re-executing — only the strata affected by a batch re-run, and when the
+batch is monotone for them (insert-only, no negation on a changed
+predicate) they *continue* from their current fixpoint by seeding the
+delta rounds with the batch itself, never touching the accumulated
+derivations.
+
+Rule bodies plan through the shared :class:`~repro.planner.Planner` with
+power-of-two-pinned cardinality constraints, so each body plans exactly
+once per isomorphism class and round-0 evaluations across refreshes are
+cache hits (``cache_stats``).  With ``workers > 1`` the delta-rule terms
+of each round fan out over the :mod:`repro.parallel` worker pool using the
+same resident-base protocol as the incremental engine: bases ship once per
+compaction epoch, rounds ship only their (tiny) delta runs.
+
+The engine's contract is the repo-wide one: results are bit-identical to
+:func:`~repro.datalog.fixpoint.evaluate_program_naive` for every driver,
+execution backend, and worker count.  See ``docs/datalog.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.constraints import ConstraintSet, DegreeConstraint
+from repro.datalog.conjunctive import ConjunctiveQuery
+from repro.datalog.fixpoint import (
+    DatalogProgram,
+    DatalogRule,
+    FixpointStats,
+    PredicateStore,
+    Stratum,
+    TermJob,
+    execute_jobs_serial,
+    run_stratum,
+)
+from repro.exceptions import DatalogError, IncrementalError, QueryError
+from repro.incremental.delta import SignedDelta
+from repro.incremental.ivm import execute_delta_term
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+__all__ = ["DatalogEngine", "DatalogResult"]
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << max(0, n - 1).bit_length()
+
+
+@dataclass(frozen=True, eq=False)
+class DatalogResult:
+    """The fixpoint: one canonical relation per derived predicate.
+
+    Relations carry sorted distinct code rows over the predicate's
+    canonical schema — the same rows for every driver, backend, and worker
+    count, and bit-identical to the naive oracle's.
+    """
+
+    relations: Mapping[str, Relation]
+
+    def __getitem__(self, name: str) -> Relation:
+        relation = self.relations.get(name)
+        if relation is None:
+            raise DatalogError(f"{name} is not a derived predicate")
+        return relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.relations))
+
+    def __iter__(self):
+        return iter(self.names)
+
+
+class DatalogEngine:
+    """Evaluate and incrementally maintain a stratified datalog program.
+
+    Example:
+        >>> engine = DatalogEngine(parse_program(text))    # doctest: +SKIP
+        >>> result = engine.execute(database)  # stratify + fixpoint
+        >>> engine.insert("edge", [("d", "e")])
+        >>> result = engine.refresh()          # only affected strata re-run
+        >>> result["path"]                     # canonical Relation
+
+    The program is stratified at construction, so a non-stratifiable
+    program fails before any data is touched.  ``insert``/``delete`` only
+    accept base (EDB) predicates — derived content is the program's job.
+    """
+
+    DRIVERS = ("generic", "leapfrog", "yannakakis", "panda")
+
+    def __init__(
+        self,
+        program: DatalogProgram | str,
+        constraints: ConstraintSet | None = None,
+        backend: str = "exact",
+        planner=None,
+        workers: int = 1,
+        execution_backend: str | None = None,
+    ) -> None:
+        from repro.planner import Planner
+
+        if isinstance(program, str):
+            from repro.datalog.parser import parse_program
+
+            program = parse_program(program)
+        self.program = program
+        self.strata: tuple[Stratum, ...] = program.stratify()
+        self.constraints = constraints
+        self.backend = backend
+        if execution_backend is not None:
+            from repro.relational.backend import resolve_backend
+
+            resolve_backend(execution_backend)  # fail fast on a typo
+        self.execution_backend = execution_backend
+        self.planner = planner if planner is not None else Planner()
+        self.workers = max(1, workers)
+        self.stats = FixpointStats()
+        self._store: PredicateStore | None = None
+        self._source = None
+        self._pending: dict[str, tuple[list, list]] = {}
+        self._materialized = False
+        self._driver = "generic"
+        self._rule_engines: dict[DatalogRule, object] = {}
+        self._rule_pinned: dict[DatalogRule, ConstraintSet] = {}
+        self._pool = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def cache_stats(self):
+        """The shared planner's cache statistics (hit-rate contract)."""
+        return self.planner.stats
+
+    def close(self) -> None:
+        """Shut down the worker pool and per-rule engines (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        for engine in self._rule_engines.values():
+            engine.close()
+        self._rule_engines = {}
+
+    def __enter__(self) -> "DatalogEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- binding -----------------------------------------------------------------
+
+    def bind(self, database: Database) -> None:
+        """Adopt ``database`` as the EDB (resets any previous binding)."""
+        self.close()
+        arities: dict[str, int] = {}
+        for rule in self.program.rules:
+            for atom in (rule.head,) + rule.body + rule.negated:
+                arities[atom.name] = atom.arity
+        for name in self.program.edb_predicates:
+            if name not in database:
+                raise DatalogError(
+                    f"base predicate {name} is missing from the database"
+                )
+            relation = database[name]
+            if len(relation.schema) != arities[name]:
+                raise DatalogError(
+                    f"base predicate {name} has arity {len(relation.schema)} "
+                    f"in the database but {arities[name]} in the program"
+                )
+        for name in self.program.idb_predicates:
+            if name in database:
+                raise DatalogError(
+                    f"derived predicate {name} is already a database "
+                    f"relation — rename one of them"
+                )
+        store = PredicateStore()
+        for name in self.program.edb_predicates:
+            store.adopt(database[name])
+        for name in self.program.idb_predicates:
+            store.adopt(
+                Relation.from_codes(name, self.program.schema(name), [])
+            )
+        self._register_atoms(store)
+        self._store = store
+        self._source = database
+        self._pending = {}
+        self._materialized = False
+        self._rule_pinned = {}
+        self.stats = FixpointStats()
+
+    def _register_atoms(self, store: PredicateStore) -> None:
+        for rule in self.program.rules:
+            for atom in rule.body + rule.negated:
+                store.register(atom)
+
+    def _require_bound(self) -> PredicateStore:
+        if self._store is None:
+            raise IncrementalError(
+                "engine is not bound — call execute(database) first"
+            )
+        return self._store
+
+    def relation(self, name: str) -> Relation:
+        """The current version of any predicate (EDB or IDB)."""
+        store = self._require_bound()
+        if name not in store:
+            raise DatalogError(f"unknown predicate {name}")
+        return store.relation(name)
+
+    # -- changes -----------------------------------------------------------------
+
+    def insert(self, name: str, rows: Iterable[tuple]) -> None:
+        """Buffer EDB fact inserts (applied on the next refresh)."""
+        self._buffer(name, rows, 0)
+
+    def delete(self, name: str, rows: Iterable[tuple]) -> None:
+        """Buffer EDB fact deletes (applied on the next refresh)."""
+        self._buffer(name, rows, 1)
+
+    def _buffer(self, name: str, rows: Iterable[tuple], side: int) -> None:
+        self._require_bound()
+        if name not in self.program.edb_predicates:
+            raise IncrementalError(
+                f"{name!r} is not a base (EDB) predicate — derived facts "
+                f"are the program's job"
+            )
+        entry = self._pending.setdefault(name, ([], []))
+        entry[side].extend(tuple(row) for row in rows)
+
+    @property
+    def has_pending_changes(self) -> bool:
+        return any(ins or dels for ins, dels in self._pending.values())
+
+    def discard_pending(self) -> None:
+        """Drop the buffered (uncommitted) changes.
+
+        A batch that fails validation on refresh stays buffered — nothing
+        was applied — so the caller can fix or discard it wholesale.
+        """
+        self._pending = {}
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self, database: Database | None = None, driver: str = "generic"
+    ) -> DatalogResult:
+        """Bind (first call) or refresh; returns a :class:`DatalogResult`.
+
+        Passing a *different* database re-binds from scratch; passing the
+        bound database (or ``None``) applies any pending EDB changes
+        through the affected strata and serves the maintained fixpoint.
+        ``driver`` selects how round-0 rule bodies evaluate; delta rounds
+        are driver-independent and the result is bit-identical regardless.
+        """
+        if driver not in self.DRIVERS:
+            raise QueryError(
+                f"unknown driver {driver!r}; pick from {self.DRIVERS}"
+            )
+        if database is not None and database is not self._source:
+            self.bind(database)
+        self._require_bound()
+        self._driver = driver
+        from repro.relational.backend import scoped_backend
+
+        with scoped_backend(self.execution_backend):
+            if not self._materialized:
+                self._initial_run()
+                self._materialized = True
+            else:
+                self._commit()
+        return self._result()
+
+    def refresh(self, driver: str = "generic") -> DatalogResult:
+        """Apply pending EDB changes and return the maintained fixpoint."""
+        return self.execute(None, driver)
+
+    def recompute(self, driver: str = "generic") -> DatalogResult:
+        """A from-scratch fixpoint on the current data (fallback/oracle path).
+
+        Applies any pending changes first, resets every derived predicate,
+        and re-runs all strata.  Shares the planner and pinned constraints,
+        so repeated recomputes stay plan-warm; tests use this to pin the
+        continuation path's bit-identity.
+        """
+        if driver not in self.DRIVERS:
+            raise QueryError(
+                f"unknown driver {driver!r}; pick from {self.DRIVERS}"
+            )
+        store = self._require_bound()
+        self._driver = driver
+        from repro.relational.backend import scoped_backend
+
+        with scoped_backend(self.execution_backend):
+            deltas = self._drain_pending()
+            for name in sorted(deltas):
+                store.apply(name, deltas[name])
+            self._reset_predicates(self.program.idb_predicates)
+            for stratum in self.strata:
+                run_stratum(
+                    stratum, self.program, store, self.stats,
+                    evaluate_rule=self._evaluate_rule,
+                    executor=self._executor(),
+                )
+            self.stats.compactions += store.compact(sorted(deltas))
+        self._materialized = True
+        self.stats.recomputes += 1
+        return self._result()
+
+    def annotated(self, name: str, semiring, weight=None):
+        """The fixpoint of one predicate lifted into ``semiring``.
+
+        Set semantics throughout: each derived tuple is annotated once
+        (via ``weight``, default the semiring's unit lifting), not once
+        per derivation — derivation counting diverges on cyclic data.
+        Lifted results inherit the bit-identity contract because the
+        underlying relation does.
+        """
+        from repro.faq.annotated import AnnotatedRelation
+
+        store = self._require_bound()
+        if name not in self.program.idb_predicates:
+            raise DatalogError(f"{name} is not a derived predicate")
+        if not self._materialized:
+            raise IncrementalError(
+                "no fixpoint yet — call execute(database) first"
+            )
+        return AnnotatedRelation.from_relation(
+            store.relation(name), semiring, weight
+        )
+
+    def _result(self) -> DatalogResult:
+        store = self._require_bound()
+        return DatalogResult(
+            {
+                name: store.relation(name)
+                for name in self.program.idb_predicates
+            }
+        )
+
+    # -- the fixpoint paths ----------------------------------------------------------
+
+    def _initial_run(self) -> None:
+        store = self._require_bound()
+        for stratum in self.strata:
+            run_stratum(
+                stratum, self.program, store, self.stats,
+                evaluate_rule=self._evaluate_rule,
+                executor=self._executor(),
+            )
+
+    def _drain_pending(self) -> dict[str, SignedDelta]:
+        """Validate and return the pending batch as per-relation deltas.
+
+        Validation happens before anything mutates: a
+        :class:`~repro.exceptions.DeltaError` leaves every predicate
+        untouched with the batch still buffered.
+        """
+        store = self._require_bound()
+        deltas: dict[str, SignedDelta] = {}
+        for name in sorted(self._pending):
+            inserts, deletes = self._pending[name]
+            delta = SignedDelta.from_changes(
+                store.relation(name), inserts, deletes
+            )
+            if not delta.is_empty:
+                deltas[name] = delta
+        self._pending = {}
+        return deltas
+
+    def _commit(self) -> bool:
+        """Apply one EDB batch through the affected strata; True if changed."""
+        store = self._require_bound()
+        deltas = self._drain_pending()
+        if not deltas:
+            return False
+        self.stats.batches += 1
+        affected = self._affected_strata(frozenset(deltas))
+        insert_only = all(
+            min(delta.signs) > 0 for delta in deltas.values()
+        )
+        changed = set(deltas)
+        for stratum in affected:
+            changed.update(stratum.predicates)
+        negation_hit = any(
+            atom.name in changed
+            for stratum in affected
+            for rule in stratum.rules
+            for atom in rule.negated
+        )
+        if insert_only and not negation_hit:
+            # Monotone for every affected stratum: the current fixpoints
+            # are valid under-approximations, so the batch seeds their
+            # delta rounds directly — no derived tuple is recomputed.
+            self._continue_strata(deltas, affected)
+            self.stats.continuations += 1
+        else:
+            # Deletes (or negation over a changed predicate) can retract
+            # derived tuples; affected strata reset and re-run.  The
+            # affected set is downward-closed, so everything else keeps
+            # its fixpoint untouched.
+            self._recompute_strata(deltas, affected)
+            self.stats.recomputes += 1
+        self.stats.compactions += store.compact(sorted(deltas))
+        return True
+
+    def _affected_strata(self, changed: frozenset) -> list[Stratum]:
+        """The strata reading a changed predicate, downward-closed, in order."""
+        affected = []
+        dirty = set(changed)
+        for stratum in self.strata:
+            if any(
+                name in dirty
+                for rule in stratum.rules
+                for name in rule.body_predicates
+            ):
+                affected.append(stratum)
+                dirty.update(stratum.predicates)
+        return affected
+
+    def _continue_strata(
+        self, deltas: dict[str, SignedDelta], affected: list[Stratum]
+    ) -> None:
+        store = self._require_bound()
+        # Announcements: changed predicate -> (net insert delta, the
+        # pre-change binding relations).  Downstream strata consume them as
+        # seed rounds; snapshots stay valid because a predicate is
+        # quiescent between its announcement and every consumption.
+        announced: dict[str, tuple[SignedDelta, dict]] = {}
+        for name in sorted(deltas):
+            snapshot = {
+                key: store.binding_by_key(key).current
+                for key in store.binding_keys(name)
+            }
+            store.apply(name, deltas[name])
+            announced[name] = (deltas[name], snapshot)
+        for stratum in affected:
+            referenced = {
+                name
+                for rule in stratum.rules
+                for name in rule.body_predicates
+            }
+            seeds: dict[str, SignedDelta] = {}
+            seed_old: dict[tuple, Relation] = {}
+            for name in sorted(announced):
+                if name in referenced:
+                    delta, snapshot = announced[name]
+                    seeds[name] = delta
+                    seed_old.update(snapshot)
+            if not seeds:
+                continue
+            pre: dict[str, dict] = {
+                name: {
+                    key: store.binding_by_key(key).current
+                    for key in store.binding_keys(name)
+                }
+                for name in stratum.predicates
+            }
+            fresh = run_stratum(
+                stratum, self.program, store, self.stats,
+                evaluate_rule=self._evaluate_rule,
+                executor=self._executor(),
+                seeds=seeds,
+                seed_old=seed_old,
+            )
+            for name in sorted(fresh):
+                rows = sorted(fresh[name])
+                announced[name] = (
+                    SignedDelta(
+                        self.program.schema(name), rows, [1] * len(rows)
+                    ),
+                    pre[name],
+                )
+
+    def _recompute_strata(
+        self, deltas: dict[str, SignedDelta], affected: list[Stratum]
+    ) -> None:
+        store = self._require_bound()
+        for name in sorted(deltas):
+            store.apply(name, deltas[name])
+        reset = sorted(
+            {name for stratum in affected for name in stratum.predicates}
+        )
+        self._reset_predicates(reset)
+        for stratum in affected:
+            run_stratum(
+                stratum, self.program, store, self.stats,
+                evaluate_rule=self._evaluate_rule,
+                executor=self._executor(),
+            )
+
+    def _reset_predicates(self, names: Sequence[str]) -> None:
+        store = self._require_bound()
+        for name in names:
+            store.adopt(
+                Relation.from_codes(name, self.program.schema(name), [])
+            )
+        # adopt() drops the name's binding logs; re-register every atom so
+        # the delta rounds find their bindings (a no-op for live ones).
+        self._register_atoms(store)
+
+    # -- round-0 rule evaluation (planner path) ----------------------------------------
+
+    def _evaluate_rule(self, state) -> list:
+        """One rule's full positive body join on the current data.
+
+        Empty inputs shortcut to the empty join — a recursive rule whose
+        stratum predicate is still empty at round 0 never reaches the
+        planner, so plans are built only for joins that can produce rows.
+        """
+        store = self._require_bound()
+        rule = state.rule
+        current: dict[str, Relation] = {}
+        for atom in rule.body:
+            current.setdefault(atom.name, store.relation(atom.name))
+        if any(relation.is_empty() for relation in current.values()):
+            return []
+        engine = self._rule_engine(rule)
+        result = engine.execute(
+            Database(tuple(current.values())),
+            driver=self._driver,
+            constraints=self._pinned_for(rule),
+        )
+        return result.relation.code_rows
+
+    def _rule_engine(self, rule: DatalogRule):
+        engine = self._rule_engines.get(rule)
+        if engine is None:
+            from repro.parallel import ParallelQueryEngine
+
+            engine = ParallelQueryEngine(
+                ConjunctiveQuery.full(rule.body, name=rule.head.name),
+                backend=self.backend,
+                planner=self.planner,
+                workers=1,
+                execution_backend=self.execution_backend,
+            )
+            self._rule_engines[rule] = engine
+        return engine
+
+    def _pinned_for(self, rule: DatalogRule) -> ConstraintSet:
+        """Power-of-two-rounded per-rule cardinalities: stable plan keys.
+
+        Mirrors the incremental engine's pinning: the same data-independent
+        plan serves while relation sizes drift within a factor of two, and
+        a predicate outgrowing its bound re-pins (``stats.replans``) —
+        which is what makes round-0 evaluations across refreshes planner
+        cache hits instead of fresh plans.
+        """
+        if self.constraints is not None:
+            return self.constraints
+        store = self._require_bound()
+        bindings = [
+            (atom, store.binding(atom).current) for atom in rule.body
+        ]
+        pinned = self._rule_pinned.get(rule)
+        if pinned is not None:
+            by_key: dict[tuple, int] = {}
+            for c in pinned:
+                bound = by_key.get(c.y_key)
+                by_key[c.y_key] = (
+                    c.bound if bound is None else min(bound, c.bound)
+                )
+            stale = any(
+                len(relation) > by_key[tuple(sorted(atom.variables))]
+                for atom, relation in bindings
+            )
+            if not stale:
+                return pinned
+            self.stats.replans += 1
+        constraints = []
+        seen = set()
+        for atom, relation in bindings:
+            y = tuple(sorted(atom.variables))
+            bound = _next_power_of_two(max(1, len(relation)))
+            if (y, bound) not in seen:
+                seen.add((y, bound))
+                constraints.append(DegreeConstraint.make((), y, bound))
+        pinned = ConstraintSet(constraints)
+        self._rule_pinned[rule] = pinned
+        return pinned
+
+    # -- pooled delta terms ----------------------------------------------------------
+
+    def _executor(self):
+        if self.workers <= 1:
+            return execute_jobs_serial
+        return self._execute_jobs_pooled
+
+    def _execute_jobs_pooled(self, jobs: Sequence[TermJob]) -> list:
+        """Fan a round's delta-rule terms out over the worker pool.
+
+        The binding-level *base* relations are resident in the workers
+        under content-digest tokens (shipped once per compaction epoch);
+        each term task carries only the signed runs lifting a base to the
+        version its side of the delta rule needs, plus the term's (tiny)
+        delta rows.  Jobs without version lifts — seed rounds consuming
+        announcement snapshots — run in-process alongside.
+        """
+        from repro.parallel.pool import (
+            WorkerPool,
+            pack_output_rows,
+            run_delta_term_task,
+            unpack_columns,
+        )
+        from repro.relational.backend import current_backend
+        from repro.relational.operators import current_counter
+
+        store = self._require_bound()
+        pooled = [
+            (position, job)
+            for position, job in enumerate(jobs)
+            if job.versions is not None
+        ]
+        if len(pooled) <= 1:
+            return execute_jobs_serial(jobs)
+
+        logs = {}
+        for _, job in pooled:
+            for key in job.keys:
+                if key not in logs:
+                    logs[key] = store.binding_by_key(key)
+        token_of = {}
+        tokens = []
+        entries = []
+        for key in sorted(logs):
+            log = logs[key]
+            token = f"{key[0]}|{'.'.join(key[1])}"
+            token_of[key] = token
+            column_set = log.base.column_set(log.base.schema)
+            digest = column_set.content_digest()
+            tokens.append((token, digest))
+            entries.append((token, log.base.schema, log.base, digest))
+        tokens = tuple(tokens)
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        self._pool.ensure_database(tokens, entries)
+
+        packed_runs: dict[tuple, tuple | None] = {}
+
+        def runs_payload(key, version):
+            log = logs[key]
+            if version == log.base_version:
+                return None
+            cache_key = (key, version)
+            if cache_key not in packed_runs:
+                arity = len(log.base.schema)
+                packed_runs[cache_key] = tuple(
+                    (pack_output_rows(run.rows, arity), run.signs.tobytes())
+                    for run in log.runs[: version - log.base_version]
+                )
+            return packed_runs[cache_key]
+
+        # Resolved under the engine's ``scoped_backend`` (see ``execute``),
+        # so workers run each term under the same backend as the serial path.
+        exec_backend = current_backend()
+        tasks = []
+        for _, job in pooled:
+            specs = []
+            for j, key in enumerate(job.keys):
+                token = token_of[key]
+                if j == job.index:
+                    buffer = pack_output_rows(job.delta_rows, len(key[1]))
+                    specs.append(("delta", token, buffer))
+                    continue
+                payload = runs_payload(key, job.versions[j])
+                if payload is None:
+                    specs.append(("resident", token))
+                else:
+                    specs.append(
+                        ("version", token, job.versions[j], payload)
+                    )
+            tasks.append(
+                (tokens, job.state.order, tuple(specs), exec_backend)
+            )
+
+        outputs = self._pool.map(run_delta_term_task, tasks)
+        self.stats.pooled_rounds += 1
+        counter = current_counter()
+        results: list = [None] * len(jobs)
+        for (position, job), (buffer, counts) in zip(pooled, outputs):
+            counter.absorb(counts)
+            rows, _ = unpack_columns(buffer, len(job.state.order))
+            results[position] = rows
+        for position, job in enumerate(jobs):
+            if results[position] is None:
+                results[position] = execute_delta_term(
+                    job.relations, job.state.order, job.index
+                )
+        return results

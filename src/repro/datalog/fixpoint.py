@@ -1,0 +1,850 @@
+"""Recursive Datalog: stratification + semi-naïve fixpoint on the IVM kernels.
+
+A :class:`DatalogProgram` is a set of rules ``head :- body`` (single-atom
+heads, optionally negated body atoms).  Evaluation proceeds in two layers,
+both documented in ``docs/datalog.md``:
+
+* **Stratification** (:meth:`DatalogProgram.stratify`): the predicate
+  dependency graph is condensed into strongly connected components
+  (iterative Tarjan over sorted adjacency — deterministic), each SCC
+  becomes one :class:`Stratum`, strata are ordered topologically, and a
+  negated dependency *inside* an SCC (a negative cycle) is rejected with
+  :class:`~repro.exceptions.DatalogError` — the classic stratified-negation
+  condition: by the time a stratum runs, every negated predicate is final.
+
+* **Semi-naïve fixpoint** (:func:`run_stratum`): the PR 5 delta rule
+
+      d(R₁ ⋈ … ⋈ Rₖ) = Σᵢ R₁' ⋈ … ⋈ dRᵢ ⋈ … ⋈ Rₖ
+
+  *is* semi-naïve evaluation's inner step.  Each round's newly derived
+  tuples become an insert-only :class:`~repro.incremental.delta.SignedDelta`
+  applied to the predicate's log-structured
+  :class:`~repro.incremental.delta.VersionedRelation`; every rule whose body
+  references a changed predicate re-fires only through
+  :func:`~repro.incremental.ivm.execute_delta_term` — delta-first variable
+  orders, delta-scoped trie-root bounds, probe intersections — so a round
+  costs what the round *derived*, not the accumulated database.  Because
+  within-stratum deltas are insert-only over set relations, the delta-rule
+  terms telescope to exactly the new body-join rows, each derived once.
+
+:func:`evaluate_program_naive` is the independent oracle: full re-join of
+every rule body per round until nothing changes.  The engine's bit-identity
+contract (``tests/test_datalog_fixpoint.py``) pins semi-naïve == naive for
+every driver and execution backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.datalog.atoms import Atom
+from repro.exceptions import DatalogError
+from repro.incremental.delta import SignedDelta, VersionedRelation
+from repro.incremental.ivm import execute_delta_term
+from repro.relational.columns import Dictionary
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+__all__ = [
+    "DatalogProgram",
+    "DatalogRule",
+    "FixpointStats",
+    "PredicateStore",
+    "Stratum",
+    "TermJob",
+    "evaluate_program_naive",
+    "run_stratum",
+]
+
+
+@dataclass(frozen=True)
+class DatalogRule:
+    """One rule ``head :- body, !negated`` (single-atom head).
+
+    Attributes:
+        head: the derived atom; its predicate becomes an IDB predicate.
+        body: the positive body atoms (at least one; exact duplicates
+            collapse — they cannot change the join).
+        negated: negated body atoms; stratified semantics (the negated
+            predicate must be final before the rule's stratum runs).
+
+    Safety: every head variable and every negated-atom variable must occur
+    in some positive body atom, so the rule's bindings always come from the
+    positive join and negation is a per-row filter.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+    negated: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(dict.fromkeys(self.body)))
+        object.__setattr__(self, "negated", tuple(dict.fromkeys(self.negated)))
+        if not self.body:
+            raise DatalogError(
+                f"rule for {self.head} needs at least one positive body atom"
+            )
+        positive = frozenset(
+            v for atom in self.body for v in atom.variables
+        )
+        unsafe = [v for v in self.head.variables if v not in positive]
+        if unsafe:
+            raise DatalogError(
+                f"unsafe rule {self}: head variable(s) {unsafe} do not occur "
+                f"in any positive body atom"
+            )
+        for atom in self.negated:
+            unsafe = [v for v in atom.variables if v not in positive]
+            if unsafe:
+                raise DatalogError(
+                    f"unsafe rule {self}: negated atom {atom} binds {unsafe} "
+                    f"outside the positive body"
+                )
+
+    @property
+    def variable_order(self) -> tuple[str, ...]:
+        """The canonical (sorted) order over the positive body variables."""
+        return tuple(sorted({v for atom in self.body for v in atom.variables}))
+
+    @property
+    def body_predicates(self) -> tuple[str, ...]:
+        """Distinct predicate names the body references (positive + negated)."""
+        names = [a.name for a in self.body] + [a.name for a in self.negated]
+        return tuple(dict.fromkeys(names))
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.body]
+        parts += [f"!{atom}" for atom in self.negated]
+        return f"{self.head} :- {', '.join(parts)}"
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One evaluation unit: an SCC of the predicate dependency graph.
+
+    Attributes:
+        index: position in the topological stratum order.
+        predicates: the stratum's IDB predicates, sorted.
+        rules: the rules deriving them, in program order.
+        recursive: whether any rule's body references a stratum predicate
+            (mutual recursion makes ``len(predicates) > 1``).
+    """
+
+    index: int
+    predicates: tuple[str, ...]
+    rules: tuple[DatalogRule, ...]
+    recursive: bool
+
+    @property
+    def depends_on(self) -> tuple[str, ...]:
+        """Predicates the stratum reads that it does not derive (sorted)."""
+        inside = frozenset(self.predicates)
+        names = {
+            name
+            for rule in self.rules
+            for name in rule.body_predicates
+            if name not in inside
+        }
+        return tuple(sorted(names))
+
+
+@dataclass(frozen=True)
+class DatalogProgram:
+    """A validated rule set with consistent arities and named IDB schemas."""
+
+    rules: tuple[DatalogRule, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(dict.fromkeys(self.rules)))
+        if not self.rules:
+            raise DatalogError("a datalog program needs at least one rule")
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head,) + rule.body + rule.negated:
+                known = arities.get(atom.name)
+                if known is None:
+                    arities[atom.name] = atom.arity
+                elif known != atom.arity:
+                    raise DatalogError(
+                        f"predicate {atom.name} used with arity {atom.arity} "
+                        f"and {known} — arities must be consistent"
+                    )
+
+    @property
+    def idb_predicates(self) -> tuple[str, ...]:
+        """The derived (head) predicates, sorted."""
+        return tuple(sorted({rule.head.name for rule in self.rules}))
+
+    @property
+    def edb_predicates(self) -> tuple[str, ...]:
+        """The base predicates — referenced but never derived, sorted."""
+        idb = frozenset(self.idb_predicates)
+        names = {
+            name
+            for rule in self.rules
+            for name in rule.body_predicates
+            if name not in idb
+        }
+        return tuple(sorted(names))
+
+    def schema(self, predicate: str) -> tuple[str, ...]:
+        """The canonical attribute names of one IDB predicate.
+
+        The first head occurrence (program order) names the columns; every
+        other occurrence realigns by positional code translation, exactly
+        like atom binding against a stored relation.
+        """
+        for rule in self.rules:
+            if rule.head.name == predicate:
+                return rule.head.variables
+        raise DatalogError(f"{predicate} is not a derived predicate")
+
+    def stratify(self) -> tuple[Stratum, ...]:
+        """SCC-condense the dependency graph into topologically ordered strata.
+
+        Raises :class:`DatalogError` when a negated dependency closes a
+        cycle (the program is not stratifiable).
+        """
+        idb = frozenset(self.idb_predicates)
+        successors: dict[str, list[str]] = {name: [] for name in sorted(idb)}
+        for rule in self.rules:
+            for name in rule.body_predicates:
+                if name in idb and rule.head.name not in successors[name]:
+                    successors[name].append(rule.head.name)
+        components = _tarjan_components(successors)
+        component_of = {
+            name: index
+            for index, component in enumerate(components)
+            for name in component
+        }
+        for rule in self.rules:
+            for atom in rule.negated:
+                if atom.name not in idb:
+                    continue
+                if component_of[atom.name] == component_of[rule.head.name]:
+                    cycle = ", ".join(
+                        components[component_of[rule.head.name]]
+                    )
+                    raise DatalogError(
+                        f"program is not stratifiable: {rule.head.name} "
+                        f"depends on !{atom.name} inside the recursive "
+                        f"component {{{cycle}}} (negative cycle)"
+                    )
+        strata = []
+        for index, component in enumerate(components):
+            inside = frozenset(component)
+            rules = tuple(
+                rule for rule in self.rules if rule.head.name in inside
+            )
+            recursive = any(
+                name in inside
+                for rule in rules
+                for name in rule.body_predicates
+            )
+            strata.append(
+                Stratum(
+                    index=index,
+                    predicates=component,
+                    rules=rules,
+                    recursive=recursive,
+                )
+            )
+        return tuple(strata)
+
+    def __str__(self) -> str:
+        # Valid program text: ``parse_program(str(program))`` round-trips.
+        return "\n".join(f"{rule}." for rule in self.rules)
+
+
+def _tarjan_components(
+    successors: Mapping[str, Sequence[str]]
+) -> tuple[tuple[str, ...], ...]:
+    """SCCs of a directed graph, in topological order of the condensation.
+
+    Iterative Tarjan (no recursion-depth limit on deep derivation chains)
+    over sorted roots and sorted adjacency, so the component order — and
+    hence the stratum order — is a pure function of the program text.
+    Tarjan emits each component after all components it reaches, i.e. in
+    reverse topological order; reversing gives sources (dependencies)
+    first, which is the evaluation order.
+    """
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: dict[str, bool] = {}
+    stack: list[str] = []
+    emitted: list[tuple[str, ...]] = []
+    counter = 0
+    for root in sorted(successors):
+        if root in index_of:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            children = sorted(successors[node])
+            advanced = False
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack.get(child):
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                emitted.append(tuple(sorted(component)))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return tuple(reversed(emitted))
+
+
+@dataclass
+class FixpointStats:
+    """Counters describing the fixpoint work performed so far.
+
+    ``rounds`` counts delta rounds (a round that derives nothing terminates
+    its stratum); ``full_evaluations`` counts round-0 rule joins (the only
+    database-sized joins — everything after is delta-sized);
+    ``delta_terms`` counts executed delta-rule terms; ``derived_rows`` the
+    fresh IDB tuples.  ``continuations`` vs ``recomputes`` records how each
+    refresh ran (monotone continuation vs per-stratum re-evaluation).
+    """
+
+    strata: int = 0
+    rounds: int = 0
+    full_evaluations: int = 0
+    delta_terms: int = 0
+    derived_rows: int = 0
+    pooled_rounds: int = 0
+    batches: int = 0
+    continuations: int = 0
+    recomputes: int = 0
+    replans: int = 0
+    compactions: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class PredicateStore:
+    """Versioned storage for every predicate: name-level + per-binding logs.
+
+    Mirrors the incremental engine's layout: one
+    :class:`~repro.incremental.delta.VersionedRelation` per predicate name
+    and one per distinct ``(predicate, variables)`` binding — a binding
+    whose variables equal the stored schema shares the name-level log
+    outright.  :meth:`apply` advances the name log and every binding log by
+    one relabeled delta, so the delta-first sort orders each binding has
+    materialized carry across rounds by C-level splices.
+    """
+
+    def __init__(self) -> None:
+        self._names: dict[str, VersionedRelation] = {}
+        self._bindings: dict[tuple[str, tuple[str, ...]], VersionedRelation] = {}
+
+    @staticmethod
+    def binding_key(atom: Atom) -> tuple[str, tuple[str, ...]]:
+        return (atom.name, atom.variables)
+
+    def adopt(self, relation: Relation) -> None:
+        """(Re)install ``relation`` as the current version of its name."""
+        self._names[relation.name] = VersionedRelation(relation)
+        stale = [
+            key for key in sorted(self._bindings) if key[0] == relation.name
+        ]
+        for key in stale:
+            del self._bindings[key]
+
+    def register(self, atom: Atom) -> VersionedRelation:
+        """Ensure a binding log exists for ``atom``; returns it."""
+        key = self.binding_key(atom)
+        found = self._bindings.get(key)
+        if found is None:
+            name_log = self._names[atom.name]
+            if atom.variables == name_log.schema:
+                found = name_log
+            else:
+                found = VersionedRelation(
+                    name_log.current.relabeled(atom.name, atom.variables)
+                )
+            self._bindings[key] = found
+        return found
+
+    def versioned(self, name: str) -> VersionedRelation:
+        return self._names[name]
+
+    def relation(self, name: str) -> Relation:
+        return self._names[name].current
+
+    def binding(self, atom: Atom) -> VersionedRelation:
+        return self._bindings[self.binding_key(atom)]
+
+    def binding_by_key(
+        self, key: tuple[str, tuple[str, ...]]
+    ) -> VersionedRelation:
+        return self._bindings[key]
+
+    def binding_keys(self, name: str) -> list[tuple[str, tuple[str, ...]]]:
+        return [key for key in sorted(self._bindings) if key[0] == name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._names))
+
+    def apply(self, name: str, delta: SignedDelta) -> dict[tuple, SignedDelta]:
+        """Advance the name log and every binding log by one delta.
+
+        Compaction is deferred (``compact=False``) so pooled delta terms
+        can replay this round's runs against the bases workers hold
+        resident; call :meth:`compact` at a safe boundary.  Returns the
+        per-binding relabeled deltas (keyed by binding key) for the
+        delta-rule terms.
+        """
+        name_log = self._names[name]
+        name_log.apply(delta, compact=False)
+        relabeled: dict[tuple, SignedDelta] = {}
+        for key in self.binding_keys(name):
+            log = self._bindings[key]
+            if log is name_log:
+                relabeled[key] = delta
+                continue
+            binding_delta = delta.relabeled(key[1])
+            log.apply(binding_delta, compact=False)
+            relabeled[key] = binding_delta
+        return relabeled
+
+    def compact(self, names: Iterable[str] | None = None) -> int:
+        """Threshold-compact the logs of ``names`` (default: all); count them."""
+        selected = self.names() if names is None else tuple(sorted(set(names)))
+        compacted = 0
+        seen: set[int] = set()
+        for name in selected:
+            logs = [self._names[name]] + [
+                self._bindings[key] for key in self.binding_keys(name)
+            ]
+            for log in logs:
+                if id(log) in seen:
+                    continue
+                seen.add(id(log))
+                if log.should_compact:
+                    log.compact()
+                    compacted += 1
+        return compacted
+
+
+class _RuleState:
+    """Per-rule evaluation state: orders, projections, negation filters."""
+
+    __slots__ = (
+        "rule", "order", "head_positions", "head_schema", "negation",
+    )
+
+    def __init__(self, rule: DatalogRule, program: DatalogProgram) -> None:
+        self.rule = rule
+        self.order = rule.variable_order
+        self.head_positions = tuple(
+            self.order.index(v) for v in rule.head.variables
+        )
+        self.head_schema = program.schema(rule.head.name)
+        #: per negated atom: positions of its variables in ``order`` (the
+        #: membership sets are resolved per stratum run — lower strata are
+        #: final by then, so one key_set per atom serves every round).
+        self.negation: tuple[tuple[Atom, tuple[int, ...]], ...] = tuple(
+            (atom, tuple(self.order.index(v) for v in atom.variables))
+            for atom in rule.negated
+        )
+
+    def negation_filter(
+        self, store: PredicateStore
+    ) -> Callable[[list], list] | None:
+        """The per-row stratified-negation filter, or ``None`` if trivial."""
+        if not self.negation:
+            return None
+        probes = []
+        for atom, positions in self.negation:
+            present = store.binding(atom).current.key_set(atom.variables)
+            probes.append((positions, present))
+
+        def apply(rows: list) -> list:
+            out = rows
+            for positions, present in probes:
+                out = [
+                    row
+                    for row in out
+                    if tuple(row[p] for p in positions) not in present
+                ]
+            return out
+
+        return apply
+
+    def head_rows(self, rows: list) -> list:
+        """Project join rows onto the head and translate into the predicate schema.
+
+        Rows arrive coded under the rule's variables; column ``i`` is
+        translated from ``head.variables[i]``'s dictionary into
+        ``head_schema[i]``'s (identity when the names coincide — the first
+        head occurrence defines the schema, so its own rules pay nothing).
+        """
+        positions = self.head_positions
+        projected = [tuple(row[p] for p in positions) for row in rows]
+        translators = []
+        identity = True
+        for source, target in zip(self.rule.head.variables, self.head_schema):
+            if source == target:
+                translators.append(None)
+            else:
+                identity = False
+                translators.append(
+                    (Dictionary.of(source).values, Dictionary.of(target).encode)
+                )
+        if identity:
+            return projected
+        out = []
+        for row in projected:
+            coded = []
+            for translator, code in zip(translators, row):
+                if translator is None:
+                    coded.append(code)
+                else:
+                    values, encode = translator
+                    coded.append(encode(values[code]))
+            out.append(tuple(coded))
+        return out
+
+
+@dataclass
+class TermJob:
+    """One delta-rule term, ready for serial or pooled execution.
+
+    ``relations`` is the in-process input list (new versions left of the
+    delta, old versions right — the :func:`iter_delta_terms` layout);
+    ``keys``/``versions`` describe the same inputs for the worker pool's
+    resident-base protocol (``versions[index]`` is ``None`` at the delta
+    position; a ``versions`` of ``None`` marks a term that must run
+    in-process, e.g. when the old side is a retained snapshot with no
+    version lift available).
+    """
+
+    state: _RuleState
+    index: int
+    relations: list
+    delta_rows: list
+    keys: tuple
+    versions: tuple | None
+
+
+def execute_jobs_serial(jobs: Sequence[TermJob]) -> list[list]:
+    """The in-process term executor: one :func:`execute_delta_term` per job."""
+    return [
+        execute_delta_term(job.relations, job.state.order, job.index)
+        for job in jobs
+    ]
+
+
+def _fresh_deltas(
+    candidates: dict[str, set],
+    known: dict[str, set],
+    schemas: dict[str, tuple[str, ...]],
+    totals: dict[str, list],
+    stats: FixpointStats,
+) -> dict[str, SignedDelta]:
+    """Turn a round's candidate head rows into next round's insert deltas."""
+    deltas: dict[str, SignedDelta] = {}
+    for name in sorted(candidates):
+        fresh = sorted(candidates[name] - known[name])
+        if not fresh:
+            continue
+        known[name].update(fresh)
+        totals[name].extend(fresh)
+        stats.derived_rows += len(fresh)
+        deltas[name] = SignedDelta(schemas[name], fresh, [1] * len(fresh))
+    return deltas
+
+
+def run_stratum(
+    stratum: Stratum,
+    program: DatalogProgram,
+    store: PredicateStore,
+    stats: FixpointStats,
+    evaluate_rule: Callable[[_RuleState], list] | None = None,
+    executor: Callable[[Sequence[TermJob]], list] | None = None,
+    seeds: Mapping[str, SignedDelta] | None = None,
+    seed_old: Mapping[tuple, Relation] | None = None,
+) -> dict[str, list]:
+    """Evaluate one stratum to fixpoint; returns the net new rows per predicate.
+
+    Two entry modes:
+
+    * **initial** (``seeds is None``): round 0 evaluates every rule's full
+      positive body join via ``evaluate_rule`` (the engine routes this
+      through the shared planner); the derivations seed the delta rounds.
+    * **continuation** (``seeds`` given): the incoming deltas — EDB inserts
+      or fresh tuples announced by lower strata, already applied to the
+      store — seed the rounds directly, with ``seed_old`` providing the
+      pre-delta binding relations for the delta rule's old side.  Sound
+      exactly when the stratum is monotone in the changed predicates
+      (insert-only, no affected negation): the current content is a valid
+      under-approximation and the fixpoint continues from it.
+
+    Every subsequent round applies the previous round's fresh tuples as an
+    insert-only :class:`SignedDelta` (old side snapshotted just before),
+    fires only the delta-rule terms of rules whose bodies changed, and
+    terminates the moment a round derives nothing new.
+    """
+    states = [_RuleState(rule, program) for rule in stratum.rules]
+    if executor is None:
+        executor = execute_jobs_serial
+    schemas = {name: program.schema(name) for name in stratum.predicates}
+    known = {
+        name: set(store.relation(name).code_rows)
+        for name in stratum.predicates
+    }
+    totals: dict[str, list] = {name: [] for name in stratum.predicates}
+    stats.strata += 1
+
+    if seeds is None:
+        candidates: dict[str, set] = {}
+        for state in states:
+            if evaluate_rule is None:
+                rows = _evaluate_rule_inline(state, store)
+            else:
+                rows = evaluate_rule(state)
+            stats.full_evaluations += 1
+            negation = state.negation_filter(store)
+            if negation is not None:
+                rows = negation(rows)
+            bucket = candidates.setdefault(state.rule.head.name, set())
+            bucket.update(state.head_rows(rows))
+        pending = _fresh_deltas(candidates, known, schemas, totals, stats)
+        external_old: Mapping[tuple, Relation] = {}
+    else:
+        pending = {
+            name: delta
+            for name, delta in sorted(seeds.items())
+            if not delta.is_empty
+        }
+        external_old = dict(seed_old or {})
+
+    while pending:
+        stats.rounds += 1
+        pending = _run_round(
+            states, store, pending, external_old, known, schemas,
+            totals, stats, executor,
+        )
+        external_old = {}
+        stats.compactions += store.compact(stratum.predicates)
+    return {name: totals[name] for name in sorted(totals) if totals[name]}
+
+
+def _evaluate_rule_inline(state: _RuleState, store: PredicateStore) -> list:
+    """Planner-free round-0 evaluation (library fallback): one Generic Join."""
+    from repro.relational.wcoj import generic_join
+
+    relations = [store.binding(atom).current for atom in state.rule.body]
+    if any(relation.is_empty() for relation in relations):
+        return []
+    return generic_join(relations, state.order).code_rows
+
+
+def _run_round(
+    states: Sequence[_RuleState],
+    store: PredicateStore,
+    deltas: Mapping[str, SignedDelta],
+    external_old: Mapping[tuple, Relation],
+    known: dict[str, set],
+    schemas: dict[str, tuple[str, ...]],
+    totals: dict[str, list],
+    stats: FixpointStats,
+    executor: Callable[[Sequence[TermJob]], list],
+) -> dict[str, SignedDelta]:
+    """One delta round: apply the incoming deltas, fire the affected terms."""
+    changed = sorted(deltas)
+    old_relations: dict[tuple, Relation] = {}
+    old_versions: dict[tuple, int | None] = {}
+    binding_deltas: dict[tuple, SignedDelta] = {}
+    for name in changed:
+        keys = store.binding_keys(name)
+        if any(key in external_old for key in keys):
+            # Announced delta: already applied upstream; the old side comes
+            # from the retained snapshots (no version lift — serial terms).
+            for key in keys:
+                old_relations[key] = external_old[key]
+                old_versions[key] = None
+                binding_deltas[key] = (
+                    deltas[name]
+                    if key[1] == deltas[name].attrs
+                    else deltas[name].relabeled(key[1])
+                )
+            continue
+        for key in keys:
+            log = store.binding_by_key(key)
+            old_relations[key] = log.current
+            old_versions[key] = log.version
+        binding_deltas.update(store.apply(name, deltas[name]))
+
+    jobs: list[TermJob] = []
+    job_states: list[tuple[_RuleState, Callable | None]] = []
+    for state in states:
+        body = state.rule.body
+        if not any(atom.name in deltas for atom in body):
+            continue
+        keys = tuple(PredicateStore.binding_key(atom) for atom in body)
+        new_bindings = [store.binding(atom).current for atom in body]
+        old_bindings = [
+            old_relations.get(key, relation)
+            for key, relation in zip(keys, new_bindings)
+        ]
+        negation = state.negation_filter(store)
+        for i, atom in enumerate(body):
+            delta = binding_deltas.get(keys[i])
+            if delta is None or delta.is_empty:
+                continue
+            delta_relation = delta.relation(1, f"d{atom.name}")
+            if delta_relation.is_empty():
+                continue
+            relations = list(new_bindings[:i])
+            relations.append(delta_relation)
+            relations.extend(old_bindings[i + 1:])
+            # The delta rule: new versions left of the delta, old versions
+            # right.  ``versions`` mirrors ``relations`` for the pool's
+            # resident-base protocol; a ``None`` in any non-delta slot
+            # (a retained announcement snapshot with no version lift)
+            # forces the whole term in-process.
+            slots: list[int | None] = []
+            pool_ok = True
+            for j in range(len(body)):
+                if j == i:
+                    slots.append(None)
+                    continue
+                if j < i:
+                    slots.append(store.binding(body[j]).version)
+                    continue
+                old_version = old_versions.get(
+                    keys[j], store.binding(body[j]).version
+                )
+                if old_version is None:
+                    pool_ok = False
+                slots.append(old_version)
+            versions = tuple(slots) if pool_ok else None
+            jobs.append(
+                TermJob(
+                    state=state,
+                    index=i,
+                    relations=relations,
+                    delta_rows=delta.rows,
+                    keys=keys,
+                    versions=versions,
+                )
+            )
+            job_states.append((state, negation))
+
+    stats.delta_terms += len(jobs)
+    candidates: dict[str, set] = {}
+    for (state, negation), rows in zip(job_states, executor(jobs)):
+        if negation is not None:
+            rows = negation(rows)
+        bucket = candidates.setdefault(state.rule.head.name, set())
+        bucket.update(state.head_rows(rows))
+    return _fresh_deltas(candidates, known, schemas, totals, stats)
+
+
+# -- the naive oracle ---------------------------------------------------------------
+
+
+def evaluate_program_naive(
+    program: DatalogProgram, database: Database
+) -> dict[str, Relation]:
+    """Naive stratified evaluation: re-join every rule body until fixpoint.
+
+    The independent oracle the bit-identity tests (and the benchmark's
+    baseline arm) compare against: no deltas, no planner, no versioned
+    storage — per round, every rule's full positive body join runs through
+    Generic Join, negation filters, the head projection unions, and the
+    stratum repeats while anything changed.  Results are canonical sorted
+    code rows per predicate, exactly the semi-naïve engine's shape.
+    """
+    idb = frozenset(program.idb_predicates)
+    for name in program.edb_predicates:
+        if name not in database:
+            raise DatalogError(
+                f"base predicate {name} is missing from the database"
+            )
+    for name in program.idb_predicates:
+        if name in database:
+            raise DatalogError(
+                f"derived predicate {name} is already a database relation"
+            )
+    current: dict[str, list] = {
+        name: [] for name in program.idb_predicates
+    }
+    for stratum in program.stratify():
+        states = [_RuleState(rule, program) for rule in stratum.rules]
+        changed = True
+        while changed:
+            changed = False
+            for state in states:
+                rows = _naive_rule_rows(state, program, database, current, idb)
+                known = set(current[state.rule.head.name])
+                fresh = sorted(set(state.head_rows(rows)) - known)
+                if fresh:
+                    changed = True
+                    merged = sorted(known.union(fresh))
+                    current[state.rule.head.name] = merged
+    return {
+        name: Relation.from_codes(
+            name, program.schema(name), rows, presorted=True, distinct=True
+        )
+        for name, rows in sorted(current.items())
+    }
+
+
+def _naive_rule_rows(
+    state: _RuleState,
+    program: DatalogProgram,
+    database: Database,
+    current: dict[str, list],
+    idb: frozenset,
+) -> list:
+    """One rule's full positive body join + negation filter (oracle path)."""
+    from repro.relational.wcoj import generic_join
+
+    def bound(atom: Atom) -> Relation:
+        if atom.name in idb:
+            relation = Relation.from_codes(
+                atom.name, program.schema(atom.name), current[atom.name],
+                presorted=True, distinct=True,
+            )
+        else:
+            relation = database[atom.name]
+        if relation.schema == atom.variables:
+            return relation
+        return relation.relabeled(atom.name, atom.variables)
+
+    relations = [bound(atom) for atom in state.rule.body]
+    if any(relation.is_empty() for relation in relations):
+        return []
+    rows = generic_join(relations, state.order).code_rows
+    for atom, positions in state.negation:
+        present = bound(atom).key_set(atom.variables)
+        rows = [
+            row
+            for row in rows
+            if tuple(row[p] for p in positions) not in present
+        ]
+    return rows

@@ -1,19 +1,32 @@
-"""A small text syntax for conjunctive queries and disjunctive rules.
+"""A small text syntax for conjunctive queries, disjunctive rules, and programs.
 
 Grammar (whitespace-insensitive)::
 
-    cq     :=  NAME '(' vars? ')' ':-' atoms
-    rule   :=  head_disjunct ('|' head_disjunct)* ':-' atoms
-    atoms  :=  atom (',' atom)*
-    atom   :=  NAME '(' vars ')'
-    vars   :=  VAR (',' VAR)*
+    cq      :=  NAME '(' vars? ')' ':-' atoms
+    rule    :=  head_disjunct ('|' head_disjunct)* ':-' atoms
+    atoms   :=  atom (',' atom)*
+    atom    :=  NAME '(' vars ')'
+    vars    :=  VAR (',' VAR)*
+    program :=  clause ('.' clause)* '.'?
+    clause  :=  atom ':-' literals          -- one datalog rule
+    literals:=  literal (',' literal)*
+    literal :=  atom | '!' atom | 'not' atom
 
 Examples::
 
     parse_query("Q(A1,A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1)")
     parse_rule("T123(A1,A2,A3) | T234(A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4)")
+    parse_program('''
+        # transitive closure (docs/datalog.md)
+        path(x,y) :- edge(x,y).
+        path(x,z) :- path(x,y), edge(y,z).
+    ''')
 
-Boolean queries are written with an empty head: ``Q() :- ...``.
+Boolean queries are written with an empty head: ``Q() :- ...``.  Program
+text may carry ``#`` or ``%`` line comments; rules end with ``.`` (the last
+one may omit it).  Negated body atoms are written ``!reach(x,y)`` or
+``not reach(x,y)`` and follow stratified semantics
+(:meth:`~repro.datalog.fixpoint.DatalogProgram.stratify`).
 """
 
 from __future__ import annotations
@@ -23,9 +36,15 @@ import re
 from repro.datalog.atoms import Atom
 from repro.datalog.conjunctive import ConjunctiveQuery
 from repro.datalog.rule import DisjunctiveRule
-from repro.exceptions import QueryError
+from repro.exceptions import DatalogError, QueryError
 
-__all__ = ["parse_atom", "parse_query", "parse_rule"]
+__all__ = [
+    "parse_atom",
+    "parse_datalog_rule",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+]
 
 _ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
 
@@ -101,3 +120,73 @@ def parse_rule(text: str, name: str = "P") -> DisjunctiveRule:
         targets.append(atom.variable_set)
     body = tuple(parse_atom(part) for part in _split_atoms(body_text))
     return DisjunctiveRule(tuple(targets), body, name)
+
+
+# -- recursive programs (docs/datalog.md) -------------------------------------------
+
+
+def parse_datalog_rule(text: str):
+    """Parse one datalog rule ``head :- literals`` (``!``/``not`` negate).
+
+    Returns a :class:`~repro.datalog.fixpoint.DatalogRule`; safety (every
+    head and negated variable bound by a positive atom) is validated by its
+    constructor, so a bad rule fails here with a clear
+    :class:`~repro.exceptions.DatalogError`.
+    """
+    from repro.datalog.fixpoint import DatalogRule
+
+    head_text, body_text = _split_head_body(text)
+    head_atoms = _split_atoms(head_text)
+    if len(head_atoms) != 1:
+        raise DatalogError(
+            f"a datalog rule needs exactly one head atom: {text!r}"
+        )
+    head = parse_atom(head_atoms[0])
+    positive: list[Atom] = []
+    negated: list[Atom] = []
+    for part in _split_atoms(body_text):
+        literal = part.strip()
+        if literal.startswith("!"):
+            negated.append(parse_atom(literal[1:]))
+        elif re.match(r"not\s*\(", literal) is None and literal.startswith(
+            "not "
+        ):
+            negated.append(parse_atom(literal[4:]))
+        else:
+            positive.append(parse_atom(literal))
+    return DatalogRule(head, tuple(positive), tuple(negated))
+
+
+def _strip_comments(text: str) -> str:
+    """Drop ``#`` and ``%`` line comments (no string literals to protect)."""
+    lines = []
+    for line in text.splitlines():
+        cut = len(line)
+        for marker in ("#", "%"):
+            found = line.find(marker)
+            if found != -1 and found < cut:
+                cut = found
+        lines.append(line[:cut])
+    return "\n".join(lines)
+
+
+def parse_program(text: str):
+    """Parse a whole datalog program into a validated, stratifiable form.
+
+    ``text`` is a sequence of rules separated by ``.`` (the final period is
+    optional), with ``#``/``%`` line comments.  Returns a
+    :class:`~repro.datalog.fixpoint.DatalogProgram`; exact duplicate rules
+    collapse (idempotence), and arity consistency is validated across every
+    predicate occurrence.
+    """
+    from repro.datalog.fixpoint import DatalogProgram
+
+    rules = []
+    for statement in _strip_comments(text).split("."):
+        statement = statement.strip()
+        if not statement:
+            continue
+        rules.append(parse_datalog_rule(statement))
+    if not rules:
+        raise DatalogError("the program text contains no rules")
+    return DatalogProgram(tuple(rules))

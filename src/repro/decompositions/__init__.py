@@ -1,4 +1,10 @@
-"""Tree decompositions: validity, enumeration, and bag selectors."""
+"""Tree decompositions: validity, enumeration, and bag selectors.
+
+Architecture layer 3 support (see ``docs/architecture.md``) — the width
+parameters and PANDA's selector images both enumerate decompositions
+through here.  Contract: enumeration order is deterministic (sorted
+bags), so downstream plan signatures never depend on hash order.
+"""
 
 from repro.decompositions.enumeration import (
     decomposition_from_order,

@@ -1,4 +1,11 @@
-"""Entropy substrate: empirical entropy functions and non-Shannon inequalities."""
+"""Entropy substrate: empirical entropy functions and non-Shannon inequalities.
+
+Architecture layer 3 support (see ``docs/architecture.md``): the
+Zhang–Yeung rows feeding the entropic outer bound in
+:mod:`repro.bounds.entropic`, and empirical entropies of concrete
+distributions for the gap instances.  Exact rational arithmetic
+throughout.
+"""
 
 from repro.entropy.empirical import distribution_entropy, uniform_entropy
 from repro.entropy.nonshannon import (

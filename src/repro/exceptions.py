@@ -33,6 +33,10 @@ class QueryError(ReproError):
     """A query or datalog rule is malformed."""
 
 
+class DatalogError(QueryError):
+    """A datalog program is malformed or not stratifiable."""
+
+
 class ConstraintError(ReproError):
     """A degree constraint is malformed or has no guard."""
 

@@ -1,5 +1,10 @@
 """FAQ / aggregate queries over one semiring (§8, FAQ-SS [2, 5]).
 
+Architecture layer 5 (see ``docs/architecture.md``), on the columnar
+relational engine; contract: semiring results are exact and
+bit-identical to hash-based evaluation — ⊕-folds only reorder exact
+(``Fraction``/``int``/``bool``/min/max) aggregations.
+
 The paper's results "extend straightforwardly to proper conjunctive queries
 and to aggregate queries (in the sense of FAQ-queries over one semiring)";
 this subpackage carries out that extension:

@@ -1,4 +1,10 @@
-"""Shannon-flow inequalities, witnesses, and proof sequences (§5, Appendix B)."""
+"""Shannon-flow inequalities, witnesses, and proof sequences (§5, Appendix B).
+
+Architecture layer 4 (see ``docs/architecture.md``): the objects PANDA
+executes — flow inequalities from LP duals, witness normalization, and
+Theorem 5.9 proof sequences.  Contract: exact ``Fraction`` end to end
+(RL-EXACT enforced) with deterministic step ordering.
+"""
 
 from repro.flows.inequality import (
     FlowInequality,

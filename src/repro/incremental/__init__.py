@@ -2,8 +2,10 @@
 
 Every lower layer assumes a static database: one inserted tuple invalidates
 content digests and forces a full recompute of every join and FAQ result.
-This subsystem — architecture layer 8 — keeps materialized results *exact*
-under tuple inserts and deletes at delta-sized cost:
+This subsystem — architecture layer 8, see ``docs/architecture.md`` —
+keeps materialized results *exact* under tuple inserts and deletes at
+delta-sized cost (and is the inner loop of recursive datalog's
+semi-naïve fixpoint, ``docs/datalog.md``):
 
 * :mod:`repro.incremental.delta` — a change batch as a signed,
   dictionary-encoded delta (sorted code rows + ±multiplicity) and the

@@ -1,4 +1,10 @@
-"""Instance generators: Appendix A worst cases, group systems, query families."""
+"""Instance generators: Appendix A worst cases, group systems, query families.
+
+Supporting module for every layer (see ``docs/architecture.md``): the
+paper's worst-case constructions and parameterized query/database
+families the tests and benchmarks draw from.  Generators take explicit
+seeds/sizes, so generated instances are reproducible bit for bit.
+"""
 
 from repro.instances.appendix_a import (
     constraints_a,

@@ -1,4 +1,4 @@
-"""Linear-programming substrate.
+"""Linear-programming substrate (architecture layer 2 — ``docs/architecture.md``).
 
 Two backends behind one modelling interface:
 

@@ -1,6 +1,7 @@
 """Partition-parallel execution: sharded columnar joins across a worker pool.
 
-The subsystem splits a query into disjoint shards by range-partitioning the
+Architecture layer 7 (see ``docs/architecture.md``).  The subsystem
+splits a query into disjoint shards by range-partitioning the
 sorted code rows of the first global-order attribute — with a heavy-hitter
 split in the spirit of Lemma 6.1 so skewed keys don't serialize — and fans
 the shards out over a persistent ``multiprocessing`` worker pool:

@@ -1,5 +1,9 @@
 """Planner subsystem: plan once, execute many (see :mod:`repro.planner.engine`).
 
+Architecture layer 6 (see ``docs/architecture.md``).  Contract: plans
+are data-independent and renaming-invariant — one plan per isomorphism
+class, identical results with or without a cache hit.
+
 Layers: :mod:`~repro.planner.signature` (renaming-invariant canonical
 signatures on the mask kernel), :mod:`~repro.planner.cache` (bounded LRU
 plan cache with hit/miss statistics), :mod:`~repro.planner.batch` (bound

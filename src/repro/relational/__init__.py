@@ -1,5 +1,13 @@
 """Relational engine substrate.
 
+Architecture layer 5 (see ``docs/architecture.md``), also housing the
+layer-9 vectorized backend (:mod:`~repro.relational.vectorized`,
+selected via :mod:`~repro.relational.backend`) and the layer-10
+persisted mmap storage (:mod:`~repro.relational.storage`).  Contract:
+relations are canonical sorted code rows over shared per-attribute
+dictionaries, identical for every join algorithm, backend, and storage
+medium.
+
 Columnar, dictionary-encoded in-memory relations
 (:class:`~repro.relational.relation.Relation` over
 :mod:`~repro.relational.columns`), the shared sorted-trie iterator every

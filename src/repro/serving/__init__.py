@@ -1,6 +1,7 @@
 """Concurrent serving: MVCC snapshot reads over the incremental engine.
 
-The layers below this one (engines, worker pool, IVM) assume one caller at
+Architecture layer 12 (see ``docs/architecture.md``).  The layers
+below this one (engines, worker pool, IVM) assume one caller at
 a time.  This package is the long-lived concurrent front end the "heavy
 traffic" story needs:
 

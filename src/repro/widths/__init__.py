@@ -1,4 +1,10 @@
-"""Width parameters: classical, adaptive, and degree-aware (§2.1.3, §7)."""
+"""Width parameters: classical, adaptive, and degree-aware (§2.1.3, §7).
+
+Architecture layer 3 (see ``docs/architecture.md``): tw / ghtw / fhtw /
+subw / adw and the degree-aware variants, each with a witnessing
+decomposition.  Contract: width values are exact ``Fraction``\\s computed
+over mask-indexed cover enumerations with per-mask caches.
+"""
 
 from repro.widths.adaptive import adaptive_width, submodular_width
 from repro.widths.classical import (

@@ -212,6 +212,17 @@ class TestRLHashord:
             "rows = list({a, b})\n", "src/repro/serving/snapshot.py"
         ) == ["RL-HASHORD"]
 
+    def test_datalog_modules_in_set_scope(self):
+        # Fixpoint rounds turn candidate-row sets into canonical deltas;
+        # an unsorted consumption would leak hash order into results.
+        assert codes(
+            "for x in set(xs):\n    f(x)\n", "src/repro/datalog/fixpoint.py"
+        ) == ["RL-HASHORD"]
+        assert codes(
+            "fresh = sorted(candidates - known)\n",
+            "src/repro/datalog/fixpoint.py",
+        ) == []
+
     def test_hash_sort_key_fires_everywhere(self):
         assert codes("ys = sorted(xs, key=hash)\n", "tests/test_x.py") == [
             "RL-HASHORD"

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Docs link checker: every intra-repo reference must resolve.
+
+Pure stdlib, like ``check_format.py`` — runs identically in the dev
+container and in CI.  Scans ``README.md`` and ``docs/*.md`` for
+
+* relative markdown links ``[text](path)`` and ``[text](path#anchor)`` —
+  the path must exist in the repo, and an anchor into a markdown file
+  must match a heading's GitHub-style slug;
+* in-page anchors ``[text](#anchor)`` — same slug check, same file;
+* module cross-references ``[[repro.some.module]]`` — the dotted path
+  must resolve under ``src/`` to a module file or a package directory.
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+this checker is about the repo staying self-consistent, not the
+internet.  Exit status 0 when everything resolves, 1 with one line per
+broken reference otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — but not images' inner brackets or reference defs.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ``[[dotted.module.path]]``
+_MODREF_RE = re.compile(r"\[\[([A-Za-z_][A-Za-z0-9_.]*)\]\]")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, spaces → dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    out = []
+    for ch in text.lower():
+        if ch.isalnum() or ch in "-_ ":
+            out.append(ch)
+    return "".join(out).replace(" ", "-")
+
+
+def _anchors(markdown_path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in markdown_path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            anchors.add(_slugify(match.group(2)))
+    return anchors
+
+
+def _module_target(dotted: str) -> Path | None:
+    """Resolve ``repro.x.y`` to the file/package it names, or None."""
+    relative = Path("src", *dotted.split("."))
+    as_module = REPO_ROOT / relative.with_suffix(".py")
+    if as_module.is_file():
+        return as_module
+    as_package = REPO_ROOT / relative / "__init__.py"
+    if as_package.is_file():
+        return as_package
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    display = path.relative_to(REPO_ROOT)
+
+    in_fence = False
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if raw.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Inline code spans talk *about* syntax; don't check inside them.
+        line = re.sub(r"`[^`]*`", "", raw)
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            base, _, fragment = target.partition("#")
+            resolved = (
+                path if not base else (path.parent / base).resolve()
+            )
+            if not resolved.exists():
+                problems.append(
+                    f"{display}:{number}: broken link target {target!r}"
+                )
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _anchors(resolved):
+                    problems.append(
+                        f"{display}:{number}: no heading for anchor "
+                        f"{target!r}"
+                    )
+        for match in _MODREF_RE.finditer(line):
+            dotted = match.group(1)
+            if _module_target(dotted) is None:
+                problems.append(
+                    f"{display}:{number}: module cross-reference "
+                    f"[[{dotted}]] resolves to nothing under src/"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    problems = []
+    for path in files:
+        if path.exists():
+            problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in files)
+    if problems:
+        print(f"check_links: {len(problems)} broken reference(s) in {checked}")
+        return 1
+    print(f"check_links: ok ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -38,6 +38,7 @@ SET_SCOPE_PREFIXES = (
     "src/repro/incremental/",
     "src/repro/serving/",
     "src/repro/faq/",
+    "src/repro/datalog/",
 )
 
 #: Calls whose first argument's iteration order lands in the result.
